@@ -1,0 +1,302 @@
+// Command epang is the EPA-NG-equivalent placement tool: it places aligned
+// query sequences on a reference tree by maximum likelihood and writes a
+// jplace result, with the paper's memory-saving machinery behind --maxmem.
+//
+// Usage:
+//
+//	epang --tree ref.nwk --ref-msa ref.fasta --query q.fasta --out result.jplace
+//	epang ... --maxmem 4G --chunk-size 500 --threads 8
+//	epang ... --model GTR+G4{0.5}      # substitution model spec
+//	epang ... --split combined.fasta   # combined ref+query alignment
+//	epang ... --fit                    # ML-fit branch lengths & model first
+//	epang ... --no-heur                # disable the pre-placement lookup table
+//	epang ... --memsave-strategy lru   # CLV replacement strategy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"phylomem/internal/core"
+	"phylomem/internal/jplace"
+	"phylomem/internal/memacct"
+	"phylomem/internal/mlfit"
+	"phylomem/internal/model"
+	"phylomem/internal/phylo"
+	"phylomem/internal/placement"
+	"phylomem/internal/refdb"
+	"phylomem/internal/seq"
+	"phylomem/internal/tree"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "epang:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("epang", flag.ContinueOnError)
+	var (
+		treeFile  = fs.String("tree", "", "reference tree (Newick)")
+		dbFile    = fs.String("db", "", "load the reference (tree+alignment+model) from a refdb file instead of --tree/--ref-msa/--model")
+		saveDB    = fs.String("save-db", "", "after loading the reference, save it as a refdb file for reuse")
+		refFile   = fs.String("ref-msa", "", "reference alignment (FASTA)")
+		queryFile = fs.String("query", "", "aligned query sequences (FASTA)")
+		splitFile = fs.String("split", "", "combined ref+query alignment to split by the tree's taxa (replaces --ref-msa/--query)")
+		outFile   = fs.String("out", "epa_result.jplace", "output jplace path")
+		modelSpec = fs.String("model", "", "substitution model spec, e.g. GTR+G4{0.5} (default: GTR+G4 for NT, SYNAA+G4 for AA)")
+		empFreqs  = fs.Bool("emp-freqs", true, "use empirical stationary frequencies from the reference alignment")
+		fit       = fs.Bool("fit", false, "ML-optimize branch lengths (and Gamma alpha for NT: exchangeabilities too) before placement")
+		maxmem    = fs.String("maxmem", "", "memory ceiling, e.g. 4G or 512M (empty = unlimited)")
+		chunkSize = fs.Int("chunk-size", 5000, "queries per chunk")
+		blockSize = fs.Int("block-size", memacct.DefaultBlockSize, "branches per precompute block")
+		threads   = fs.Int("threads", 1, "placement worker threads")
+		noHeur    = fs.Bool("no-heur", false, "disable the pre-placement lookup table heuristic")
+		strategy  = fs.String("memsave-strategy", "costage", "CLV replacement strategy: cost, costage, lru, fifo, random")
+		dataType  = fs.String("type", "NT", "data type: NT or AA")
+		syncPre   = fs.Bool("sync-precompute", false, "synchronous across-site branch-block precompute (experimental)")
+		verbose   = fs.Bool("verbose", false, "print plan and statistics")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dbFile == "" && *treeFile == "" {
+		return fmt.Errorf("--tree (or --db) is required")
+	}
+	if *dbFile == "" && *splitFile == "" && (*refFile == "" || *queryFile == "") {
+		return fmt.Errorf("either --db, --split, or both --ref-msa and --query are required")
+	}
+	if *dbFile != "" && *queryFile == "" {
+		return fmt.Errorf("--db mode requires --query")
+	}
+
+	var (
+		tr           *tree.Tree
+		msa          *seq.MSA
+		alphabet     *seq.Alphabet
+		m            *model.Model
+		rates        *model.RateHet
+		spec         string
+		splitQueries []seq.Sequence
+	)
+	if *dbFile != "" {
+		// Reference database mode: everything comes from one file.
+		f, err := os.Open(*dbFile)
+		if err != nil {
+			return err
+		}
+		ref, err := refdb.Load(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		tr, msa, alphabet, m, rates, spec = ref.Tree, ref.MSA, ref.Alphabet, ref.Model, ref.Rates, ref.Spec
+	} else {
+		// Load tree and alphabet.
+		tdata, err := os.ReadFile(*treeFile)
+		if err != nil {
+			return err
+		}
+		tr, err = tree.ParseNewick(strings.TrimSpace(string(tdata)))
+		if err != nil {
+			return err
+		}
+		alphabet = seq.DNA
+		if *dataType == "AA" {
+			alphabet = seq.AA
+		} else if *dataType != "NT" {
+			return fmt.Errorf("unknown type %q (want NT or AA)", *dataType)
+		}
+
+		// Load the reference alignment (and split off queries if requested).
+		var refSeqs []seq.Sequence
+		if *splitFile != "" {
+			f, err := os.Open(*splitFile)
+			if err != nil {
+				return err
+			}
+			all, err := seq.ReadFasta(f)
+			f.Close()
+			if err != nil {
+				return err
+			}
+			combined, err := seq.NewMSA(alphabet, all)
+			if err != nil {
+				return err
+			}
+			names := make([]string, 0, tr.NumLeaves())
+			for _, leaf := range tr.Leaves() {
+				names = append(names, leaf.Name)
+			}
+			refSeqs, splitQueries, err = seq.SplitMSA(combined, names)
+			if err != nil {
+				return err
+			}
+		} else {
+			f, err := os.Open(*refFile)
+			if err != nil {
+				return err
+			}
+			refSeqs, err = seq.ReadFasta(f)
+			f.Close()
+			if err != nil {
+				return err
+			}
+		}
+		msa, err = seq.NewMSA(alphabet, refSeqs)
+		if err != nil {
+			return err
+		}
+
+		// Model.
+		spec = *modelSpec
+		if spec == "" {
+			if *dataType == "AA" {
+				spec = "SYNAA+G4"
+			} else {
+				spec = "GTR+G4"
+			}
+		}
+		var freqs []float64
+		if *empFreqs {
+			freqs, err = mlfit.EmpiricalFreqs(msa)
+			if err != nil {
+				return err
+			}
+		}
+		m, rates, err = model.ParseSpec(spec, freqs)
+		if err != nil {
+			return err
+		}
+
+		// Optional ML fitting of branch lengths / model parameters.
+		if *fit {
+			opts := mlfit.Options{BranchLengths: true, Alpha: rates.NumRates() > 1, Exchangeabilities: *dataType == "NT"}
+			res, err := mlfit.Fit(tr, msa, nil, 1.0, rates.NumRates(), opts)
+			if err != nil {
+				return fmt.Errorf("model fitting: %w", err)
+			}
+			m, rates = res.Model, res.Rates
+			if *verbose {
+				fmt.Fprintf(stdout, "fit: logL %.3f -> %.3f (alpha %.3f, %d evaluations)\n",
+					res.StartLL, res.LogLik, res.Alpha, res.Evaluations)
+			}
+		}
+
+		if *saveDB != "" {
+			f, err := os.Create(*saveDB)
+			if err != nil {
+				return err
+			}
+			if err := refdb.Save(f, tr, msa, spec, freqs); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "saved reference database -> %s\n", *saveDB)
+		}
+	}
+
+	comp, err := seq.Compress(msa)
+	if err != nil {
+		return err
+	}
+	part, err := phylo.NewPartition(m, rates, comp, tr)
+	if err != nil {
+		return err
+	}
+
+	cfg := placement.DefaultConfig()
+	cfg.ChunkSize = *chunkSize
+	cfg.BlockSize = *blockSize
+	cfg.Threads = *threads
+	cfg.DisableLookup = *noHeur
+	cfg.SyncPrecompute = *syncPre
+	if *syncPre {
+		cfg.SiteWorkers = *threads
+	}
+	if *maxmem != "" {
+		limit, err := memacct.ParseBytes(*maxmem)
+		if err != nil {
+			return err
+		}
+		cfg.MaxMem = limit
+	}
+	if s := core.StrategyByName(*strategy); s != nil {
+		cfg.Strategy = s
+	} else {
+		return fmt.Errorf("unknown strategy %q", *strategy)
+	}
+
+	eng, err := placement.New(part, tr, cfg)
+	if err != nil {
+		return err
+	}
+	if *verbose {
+		plan := eng.Plan()
+		fmt.Fprintf(stdout, "model: %s; mode: AMC=%v lookup=%v slots=%d block=%d planned=%s\n",
+			spec, plan.AMC, plan.LookupEnabled, plan.Slots, plan.BlockSize, memacct.FormatBytes(plan.TotalBytes))
+	}
+
+	// Queries: streamed from disk chunk by chunk, or taken from the split.
+	var src placement.QuerySource
+	var qfile *os.File
+	if *splitFile != "" {
+		queries, err := placement.EncodeQueries(alphabet, splitQueries, msa.Width())
+		if err != nil {
+			return err
+		}
+		src = placement.NewSliceSource(queries)
+	} else {
+		qfile, err = os.Open(*queryFile)
+		if err != nil {
+			return err
+		}
+		defer qfile.Close()
+		src = placement.NewFastaSource(seq.NewFastaScanner(qfile), alphabet, msa.Width())
+	}
+
+	var placed []jplace.Placements
+	n, err := eng.PlaceStream(src, func(p jplace.Placements) error {
+		placed = append(placed, p)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	out, err := os.Create(*outFile)
+	if err != nil {
+		return err
+	}
+	doc := &jplace.Document{
+		Tree:       jplace.TreeString(tr),
+		Queries:    placed,
+		Invocation: "epang " + strings.Join(args, " "),
+	}
+	if err := jplace.Write(out, doc); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+
+	st := eng.Stats()
+	fmt.Fprintf(stdout, "placed %d queries on %d branches -> %s\n", n, tr.NumBranches(), *outFile)
+	if *verbose {
+		fmt.Fprintf(stdout, "phase1 %v, phase2 %v, precompute %v, lookup build %v\n",
+			st.Phase1, st.Phase2, st.Precompute, st.LookupBuild)
+		fmt.Fprintf(stdout, "CLV recomputes %d, hits %d, evictions %d\n",
+			st.CLVStats.Recomputes, st.CLVStats.Hits, st.CLVStats.Evictions)
+		fmt.Fprintf(stdout, "memory: %s\n", eng.Accountant())
+	}
+	return nil
+}

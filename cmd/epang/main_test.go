@@ -1,0 +1,206 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"phylomem/internal/jplace"
+	"phylomem/internal/seq"
+	"phylomem/internal/workload"
+)
+
+// writeDataset materializes a small synthetic dataset on disk.
+func writeDataset(t *testing.T) (dir string, ds *workload.Dataset) {
+	t.Helper()
+	ds, err := workload.Neotrop(64, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds.Queries = ds.Queries[:25]
+	dir = t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "tree.nwk"), []byte(ds.Tree.WriteNewick()+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var ref bytes.Buffer
+	if err := seq.WriteFasta(&ref, ds.RefMSA.Sequences); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "ref.fasta"), ref.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var q bytes.Buffer
+	if err := seq.WriteFasta(&q, ds.Queries); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "query.fasta"), q.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Combined alignment for --split.
+	var combined bytes.Buffer
+	if err := seq.WriteFasta(&combined, append(append([]seq.Sequence{}, ds.RefMSA.Sequences...), ds.Queries...)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "combined.fasta"), combined.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir, ds
+}
+
+func readJplace(t *testing.T, path string) *jplace.Document {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	doc, err := jplace.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir, ds := writeDataset(t)
+	out := filepath.Join(dir, "result.jplace")
+	var buf bytes.Buffer
+	err := run([]string{
+		"--tree", filepath.Join(dir, "tree.nwk"),
+		"--ref-msa", filepath.Join(dir, "ref.fasta"),
+		"--query", filepath.Join(dir, "query.fasta"),
+		"--out", out,
+		"--chunk-size", "10",
+		"--verbose",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := readJplace(t, out)
+	if len(doc.Queries) != len(ds.Queries) {
+		t.Fatalf("jplace has %d queries, want %d", len(doc.Queries), len(ds.Queries))
+	}
+	if !strings.Contains(buf.String(), "placed 25 queries") {
+		t.Fatalf("output: %s", buf.String())
+	}
+}
+
+func TestRunWithMaxmemMatchesUnlimited(t *testing.T) {
+	dir, _ := writeDataset(t)
+	argsFor := func(out string, extra ...string) []string {
+		base := []string{
+			"--tree", filepath.Join(dir, "tree.nwk"),
+			"--ref-msa", filepath.Join(dir, "ref.fasta"),
+			"--query", filepath.Join(dir, "query.fasta"),
+			"--chunk-size", "10",
+			"--out", out,
+		}
+		return append(base, extra...)
+	}
+	outA := filepath.Join(dir, "a.jplace")
+	outB := filepath.Join(dir, "b.jplace")
+	var buf bytes.Buffer
+	if err := run(argsFor(outA), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(argsFor(outB, "--maxmem", "1500K"), &buf); err != nil {
+		t.Fatal(err)
+	}
+	a, b := readJplace(t, outA), readJplace(t, outB)
+	for i := range a.Queries {
+		if a.Queries[i].Placements[0] != b.Queries[i].Placements[0] {
+			t.Fatalf("maxmem changed best placement of %s", a.Queries[i].Name)
+		}
+	}
+}
+
+func TestRunSplitMode(t *testing.T) {
+	dir, ds := writeDataset(t)
+	out := filepath.Join(dir, "split.jplace")
+	var buf bytes.Buffer
+	err := run([]string{
+		"--tree", filepath.Join(dir, "tree.nwk"),
+		"--split", filepath.Join(dir, "combined.fasta"),
+		"--out", out,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := readJplace(t, out)
+	if len(doc.Queries) != len(ds.Queries) {
+		t.Fatalf("split mode placed %d queries, want %d", len(doc.Queries), len(ds.Queries))
+	}
+}
+
+func TestRunArgumentErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{}, &buf); err == nil {
+		t.Error("missing args accepted")
+	}
+	if err := run([]string{"--tree", "x.nwk"}, &buf); err == nil {
+		t.Error("missing msa/query accepted")
+	}
+	dir, _ := writeDataset(t)
+	base := []string{
+		"--tree", filepath.Join(dir, "tree.nwk"),
+		"--ref-msa", filepath.Join(dir, "ref.fasta"),
+		"--query", filepath.Join(dir, "query.fasta"),
+	}
+	if err := run(append(base, "--model", "BOGUS"), &buf); err == nil {
+		t.Error("bogus model accepted")
+	}
+	if err := run(append(base, "--memsave-strategy", "bogus"), &buf); err == nil {
+		t.Error("bogus strategy accepted")
+	}
+	if err := run(append(base, "--maxmem", "nonsense"), &buf); err == nil {
+		t.Error("bogus maxmem accepted")
+	}
+	if err := run(append(base, "--type", "XX"), &buf); err == nil {
+		t.Error("bogus type accepted")
+	}
+}
+
+func TestRunRefDBRoundTrip(t *testing.T) {
+	dir, ds := writeDataset(t)
+	db := filepath.Join(dir, "ref.db")
+	outDirect := filepath.Join(dir, "direct.jplace")
+	var buf bytes.Buffer
+	// Save a DB while placing directly.
+	err := run([]string{
+		"--tree", filepath.Join(dir, "tree.nwk"),
+		"--ref-msa", filepath.Join(dir, "ref.fasta"),
+		"--query", filepath.Join(dir, "query.fasta"),
+		"--save-db", db,
+		"--out", outDirect,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Place again purely from the DB.
+	outDB := filepath.Join(dir, "fromdb.jplace")
+	err = run([]string{
+		"--db", db,
+		"--query", filepath.Join(dir, "query.fasta"),
+		"--out", outDB,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := readJplace(t, outDirect), readJplace(t, outDB)
+	if len(a.Queries) != len(ds.Queries) || len(b.Queries) != len(ds.Queries) {
+		t.Fatalf("query counts %d/%d", len(a.Queries), len(b.Queries))
+	}
+	// The DB round-trips the same model and alignment; the tree is re-parsed
+	// so edge numbering may differ, but every query must still get decisive
+	// placements.
+	for i := range b.Queries {
+		if len(b.Queries[i].Placements) == 0 {
+			t.Fatalf("query %s lost placements in db mode", b.Queries[i].Name)
+		}
+	}
+	if err := run([]string{"--db", db}, &buf); err == nil {
+		t.Fatal("db mode without --query accepted")
+	}
+}

@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"--list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	if err := run([]string{"--scale", "64", "--reps", "1", "--max-queries", "30", "--threads", "1", "table1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	if err := run([]string{"--scale", "64", "--reps", "1", "--max-queries", "30", "--csv", "table1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("no experiment accepted")
+	}
+	if err := run([]string{"bogus-experiment"}); err == nil {
+		t.Error("bogus experiment accepted")
+	}
+	if err := run([]string{"--threads", "0,x", "table1"}); err == nil {
+		t.Error("bogus thread sweep accepted")
+	}
+	if err := run([]string{"--datasets", "nope", "table2"}); err == nil {
+		t.Error("bogus dataset accepted")
+	}
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"phylomem/internal/seq"
+	"phylomem/internal/tree"
+)
+
+func TestGenerateCanonical(t *testing.T) {
+	ds, err := generate("serratus", 64, 0, 0, 0, "", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Name != "serratus" || ds.Type() != "AA" {
+		t.Fatalf("dataset = %s/%s", ds.Name, ds.Type())
+	}
+}
+
+func TestGenerateCustom(t *testing.T) {
+	ds, err := generate("", 0, 12, 120, 5, "NT", 0.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Tree.NumLeaves() != 12 || ds.RefMSA.Width() != 120 || len(ds.Queries) != 5 {
+		t.Fatalf("dims: %d/%d/%d", ds.Tree.NumLeaves(), ds.RefMSA.Width(), len(ds.Queries))
+	}
+	if _, err := generate("", 0, 12, 120, 5, "XX", 1, 7); err == nil {
+		t.Fatal("bad type accepted")
+	}
+	if _, err := generate("bogus", 16, 0, 0, 0, "", 0, 1); err == nil {
+		t.Fatal("bogus dataset accepted")
+	}
+}
+
+func TestWriteOutputsParseable(t *testing.T) {
+	ds, err := generate("", 0, 8, 60, 3, "NT", 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := write(ds, dir); err != nil {
+		t.Fatal(err)
+	}
+	// The tree parses and matches the reference alignment taxa.
+	tdata, err := os.ReadFile(filepath.Join(dir, "reference.nwk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := tree.ParseNewick(strings.TrimSpace(string(tdata)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := os.Open(filepath.Join(dir, "reference.fasta"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs, err := seq.ReadFasta(rf)
+	rf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != tr.NumLeaves() {
+		t.Fatalf("%d reference sequences for %d leaves", len(refs), tr.NumLeaves())
+	}
+	for _, s := range refs {
+		if tr.LeafByName(s.Label) == nil {
+			t.Fatalf("sequence %q not in tree", s.Label)
+		}
+	}
+	qf, err := os.Open(filepath.Join(dir, "queries.fasta"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := seq.ReadFasta(qf)
+	qf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 3 {
+		t.Fatalf("queries = %d", len(qs))
+	}
+}

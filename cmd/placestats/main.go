@@ -1,0 +1,84 @@
+// Command placestats post-processes a jplace result (the gappa-equivalent):
+// per-query EDPL, the best-LWR distribution, and the edges carrying the most
+// placement mass.
+//
+// Usage:
+//
+//	placestats --jplace result.jplace --tree reference.nwk
+//	placestats --jplace result.jplace --tree reference.nwk --per-query
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"phylomem/internal/analyze"
+	"phylomem/internal/jplace"
+	"phylomem/internal/tree"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "placestats:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("placestats", flag.ContinueOnError)
+	var (
+		jplaceFile = fs.String("jplace", "", "jplace result file")
+		treeFile   = fs.String("tree", "", "reference tree (Newick; must match the jplace edge numbering)")
+		perQuery   = fs.Bool("per-query", false, "print per-query best placement and EDPL")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *jplaceFile == "" || *treeFile == "" {
+		return fmt.Errorf("--jplace and --tree are required")
+	}
+	jf, err := os.Open(*jplaceFile)
+	if err != nil {
+		return err
+	}
+	doc, err := jplace.Read(jf)
+	jf.Close()
+	if err != nil {
+		return err
+	}
+	tdata, err := os.ReadFile(*treeFile)
+	if err != nil {
+		return err
+	}
+	tr, err := tree.ParseNewick(strings.TrimSpace(string(tdata)))
+	if err != nil {
+		return err
+	}
+
+	if *perQuery {
+		fmt.Printf("%-24s %6s %10s %8s %8s\n", "query", "edge", "logL", "LWR", "EDPL")
+		for _, q := range doc.Queries {
+			if len(q.Placements) == 0 {
+				continue
+			}
+			best := q.Placements[0]
+			fmt.Printf("%-24s %6d %10.3f %8.4f %8.5f\n",
+				q.Name, best.EdgeNum, best.LogLikelihood, best.LikeWeightRatio, analyze.EDPL(tr, q))
+		}
+		fmt.Println()
+	}
+
+	s := analyze.Summarize(tr, doc.Queries)
+	fmt.Printf("queries:          %d\n", s.Queries)
+	fmt.Printf("mean best LWR:    %.4f\n", s.MeanBestLWR)
+	fmt.Printf("median best LWR:  %.4f\n", s.MedianBestLWR)
+	fmt.Printf("mean EDPL:        %.5f\n", s.MeanEDPL)
+	fmt.Printf("mean candidates:  %.2f\n", s.MeanCandidates)
+	fmt.Println("top placement-mass edges:")
+	for _, em := range s.MassTopEdges {
+		fmt.Printf("  edge %5d  mass %8.3f\n", em.Edge, em.Mass)
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"phylomem/internal/jplace"
+	"phylomem/internal/tree"
+)
+
+func TestRunOnGeneratedResult(t *testing.T) {
+	dir := t.TempDir()
+	tr, err := tree.ParseNewick("((A:1,B:1):1,C:1,D:1);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "tree.nwk"), []byte(tr.WriteNewick()+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	doc := &jplace.Document{
+		Tree: jplace.TreeString(tr),
+		Queries: []jplace.Placements{
+			{Name: "q1", Placements: []jplace.Placement{
+				{EdgeNum: 0, LogLikelihood: -10, LikeWeightRatio: 0.8, DistalLength: 0.5, PendantLength: 0.1},
+				{EdgeNum: 1, LogLikelihood: -11, LikeWeightRatio: 0.2, DistalLength: 0.2, PendantLength: 0.3},
+			}},
+		},
+	}
+	jp := filepath.Join(dir, "r.jplace")
+	f, err := os.Create(jp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jplace.Write(f, doc); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	if err := run([]string{"--jplace", jp, "--tree", filepath.Join(dir, "tree.nwk"), "--per-query"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing args accepted")
+	}
+	if err := run([]string{"--jplace", "nope", "--tree", "nope"}); err == nil {
+		t.Error("missing files accepted")
+	}
+}

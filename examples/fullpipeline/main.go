@@ -1,0 +1,100 @@
+// Full pipeline: simulate a dataset with known parameters, ML-fit the model
+// and branch lengths on the reference (the RAxML-NG step EPA-NG expects to
+// have happened), place the queries under a memory ceiling, and evaluate the
+// result: placement accuracy against the simulator's true origins, EDPL
+// uncertainty, and the placement-mass hot spots.
+//
+//	go run ./examples/fullpipeline
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"phylomem/internal/analyze"
+	"phylomem/internal/experiments"
+	"phylomem/internal/memacct"
+	"phylomem/internal/mlfit"
+	"phylomem/internal/model"
+	"phylomem/internal/phylo"
+	"phylomem/internal/placement"
+	"phylomem/internal/seq"
+	"phylomem/internal/workload"
+)
+
+func main() {
+	// 1. Simulate: GTR+Γ4 with alpha 0.6 and a transition bias.
+	gtr, err := model.GTR([]float64{0.3, 0.2, 0.2, 0.3}, []float64{1, 3.5, 1, 1, 3.5, 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rates, err := model.GammaRates(0.6, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := workload.Simulate(workload.SimConfig{
+		Name: "pipeline", Leaves: 40, Sites: 600, NumQueries: 120,
+		Alphabet: seq.DNA, Model: gtr, Rates: rates, Seed: 2021,
+		QueryCoverage: 0.6, QueryDivergence: 0.08,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated: %d taxa, %d sites, %d read-like queries (alpha=0.6)\n",
+		ds.Tree.NumLeaves(), ds.RefMSA.Width(), len(ds.Queries))
+
+	// 2. Fit: start from JC-ish parameters and let mlfit recover the truth.
+	fit, err := mlfit.Fit(ds.Tree, ds.RefMSA, nil, 1.0, 4, mlfit.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fit: logL %.2f -> %.2f, alpha %.3f (simulated 0.6), %d likelihood evaluations\n",
+		fit.StartLL, fit.LogLik, fit.Alpha, fit.Evaluations)
+
+	// 3. Place under a memory ceiling with the fitted model.
+	comp, err := seq.Compress(ds.RefMSA)
+	if err != nil {
+		log.Fatal(err)
+	}
+	part, err := phylo.NewPartition(fit.Model, fit.Rates, comp, ds.Tree)
+	if err != nil {
+		log.Fatal(err)
+	}
+	queries, err := placement.EncodeQueries(ds.Alphabet, ds.Queries, ds.RefMSA.Width())
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := placement.DefaultConfig()
+	cfg.ChunkSize = 40
+	prep := &experiments.Prepared{Dataset: ds, Tree: ds.Tree, Part: part, Queries: queries}
+	cfg.MaxMem = prep.ReferenceBytes(cfg) / 2
+	eng, err := placement.New(part, ds.Tree, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := eng.Place(queries)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := eng.Stats()
+	fmt.Printf("placed %d queries under %s (AMC=%v, lookup=%v, %d recomputes)\n",
+		st.QueriesPlaced, memacct.FormatBytes(cfg.MaxMem), st.AMC, st.LookupEnabled, st.CLVStats.Recomputes)
+
+	// 4. Analyze: accuracy against the simulator's truth + uncertainty.
+	acc, err := analyze.Accuracy(ds.Tree, res.Queries, ds.QueryOrigins)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum := analyze.Summarize(ds.Tree, res.Queries)
+	fmt.Printf("\naccuracy: mean node distance to true origin %.3f\n", acc.MeanNodeDist)
+	fmt.Printf("          %d/%d placements within one node of the truth\n",
+		acc.Histogram[0]+acc.Histogram[1], acc.Queries)
+	fmt.Printf("uncertainty: mean best LWR %.3f, mean EDPL %.4f\n", sum.MeanBestLWR, sum.MeanEDPL)
+	fmt.Println("hottest edges by placement mass:")
+	for i, em := range sum.MassTopEdges {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("  edge %3d  mass %6.2f\n", em.Edge, em.Mass)
+	}
+}

@@ -1,0 +1,77 @@
+// Memory/runtime trade-off sweep: a miniature of the paper's Fig. 3. Runs
+// the same placement workload under a descending sequence of memory limits
+// and prints how runtime, the lookup table, and CLV recomputation respond —
+// including the characteristic cliff when the lookup table no longer fits.
+//
+//	go run ./examples/memsave
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"phylomem/internal/experiments"
+	"phylomem/internal/memacct"
+	"phylomem/internal/placement"
+	"phylomem/internal/workload"
+)
+
+func main() {
+	ds, err := workload.ProRef(48, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prep, err := experiments.Prepare(ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset %s: %d leaves (%d CLVs), %d sites, %d queries\n\n",
+		ds.Name, ds.Tree.NumLeaves(), ds.Tree.NumInnerCLVs(), ds.RefMSA.Width(), len(prep.Queries))
+
+	cfg := placement.DefaultConfig()
+	cfg.ChunkSize = 25
+	ref := prep.ReferenceBytes(cfg)
+	min := prep.MinFeasibleBytes(cfg)
+
+	fmt.Printf("%-10s %10s %8s %8s %6s %10s\n", "limit", "planned", "time", "slowdn", "lookup", "recomputes")
+	var refTime time.Duration
+	for _, frac := range []float64{1.0, 0.7, 0.5, 0.35, 0.25, 0} {
+		cfgRun := cfg
+		label := "none"
+		if frac > 0 {
+			limit := int64(frac * float64(ref))
+			if limit < min {
+				limit = min
+			}
+			cfgRun.MaxMem = limit
+			label = memacct.FormatBytes(limit)
+		} else {
+			cfgRun.MaxMem = min
+			label = "min"
+		}
+		start := time.Now()
+		eng, err := placement.New(prep.Part, prep.Tree, cfgRun)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := eng.Place(prep.Queries); err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		if refTime == 0 {
+			refTime = elapsed
+		}
+		st := eng.Stats()
+		lookup := "on"
+		if !st.LookupEnabled {
+			lookup = "off"
+		}
+		fmt.Printf("%-10s %10s %8s %8.2f %6s %10d\n",
+			label, memacct.FormatBytes(st.PlannedBytes), elapsed.Round(time.Millisecond),
+			elapsed.Seconds()/refTime.Seconds(), lookup, st.CLVStats.Recomputes)
+	}
+	fmt.Println("\nNote the jump when 'lookup' flips off: that is the paper's Fig. 3 cliff —")
+	fmt.Println("without the pre-placement table, every query must be scored against every")
+	fmt.Println("branch through freshly recomputed CLVs, once per chunk.")
+}

@@ -1,0 +1,97 @@
+// Quickstart: place two query sequences on a five-taxon reference tree and
+// print the resulting jplace document.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"phylomem/internal/jplace"
+	"phylomem/internal/model"
+	"phylomem/internal/phylo"
+	"phylomem/internal/placement"
+	"phylomem/internal/seq"
+	"phylomem/internal/tree"
+)
+
+func main() {
+	// A fixed reference tree with five taxa.
+	tr, err := tree.ParseNewick("((human:0.1,chimp:0.12):0.08,(mouse:0.3,rat:0.28):0.15,frog:0.6);")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The reference alignment, one sequence per leaf.
+	msa, err := seq.NewMSA(seq.DNA, []seq.Sequence{
+		{Label: "human", Data: []byte("ACGTACGTTGCAACGTGGCCAACTGACTGAAC")},
+		{Label: "chimp", Data: []byte("ACGTACGTTGCAACGTGGCCAACTGACTGGAC")},
+		{Label: "mouse", Data: []byte("ACGTTCGATGCAACGAGGCCTACTCACTGAAC")},
+		{Label: "rat", Data: []byte("ACGTTCGATGCATCGAGGCCTACTCACTCAAC")},
+		{Label: "frog", Data: []byte("TCGTTCGATGGAACGAGCCCTACACACTGTAC")},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Model: GTR with 4 discrete Gamma rate categories.
+	gtr, err := model.GTR([]float64{0.26, 0.24, 0.25, 0.25}, []float64{1, 2.5, 0.8, 1.1, 3.0, 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rates, err := model.GammaRates(1.0, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	comp, err := seq.Compress(msa)
+	if err != nil {
+		log.Fatal(err)
+	}
+	part, err := phylo.NewPartition(gtr, rates, comp, tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Queries aligned against the reference (gaps allowed).
+	queries, err := placement.EncodeQueries(seq.DNA, []seq.Sequence{
+		{Label: "query_primate", Data: []byte("ACGTACGTTGCAACGTGGCCAACTGACTGAAT")},
+		{Label: "query_rodent_read", Data: []byte("--------TGCAACGAGGCCTACT--------")},
+	}, msa.Width())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Default engine: memory unlimited, lookup-table heuristic on.
+	eng, err := placement.New(part, tr, placement.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := eng.Place(queries)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, q := range res.Queries {
+		best := q.Placements[0]
+		e := tr.Edges[best.EdgeNum]
+		a, b := e.Nodes()
+		fmt.Printf("%-18s -> edge %d (%s—%s), logL %.3f, LWR %.3f, pendant %.4f\n",
+			q.Name, best.EdgeNum, nodeName(a), nodeName(b),
+			best.LogLikelihood, best.LikeWeightRatio, best.PendantLength)
+	}
+
+	fmt.Println("\nfull jplace document:")
+	doc := &jplace.Document{Tree: jplace.TreeString(tr), Queries: res.Queries, Invocation: "quickstart"}
+	if err := jplace.Write(os.Stdout, doc); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func nodeName(n *tree.Node) string {
+	if n.Name != "" {
+		return n.Name
+	}
+	return fmt.Sprintf("inner%d", n.ID)
+}

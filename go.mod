@@ -1,0 +1,3 @@
+module phylomem
+
+go 1.22

@@ -1,0 +1,228 @@
+package analyze_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"phylomem/internal/analyze"
+	"phylomem/internal/experiments"
+	"phylomem/internal/jplace"
+	"phylomem/internal/placement"
+	"phylomem/internal/tree"
+	"phylomem/internal/workload"
+)
+
+func fourTaxon(t *testing.T) *tree.Tree {
+	t.Helper()
+	tr, err := tree.ParseNewick("((A:1,B:2):0.5,C:1,D:3);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestPathLengths(t *testing.T) {
+	tr := fourTaxon(t)
+	a := tr.LeafByName("A")
+	b := tr.LeafByName("B")
+	c := tr.LeafByName("C")
+	d := analyze.PathLengths(tr, a)
+	if math.Abs(d[b.ID]-3) > 1e-12 { // A->inner (1) -> B (2)
+		t.Fatalf("dist(A,B) = %g, want 3", d[b.ID])
+	}
+	if math.Abs(d[c.ID]-2.5) > 1e-12 { // 1 + 0.5 + 1
+		t.Fatalf("dist(A,C) = %g, want 2.5", d[c.ID])
+	}
+	if d[a.ID] != 0 {
+		t.Fatalf("dist(A,A) = %g", d[a.ID])
+	}
+}
+
+func TestNodeDistances(t *testing.T) {
+	tr := fourTaxon(t)
+	a := tr.LeafByName("A")
+	b := tr.LeafByName("B")
+	c := tr.LeafByName("C")
+	nd := analyze.NodeDistances(tr, a)
+	if nd[b.ID] != 2 || nd[c.ID] != 3 {
+		t.Fatalf("node distances: B=%d (want 2), C=%d (want 3)", nd[b.ID], nd[c.ID])
+	}
+}
+
+func TestEDPLSingletonIsZero(t *testing.T) {
+	tr := fourTaxon(t)
+	q := jplace.Placements{Name: "q", Placements: []jplace.Placement{
+		{EdgeNum: 0, LikeWeightRatio: 1, DistalLength: 0.5},
+	}}
+	if got := analyze.EDPL(tr, q); got != 0 {
+		t.Fatalf("EDPL of single placement = %g", got)
+	}
+}
+
+func TestEDPLSameEdgeTwoPoints(t *testing.T) {
+	tr := fourTaxon(t)
+	// Two equal-weight placements on the same edge 0.4 apart:
+	// EDPL = 2 * 0.5 * 0.5 * 0.4 = 0.2.
+	edge := tr.LeafByName("B").Edges[0]
+	q := jplace.Placements{Name: "q", Placements: []jplace.Placement{
+		{EdgeNum: edge.ID, LikeWeightRatio: 0.5, DistalLength: 0.3},
+		{EdgeNum: edge.ID, LikeWeightRatio: 0.5, DistalLength: 0.7},
+	}}
+	if got := analyze.EDPL(tr, q); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("EDPL = %g, want 0.2", got)
+	}
+}
+
+func TestEDPLAcrossEdges(t *testing.T) {
+	tr := fourTaxon(t)
+	ea := tr.LeafByName("A").Edges[0] // length 1
+	eb := tr.LeafByName("B").Edges[0] // length 2
+	// Point 0.25 from the leaf-A end... DistalLength measures from the
+	// edge's first node; compute expected distance via both possibilities,
+	// so instead place both points at known offsets from the shared inner
+	// node by checking the computed value is one of the two consistent
+	// path lengths.
+	q := jplace.Placements{Name: "q", Placements: []jplace.Placement{
+		{EdgeNum: ea.ID, LikeWeightRatio: 0.5, DistalLength: 0.25},
+		{EdgeNum: eb.ID, LikeWeightRatio: 0.5, DistalLength: 0.5},
+	}}
+	got := analyze.EDPL(tr, q)
+	// Distance between the points is |path| where the within-edge offsets
+	// depend on node order; all four endpoint combinations of the exact
+	// tree metric are: 0.25+0.5, 0.25+1.5, 0.75+0.5, 0.75+1.5 — and the
+	// true one is the minimal consistent path. EDPL = 2*0.25*d = 0.5*d.
+	valid := false
+	for _, d := range []float64{0.75, 1.25, 1.75, 2.25} {
+		if math.Abs(got-0.5*d) < 1e-12 {
+			valid = true
+		}
+	}
+	if !valid {
+		t.Fatalf("EDPL = %g not consistent with tree metric", got)
+	}
+	if got <= 0 {
+		t.Fatal("EDPL must be positive for split placements")
+	}
+}
+
+func TestPlacementMass(t *testing.T) {
+	tr := fourTaxon(t)
+	queries := []jplace.Placements{
+		{Name: "a", Placements: []jplace.Placement{{EdgeNum: 0, LikeWeightRatio: 0.7}, {EdgeNum: 1, LikeWeightRatio: 0.3}}},
+		{Name: "b", Placements: []jplace.Placement{{EdgeNum: 0, LikeWeightRatio: 1.0}}},
+	}
+	mass := analyze.PlacementMass(tr, queries)
+	if math.Abs(mass[0]-1.7) > 1e-12 || math.Abs(mass[1]-0.3) > 1e-12 {
+		t.Fatalf("mass = %v", mass)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	tr := fourTaxon(t)
+	queries := []jplace.Placements{
+		{Name: "a", Placements: []jplace.Placement{{EdgeNum: 0, LikeWeightRatio: 0.9}}},
+		{Name: "b", Placements: []jplace.Placement{{EdgeNum: 1, LikeWeightRatio: 0.6}, {EdgeNum: 2, LikeWeightRatio: 0.4}}},
+	}
+	s := analyze.Summarize(tr, queries)
+	if s.Queries != 2 {
+		t.Fatalf("queries = %d", s.Queries)
+	}
+	if math.Abs(s.MeanBestLWR-0.75) > 1e-12 {
+		t.Fatalf("mean best LWR = %g", s.MeanBestLWR)
+	}
+	if s.MeanCandidates != 1.5 {
+		t.Fatalf("mean candidates = %g", s.MeanCandidates)
+	}
+	if len(s.MassTopEdges) == 0 || s.MassTopEdges[0].Edge != 0 {
+		t.Fatalf("top edges = %+v", s.MassTopEdges)
+	}
+}
+
+func TestAccuracyEndToEnd(t *testing.T) {
+	// Simulate with low divergence, place, and verify the mean node
+	// distance to the true origins is small.
+	ds, err := workload.Neotrop(64, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prep, err := experiments.Prepare(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 80
+	prep.Queries = prep.Queries[:n]
+	eng, err := placement.New(prep.Part, prep.Tree, placement.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Place(prep.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := analyze.Accuracy(prep.Tree, res.Queries, ds.QueryOrigins[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Queries != n {
+		t.Fatalf("evaluated %d queries", rep.Queries)
+	}
+	if rep.MeanNodeDist > 3.0 {
+		t.Fatalf("mean node distance %.2f too large — placement accuracy broken", rep.MeanNodeDist)
+	}
+	total := 0
+	for _, c := range rep.Histogram {
+		total += c
+	}
+	if total != n {
+		t.Fatalf("histogram sums to %d", total)
+	}
+}
+
+func TestAccuracyValidatesLengths(t *testing.T) {
+	tr := fourTaxon(t)
+	if _, err := analyze.Accuracy(tr, []jplace.Placements{{}}, nil); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestAccuracyBeatsRandomPlacement(t *testing.T) {
+	// Random placements must have a clearly worse node distance than real
+	// ones (guards against the metric being vacuous).
+	ds, err := workload.Neotrop(64, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prep, err := experiments.Prepare(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 60
+	prep.Queries = prep.Queries[:n]
+	eng, err := placement.New(prep.Part, prep.Tree, placement.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Place(prep.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	real, err := analyze.Accuracy(prep.Tree, res.Queries, ds.QueryOrigins[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	fake := make([]jplace.Placements, n)
+	for i := range fake {
+		fake[i] = jplace.Placements{Name: "r", Placements: []jplace.Placement{
+			{EdgeNum: rng.Intn(prep.Tree.NumBranches()), LikeWeightRatio: 1},
+		}}
+	}
+	random, err := analyze.Accuracy(prep.Tree, fake, ds.QueryOrigins[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if real.MeanNodeDist >= random.MeanNodeDist {
+		t.Fatalf("real placement (%.2f) not better than random (%.2f)", real.MeanNodeDist, random.MeanNodeDist)
+	}
+}

@@ -1,0 +1,106 @@
+// Package asciiplot renders small scatter/line plots as text, used by
+// cmd/pewo to draw the paper's figures directly in the terminal alongside
+// the numeric series.
+package asciiplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named sequence of points.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// markers are assigned to series in order.
+var markers = []byte{'o', 'x', '+', '*', '#', '@', '%', '&'}
+
+// Scatter renders the series on a width×height character grid with labeled
+// axes and a legend. Points outside a degenerate range are padded; series
+// longer than the marker set reuse markers.
+func Scatter(series []Series, width, height int, xlabel, ylabel string) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 6 {
+		height = 6
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range series {
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) || math.IsInf(s.X[i], 0) || math.IsInf(s.Y[i], 0) {
+				continue
+			}
+			points++
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if points == 0 {
+		return "(no points)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) || math.IsInf(s.X[i], 0) || math.IsInf(s.Y[i], 0) {
+				continue
+			}
+			col := int(math.Round((s.X[i] - minX) / (maxX - minX) * float64(width-1)))
+			row := height - 1 - int(math.Round((s.Y[i]-minY)/(maxY-minY)*float64(height-1)))
+			grid[row][col] = m
+		}
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", ylabel)
+	for r, line := range grid {
+		edge := "|"
+		switch r {
+		case 0:
+			fmt.Fprintf(&sb, "%9.3g ", maxY)
+		case height - 1:
+			fmt.Fprintf(&sb, "%9.3g ", minY)
+		default:
+			sb.WriteString(strings.Repeat(" ", 10))
+		}
+		sb.WriteString(edge)
+		sb.Write(line)
+		sb.WriteByte('\n')
+	}
+	sb.WriteString(strings.Repeat(" ", 10))
+	sb.WriteString("+")
+	sb.WriteString(strings.Repeat("-", width))
+	sb.WriteByte('\n')
+	fmt.Fprintf(&sb, "%10s%-10.3g%s%10.3g\n", "", minX, strings.Repeat(" ", maxInt(0, width-20)), maxX)
+	fmt.Fprintf(&sb, "%10s%s\n", "", xlabel)
+	for si, s := range series {
+		fmt.Fprintf(&sb, "%10s%c = %s\n", "", markers[si%len(markers)], s.Name)
+	}
+	return sb.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,65 @@
+package asciiplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScatterBasics(t *testing.T) {
+	out := Scatter([]Series{
+		{Name: "up", X: []float64{0, 1, 2}, Y: []float64{0, 1, 2}},
+		{Name: "down", X: []float64{0, 1, 2}, Y: []float64{2, 1, 0}},
+	}, 30, 10, "memory fraction", "slowdown")
+	for _, want := range []string{"memory fraction", "slowdown", "o = up", "x = down", "o", "x"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plot missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	// Height 10 grid + axes/labels/legend.
+	if len(lines) < 14 {
+		t.Fatalf("plot too short: %d lines", len(lines))
+	}
+}
+
+func TestScatterCornerPlacement(t *testing.T) {
+	out := Scatter([]Series{{Name: "s", X: []float64{0, 10}, Y: []float64{0, 5}}}, 20, 8, "x", "y")
+	lines := strings.Split(out, "\n")
+	// Top row (after ylabel line) holds the max-Y point at the right edge.
+	top := lines[1]
+	if top[len(top)-1] != 'o' {
+		t.Fatalf("max point not in top-right: %q", top)
+	}
+	bottom := lines[8]
+	if !strings.Contains(bottom, "|o") {
+		t.Fatalf("min point not at bottom-left: %q", bottom)
+	}
+}
+
+func TestScatterDegenerateInputs(t *testing.T) {
+	if out := Scatter(nil, 20, 8, "x", "y"); !strings.Contains(out, "no points") {
+		t.Fatalf("empty series: %q", out)
+	}
+	// Constant data must not divide by zero.
+	out := Scatter([]Series{{Name: "c", X: []float64{1, 1}, Y: []float64{2, 2}}}, 20, 8, "x", "y")
+	if !strings.Contains(out, "o") {
+		t.Fatalf("constant series lost its point:\n%s", out)
+	}
+	// NaN/Inf points are skipped, finite ones survive.
+	nan := Scatter([]Series{{Name: "n", X: []float64{0, 1}, Y: []float64{1, 0}}, {Name: "bad", X: []float64{0.5}, Y: []float64{nanF()}}}, 20, 8, "x", "y")
+	if !strings.Contains(nan, "o") {
+		t.Fatalf("finite points lost:\n%s", nan)
+	}
+}
+
+func nanF() float64 {
+	z := 0.0
+	return z / z
+}
+
+func TestScatterMinimumDimensions(t *testing.T) {
+	out := Scatter([]Series{{Name: "s", X: []float64{0, 1}, Y: []float64{0, 1}}}, 1, 1, "x", "y")
+	if len(out) == 0 {
+		t.Fatal("empty output for clamped dimensions")
+	}
+}

@@ -1,0 +1,451 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"phylomem/internal/phylo"
+	"phylomem/internal/tree"
+)
+
+// ErrNoSlots is returned when a CLV must be materialized but every slot is
+// pinned. It indicates the slot pool is smaller than the tree's minimum
+// requirement plus the caller's pins.
+var ErrNoSlots = errors.New("core: no unpinned slot available")
+
+const (
+	noSlot = int32(-1)
+	noCLV  = int32(-1)
+)
+
+// Stats counts the manager's activity. Recomputes are UpdateCLV invocations,
+// i.e. the extra work the memory/runtime trade-off pays for; Hits are
+// accesses satisfied by an already-slotted CLV.
+type Stats struct {
+	Hits       uint64
+	Recomputes uint64
+	Evictions  uint64
+	// RecomputeLeafWork accumulates the subtree leaf count of every
+	// recomputed CLV — a machine-independent proxy for recomputation cost.
+	RecomputeLeafWork uint64
+}
+
+// Manager is the Active Management of CLVs: it maps the tree's 3(n-2) global
+// inner CLVs onto a fixed pool of physical slots, recomputing evicted CLVs on
+// demand via slot-constrained Felsenstein pruning.
+//
+// Manager is not safe for concurrent use; the placement engine serializes
+// all access through its branch-block precompute goroutine, matching the
+// paper's parallelization (Section IV).
+type Manager struct {
+	tr       *tree.Tree
+	part     *phylo.Partition
+	strategy Strategy
+
+	slots     int
+	clvData   []float64 // slots × CLVLen
+	scaleData []int32   // slots × ScaleLen
+
+	slotOf []int32 // global CLV index → slot (or noSlot); the paper's first map
+	clvOf  []int32 // slot → global CLV index (or noCLV); the paper's second map
+	pins   []int32 // per slot pin count
+
+	lastAccess []uint64 // per CLV index
+	slottedAt  []uint64 // per CLV index
+	cost       []int    // per CLV index: subtree leaf count
+	tick       uint64
+
+	// Scratch transition-matrix buffers reused across updates.
+	pa, pb []float64
+
+	stats Stats
+
+	// workers > 1 enables the across-site parallel update kernel during
+	// recomputation (the paper's Fig. 7 experiment).
+	workers int
+}
+
+// Config parameterizes a Manager.
+type Config struct {
+	// Slots is the number of physical CLV slots. It must be at least
+	// Tree.MinSlots() and at most the number of inner CLVs (values above that
+	// are clamped).
+	Slots int
+	// Strategy chooses eviction victims; nil selects CostBased (the paper's
+	// default).
+	Strategy Strategy
+	// Workers enables across-site parallel CLV updates when > 1.
+	Workers int
+}
+
+// NewManager creates a slot manager for the given partition and tree.
+func NewManager(part *phylo.Partition, tr *tree.Tree, cfg Config) (*Manager, error) {
+	if err := part.CheckTreeCompatible(tr); err != nil {
+		return nil, err
+	}
+	min := tr.MinSlots()
+	if cfg.Slots < min {
+		return nil, fmt.Errorf("core: %d slots below the minimum %d required for this tree (log2(n)+2 = %d)",
+			cfg.Slots, min, tree.LogNBound(tr.NumLeaves()))
+	}
+	slots := cfg.Slots
+	if max := tr.NumInnerCLVs(); slots > max {
+		slots = max
+	}
+	strategy := cfg.Strategy
+	if strategy == nil {
+		strategy = CostBased{}
+	}
+	nclv := tr.NumInnerCLVs()
+	m := &Manager{
+		tr:         tr,
+		part:       part,
+		strategy:   strategy,
+		slots:      slots,
+		clvData:    make([]float64, slots*part.CLVLen()),
+		scaleData:  make([]int32, slots*part.ScaleLen()),
+		slotOf:     make([]int32, nclv),
+		clvOf:      make([]int32, slots),
+		pins:       make([]int32, slots),
+		lastAccess: make([]uint64, nclv),
+		slottedAt:  make([]uint64, nclv),
+		cost:       make([]int, nclv),
+		pa:         make([]float64, part.PLen()),
+		pb:         make([]float64, part.PLen()),
+		workers:    cfg.Workers,
+	}
+	for i := range m.slotOf {
+		m.slotOf[i] = noSlot
+	}
+	for i := range m.clvOf {
+		m.clvOf[i] = noCLV
+	}
+	counts := tr.SubtreeLeafCounts()
+	for i := 0; i < nclv; i++ {
+		m.cost[i] = counts[tr.DirOfCLV(i)]
+	}
+	return m, nil
+}
+
+// Slots returns the slot-pool size.
+func (m *Manager) Slots() int { return m.slots }
+
+// Bytes returns the slot pool's memory footprint.
+func (m *Manager) Bytes() int64 { return int64(m.slots) * m.part.CLVBytes() }
+
+// Stats returns a copy of the activity counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// ResetStats zeroes the activity counters.
+func (m *Manager) ResetStats() { m.stats = Stats{} }
+
+// Strategy returns the replacement strategy in use.
+func (m *Manager) Strategy() Strategy { return m.strategy }
+
+// PinnedSlots returns the number of slots with a non-zero pin count.
+func (m *Manager) PinnedSlots() int {
+	n := 0
+	for _, p := range m.pins {
+		if p > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// IsSlotted reports whether directed edge d's CLV currently occupies a slot.
+func (m *Manager) IsSlotted(d tree.Dir) bool {
+	idx := m.tr.CLVIndex(d)
+	return idx >= 0 && m.slotOf[idx] != noSlot
+}
+
+func (m *Manager) view(slot int32) ([]float64, []int32) {
+	cl, sl := m.part.CLVLen(), m.part.ScaleLen()
+	return m.clvData[int(slot)*cl : (int(slot)+1)*cl], m.scaleData[int(slot)*sl : (int(slot)+1)*sl]
+}
+
+func (m *Manager) operandOf(d tree.Dir) phylo.Operand {
+	if u := m.tr.Tail(d); u.IsLeaf() {
+		return phylo.TipOperand(m.part.TipCodes(u.ID))
+	}
+	slot := m.slotOf[m.tr.CLVIndex(d)]
+	if slot == noSlot {
+		panic("core: operandOf called for unslotted CLV")
+	}
+	clv, scale := m.view(slot)
+	return phylo.CLVOperand(clv, scale)
+}
+
+// pinDir increments the pin count of d's slot (leaf tails are no-ops).
+func (m *Manager) pinDir(d tree.Dir) {
+	idx := m.tr.CLVIndex(d)
+	if idx < 0 {
+		return
+	}
+	slot := m.slotOf[idx]
+	if slot == noSlot {
+		panic("core: pin of unslotted CLV")
+	}
+	m.pins[slot]++
+}
+
+// unpinDir decrements the pin count of d's slot.
+func (m *Manager) unpinDir(d tree.Dir) {
+	idx := m.tr.CLVIndex(d)
+	if idx < 0 {
+		return
+	}
+	slot := m.slotOf[idx]
+	if slot == noSlot {
+		panic("core: unpin of unslotted CLV")
+	}
+	if m.pins[slot] == 0 {
+		panic("core: unpin of unpinned slot")
+	}
+	m.pins[slot]--
+}
+
+// allocSlot finds a slot for CLV index idx: a free slot if available,
+// otherwise the strategy's victim among unpinned slotted CLVs.
+func (m *Manager) allocSlot(idx int32) (int32, error) {
+	for s := int32(0); s < int32(m.slots); s++ {
+		if m.clvOf[s] == noCLV {
+			m.clvOf[s] = idx
+			m.slotOf[idx] = s
+			m.slottedAt[idx] = m.tick
+			return s, nil
+		}
+	}
+	candidates := make([]int, 0, m.slots)
+	for s := int32(0); s < int32(m.slots); s++ {
+		if m.pins[s] == 0 {
+			candidates = append(candidates, int(m.clvOf[s]))
+		}
+	}
+	if len(candidates) == 0 {
+		return noSlot, fmt.Errorf("%w: all %d slots pinned", ErrNoSlots, m.slots)
+	}
+	sort.Ints(candidates)
+	victim := m.strategy.Victim(candidates, &EvictionContext{
+		Cost:       m.cost,
+		LastAccess: m.lastAccess,
+		SlottedAt:  m.slottedAt,
+		Tick:       m.tick,
+	})
+	vslot := m.slotOf[victim]
+	if vslot == noSlot || m.pins[vslot] != 0 || m.clvOf[vslot] != int32(victim) {
+		return noSlot, fmt.Errorf("core: strategy %q returned invalid victim %d", m.strategy.Name(), victim)
+	}
+	m.stats.Evictions++
+	m.slotOf[victim] = noSlot
+	m.clvOf[vslot] = idx
+	m.slotOf[idx] = vslot
+	m.slottedAt[idx] = m.tick
+	return vslot, nil
+}
+
+// materialize ensures d's CLV is slotted and pinned, recomputing any missing
+// dependencies under the slot constraint. On success the slot holds one
+// additional pin owned by the caller.
+//
+// Dependencies are materialized just-in-time, depth-first, heavier
+// (Sethi–Ullman) child first: a dependency is pinned only from the moment it
+// is (re)computed or found slotted until the moment its parent consumes it.
+// This keeps the peak number of simultaneously pinned slots at exactly the
+// Sethi–Ullman requirement of d, which is what makes the log2(n)+2 slot
+// guarantee hold. Already-slotted CLVs that the traversal has not reached
+// yet remain evictable; if the strategy evicts one before it is reached, it
+// is simply recomputed (a performance effect, never a correctness one).
+func (m *Manager) materialize(d tree.Dir) error {
+	idx := m.tr.CLVIndex(d)
+	if idx < 0 {
+		return nil // leaf: tips are free
+	}
+	m.tick++
+	if slot := m.slotOf[idx]; slot != noSlot {
+		m.stats.Hits++
+		m.lastAccess[idx] = m.tick
+		m.pins[slot]++
+		return nil
+	}
+	a, b := m.tr.Children(d)
+	su := m.tr.SlotRequirements()
+	if su[b] > su[a] {
+		a, b = b, a
+	}
+	if err := m.materialize(a); err != nil {
+		return err
+	}
+	if err := m.materialize(b); err != nil {
+		m.unpinDir(a)
+		return err
+	}
+	slot, err := m.allocSlot(int32(idx))
+	if err != nil {
+		m.unpinDir(a)
+		m.unpinDir(b)
+		return err
+	}
+	m.pins[slot]++ // owned by the caller from here on
+	dst, dstScale := m.view(slot)
+	m.part.FillP(m.pa, m.tr.EdgeOf(a).Length)
+	m.part.FillP(m.pb, m.tr.EdgeOf(b).Length)
+	m.part.UpdateCLVParallel(dst, dstScale, m.operandOf(a), m.operandOf(b), m.pa, m.pb, m.workers)
+	m.tick++
+	m.lastAccess[idx] = m.tick
+	m.stats.Recomputes++
+	m.stats.RecomputeLeafWork += uint64(m.cost[idx])
+	// The children have been consumed: release the pins materialize took.
+	m.unpinDir(a)
+	m.unpinDir(b)
+	return nil
+}
+
+// Acquire implements phylo.CLVSource: it returns the operand for d,
+// materializing it if needed, and pins it until Release.
+func (m *Manager) Acquire(d tree.Dir) (phylo.Operand, error) {
+	if m.tr.Tail(d).IsLeaf() {
+		return phylo.TipOperand(m.part.TipCodes(m.tr.Tail(d).ID)), nil
+	}
+	if err := m.materialize(d); err != nil {
+		return phylo.Operand{}, err
+	}
+	return m.operandOf(d), nil
+}
+
+// Release implements phylo.CLVSource: it drops the pin taken by Acquire.
+func (m *Manager) Release(d tree.Dir) {
+	if m.tr.Tail(d).IsLeaf() {
+		return
+	}
+	m.unpinDir(d)
+}
+
+var _ phylo.CLVSource = (*Manager)(nil)
+
+// Pin materializes d (if necessary) and pins it across traversals. This is
+// the paper's inter-iteration pinning used by branch-block precomputation to
+// retain expensive CLVs. Each Pin must be balanced by an Unpin.
+func (m *Manager) Pin(d tree.Dir) error {
+	_, err := m.Acquire(d)
+	return err
+}
+
+// Unpin releases a Pin.
+func (m *Manager) Unpin(d tree.Dir) { m.Release(d) }
+
+// InvalidateAll discards every slotted CLV. It fails if any slot is pinned.
+// Tools that modify the tree (model updates, global branch-length changes)
+// call this before continuing; EPA-NG itself never needs it because the
+// reference tree is static, but the generalized libpll-2 mechanism the
+// paper ships supports tree-modifying callers such as RAxML-NG.
+func (m *Manager) InvalidateAll() error {
+	for s := int32(0); s < int32(m.slots); s++ {
+		if m.pins[s] > 0 {
+			return fmt.Errorf("core: InvalidateAll with pinned slot (CLV %d)", m.clvOf[s])
+		}
+	}
+	for s := int32(0); s < int32(m.slots); s++ {
+		if idx := m.clvOf[s]; idx != noCLV {
+			m.slotOf[idx] = noSlot
+			m.clvOf[s] = noCLV
+		}
+	}
+	return nil
+}
+
+// InvalidateEdge discards the slotted CLVs that depend on edge e — exactly
+// the directed edges whose tail-side subtree contains e. Use after changing
+// e's branch length or the topology around it. Pinned dependent CLVs make
+// it fail without changes.
+func (m *Manager) InvalidateEdge(e *tree.Edge) error {
+	deps := m.dependentDirs(e)
+	for _, d := range deps {
+		idx := m.tr.CLVIndex(d)
+		if idx < 0 {
+			continue
+		}
+		if slot := m.slotOf[idx]; slot != noSlot && m.pins[slot] > 0 {
+			return fmt.Errorf("core: InvalidateEdge(%d) with pinned dependent CLV at dir %d", e.ID, d)
+		}
+	}
+	for _, d := range deps {
+		idx := m.tr.CLVIndex(d)
+		if idx < 0 {
+			continue
+		}
+		if slot := m.slotOf[idx]; slot != noSlot {
+			m.slotOf[idx] = noSlot
+			m.clvOf[slot] = noCLV
+		}
+	}
+	return nil
+}
+
+// dependentDirs returns the directed edges whose CLV depends on e: walking
+// outward from e's endpoints, every edge f crossed while moving away from e
+// contributes the direction (near-side → far-side), because its tail-side
+// component contains e.
+func (m *Manager) dependentDirs(e *tree.Edge) []tree.Dir {
+	var deps []tree.Dir
+	a, b := e.Nodes()
+	type frame struct {
+		node *tree.Node
+		from *tree.Edge
+	}
+	stack := []frame{{node: a, from: e}, {node: b, from: e}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, ne := range f.node.Edges {
+			if ne == f.from {
+				continue
+			}
+			// Crossing ne from f.node: the direction with tail f.node has e
+			// behind it.
+			deps = append(deps, m.tr.DirOf(ne, f.node))
+			stack = append(stack, frame{node: ne.Other(f.node), from: ne})
+		}
+	}
+	return deps
+}
+
+// RetainExpensive pins up to (Slots - minFree) of the currently slotted,
+// unpinned CLVs, choosing those with the highest recomputation cost, and
+// returns a release function. This implements the paper's pre-traversal
+// pinning step: retain the CLVs that are most expensive to recompute while
+// leaving at least minFree slots (≥ the tree's minimum requirement) for the
+// pruning algorithm to work in.
+func (m *Manager) RetainExpensive(minFree int) (release func()) {
+	type cand struct{ idx, cost int }
+	var cands []cand
+	for s := int32(0); s < int32(m.slots); s++ {
+		if m.clvOf[s] != noCLV && m.pins[s] == 0 {
+			idx := int(m.clvOf[s])
+			cands = append(cands, cand{idx: idx, cost: m.cost[idx]})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].cost != cands[j].cost {
+			return cands[i].cost > cands[j].cost
+		}
+		return cands[i].idx < cands[j].idx
+	})
+	free := m.slots - m.PinnedSlots()
+	nPin := free - minFree
+	if nPin > len(cands) {
+		nPin = len(cands)
+	}
+	var pinned []tree.Dir
+	for i := 0; i < nPin; i++ {
+		d := m.tr.DirOfCLV(cands[i].idx)
+		m.pinDir(d)
+		pinned = append(pinned, d)
+	}
+	return func() {
+		for _, d := range pinned {
+			m.unpinDir(d)
+		}
+	}
+}

@@ -1,0 +1,832 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"phylomem/internal/model"
+	"phylomem/internal/phylo"
+	"phylomem/internal/seq"
+	"phylomem/internal/tree"
+)
+
+type fixture struct {
+	tr   *tree.Tree
+	part *phylo.Partition
+	full *phylo.FullCLVSet
+}
+
+func buildFixture(t testing.TB, seed int64, n, width int) *fixture {
+	t.Helper()
+	fx, err := tryFixture(seed, n, width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fx
+}
+
+func tryFixture(seed int64, n, width int) (*fixture, error) {
+	rng := rand.New(rand.NewSource(seed))
+	tr, err := tree.Random(n, 0.15, rng)
+	if err != nil {
+		return nil, err
+	}
+	var seqs []seq.Sequence
+	for _, leaf := range tr.Leaves() {
+		data := make([]byte, width)
+		for i := range data {
+			data[i] = "ACGT"[rng.Intn(4)]
+		}
+		seqs = append(seqs, seq.Sequence{Label: leaf.Name, Data: data})
+	}
+	msa, err := seq.NewMSA(seq.DNA, seqs)
+	if err != nil {
+		return nil, err
+	}
+	comp, err := seq.Compress(msa)
+	if err != nil {
+		return nil, err
+	}
+	rates, err := model.GammaRates(1.0, 2)
+	if err != nil {
+		return nil, err
+	}
+	part, err := phylo.NewPartition(model.JC69(), rates, comp, tr)
+	if err != nil {
+		return nil, err
+	}
+	full, err := phylo.ComputeFullCLVSet(part, tr, 1)
+	if err != nil {
+		return nil, err
+	}
+	return &fixture{tr: tr, part: part, full: full}, nil
+}
+
+func operandsEqual(p *phylo.Partition, a, b phylo.Operand) bool {
+	if len(a.CLV) != len(b.CLV) {
+		return false
+	}
+	for i := range a.CLV {
+		if a.CLV[i] != b.CLV[i] {
+			return false
+		}
+	}
+	for i := range a.Scale {
+		if a.Scale[i] != b.Scale[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestNewManagerValidation(t *testing.T) {
+	fx := buildFixture(t, 1, 16, 40)
+	min := fx.tr.MinSlots()
+	if _, err := NewManager(fx.part, fx.tr, Config{Slots: min - 1}); err == nil {
+		t.Fatal("slots below minimum accepted")
+	}
+	m, err := NewManager(fx.part, fx.tr, Config{Slots: fx.tr.NumInnerCLVs() + 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Slots() != fx.tr.NumInnerCLVs() {
+		t.Fatalf("slots not clamped: %d", m.Slots())
+	}
+	if m.Strategy().Name() != "cost" {
+		t.Fatalf("default strategy = %q", m.Strategy().Name())
+	}
+	if m.Bytes() != int64(m.Slots())*fx.part.CLVBytes() {
+		t.Fatalf("Bytes = %d", m.Bytes())
+	}
+}
+
+// The central correctness property: slot-managed CLVs are bit-identical to
+// the fully resident set, for any slot count ≥ minimum and any strategy.
+func TestManagerMatchesFullSet(t *testing.T) {
+	fx := buildFixture(t, 2, 20, 60)
+	min := fx.tr.MinSlots()
+	for _, strategy := range []Strategy{CostBased{}, LRU{}, FIFO{}, NewRandom(7)} {
+		for _, slots := range []int{min, min + 2, min + 7, fx.tr.NumInnerCLVs()} {
+			m, err := NewManager(fx.part, fx.tr, Config{Slots: slots, Strategy: strategy})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(99))
+			for trial := 0; trial < 60; trial++ {
+				d := fx.tr.DirOfCLV(rng.Intn(fx.tr.NumInnerCLVs()))
+				op, err := m.Acquire(d)
+				if err != nil {
+					t.Fatalf("strategy %s slots %d: Acquire(%d): %v", strategy.Name(), slots, d, err)
+				}
+				want := fx.full.Operand(d)
+				if !operandsEqual(fx.part, op, want) {
+					t.Fatalf("strategy %s slots %d: CLV mismatch at dir %d", strategy.Name(), slots, d)
+				}
+				m.Release(d)
+			}
+			if got := m.PinnedSlots(); got != 0 {
+				t.Fatalf("strategy %s slots %d: %d slots still pinned after release", strategy.Name(), slots, got)
+			}
+		}
+	}
+}
+
+// The paper's log n claim, as a property: with exactly MinSlots slots
+// (≤ log2(n)+2), every CLV of every random tree can be materialized.
+func TestMinSlotsSufficientProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		fx, err := tryFixture(seed, 4+int(uint64(seed)%48), 12)
+		if err != nil {
+			return false
+		}
+		min := fx.tr.MinSlots()
+		if min > tree.LogNBound(fx.tr.NumLeaves()) {
+			return false
+		}
+		m, err := NewManager(fx.part, fx.tr, Config{Slots: min})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < fx.tr.NumInnerCLVs(); i++ {
+			d := fx.tr.DirOfCLV(i)
+			op, err := m.Acquire(d)
+			if err != nil {
+				return false
+			}
+			if !operandsEqual(fx.part, op, fx.full.Operand(d)) {
+				return false
+			}
+			m.Release(d)
+		}
+		return m.PinnedSlots() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBalancedTreeAtLogBound(t *testing.T) {
+	// The worst-case topology: a fully balanced tree, with exactly the
+	// paper's log2(n)+2 slots.
+	for _, n := range []int{8, 32, 128} {
+		tr, err := tree.Balanced(n, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(5))
+		var seqs []seq.Sequence
+		for _, leaf := range tr.Leaves() {
+			data := make([]byte, 16)
+			for i := range data {
+				data[i] = "ACGT"[rng.Intn(4)]
+			}
+			seqs = append(seqs, seq.Sequence{Label: leaf.Name, Data: data})
+		}
+		msa, err := seq.NewMSA(seq.DNA, seqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		comp, err := seq.Compress(msa)
+		if err != nil {
+			t.Fatal(err)
+		}
+		part, err := phylo.NewPartition(model.JC69(), model.UniformRates(), comp, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := NewManager(part, tr, Config{Slots: tree.LogNBound(n)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < tr.NumInnerCLVs(); i++ {
+			d := tr.DirOfCLV(i)
+			if _, err := m.Acquire(d); err != nil {
+				t.Fatalf("n=%d: Acquire(%d) with log bound slots: %v", n, d, err)
+			}
+			m.Release(d)
+		}
+	}
+}
+
+func TestAcquireHitAfterAcquire(t *testing.T) {
+	fx := buildFixture(t, 3, 12, 30)
+	m, err := NewManager(fx.part, fx.tr, Config{Slots: fx.tr.NumInnerCLVs()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := fx.tr.DirOfCLV(0)
+	if _, err := m.Acquire(d); err != nil {
+		t.Fatal(err)
+	}
+	m.Release(d)
+	before := m.Stats()
+	if _, err := m.Acquire(d); err != nil {
+		t.Fatal(err)
+	}
+	m.Release(d)
+	after := m.Stats()
+	if after.Recomputes != before.Recomputes {
+		t.Fatalf("re-acquire recomputed: %d -> %d", before.Recomputes, after.Recomputes)
+	}
+	if after.Hits != before.Hits+1 {
+		t.Fatalf("hit not counted: %d -> %d", before.Hits, after.Hits)
+	}
+}
+
+func TestFullSlotsComputeEachCLVOnce(t *testing.T) {
+	fx := buildFixture(t, 4, 14, 30)
+	m, err := NewManager(fx.part, fx.tr, Config{Slots: fx.tr.NumInnerCLVs()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sweep := 0; sweep < 3; sweep++ {
+		for i := 0; i < fx.tr.NumInnerCLVs(); i++ {
+			d := fx.tr.DirOfCLV(i)
+			if _, err := m.Acquire(d); err != nil {
+				t.Fatal(err)
+			}
+			m.Release(d)
+		}
+	}
+	st := m.Stats()
+	if st.Recomputes != uint64(fx.tr.NumInnerCLVs()) {
+		t.Fatalf("recomputes = %d, want %d (each CLV exactly once)", st.Recomputes, fx.tr.NumInnerCLVs())
+	}
+	if st.Evictions != 0 {
+		t.Fatalf("evictions = %d with full slots", st.Evictions)
+	}
+}
+
+func TestMoreSlotsNeverMoreRecomputes(t *testing.T) {
+	fx := buildFixture(t, 6, 24, 30)
+	min := fx.tr.MinSlots()
+	workload := func(m *Manager) uint64 {
+		rng := rand.New(rand.NewSource(42))
+		for i := 0; i < 200; i++ {
+			d := fx.tr.DirOfCLV(rng.Intn(fx.tr.NumInnerCLVs()))
+			if _, err := m.Acquire(d); err != nil {
+				t.Fatal(err)
+			}
+			m.Release(d)
+		}
+		return m.Stats().Recomputes
+	}
+	prev := uint64(math.MaxUint64)
+	for _, slots := range []int{min, min + 5, min + 20, fx.tr.NumInnerCLVs()} {
+		m, err := NewManager(fx.part, fx.tr, Config{Slots: slots})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := workload(m)
+		if rec > prev {
+			t.Fatalf("slots %d: recomputes %d exceed smaller pool's %d", slots, rec, prev)
+		}
+		prev = rec
+	}
+}
+
+func TestPinnedNeverEvicted(t *testing.T) {
+	fx := buildFixture(t, 7, 18, 30)
+	min := fx.tr.MinSlots()
+	m, err := NewManager(fx.part, fx.tr, Config{Slots: min + 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := fx.tr.DirOfCLV(fx.tr.NumInnerCLVs() - 1)
+	if err := m.Pin(d); err != nil {
+		t.Fatal(err)
+	}
+	// Hammer the manager with other materializations.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		x := fx.tr.DirOfCLV(rng.Intn(fx.tr.NumInnerCLVs()))
+		if x == d {
+			continue
+		}
+		if _, err := m.Acquire(x); err != nil {
+			t.Fatal(err)
+		}
+		m.Release(x)
+	}
+	if !m.IsSlotted(d) {
+		t.Fatal("pinned CLV was evicted")
+	}
+	before := m.Stats().Recomputes
+	op, err := m.Acquire(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().Recomputes != before {
+		t.Fatal("pinned CLV required recomputation")
+	}
+	if !operandsEqual(fx.part, op, fx.full.Operand(d)) {
+		t.Fatal("pinned CLV content corrupted")
+	}
+	m.Release(d)
+	m.Unpin(d)
+	if m.PinnedSlots() != 0 {
+		t.Fatalf("pins remain: %d", m.PinnedSlots())
+	}
+}
+
+func TestErrNoSlotsWhenAllPinned(t *testing.T) {
+	fx := buildFixture(t, 8, 16, 30)
+	min := fx.tr.MinSlots()
+	m, err := NewManager(fx.part, fx.tr, Config{Slots: min})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pin CLVs until the pool is exhausted.
+	var pinned []tree.Dir
+	for i := 0; i < fx.tr.NumInnerCLVs() && m.PinnedSlots() < m.Slots(); i++ {
+		d := fx.tr.DirOfCLV(i)
+		if err := m.Pin(d); err != nil {
+			break
+		}
+		pinned = append(pinned, d)
+	}
+	if m.PinnedSlots() != m.Slots() {
+		t.Skipf("could not pin all %d slots (pinned %d)", m.Slots(), m.PinnedSlots())
+	}
+	// Any unslotted acquisition must now fail with ErrNoSlots.
+	for i := fx.tr.NumInnerCLVs() - 1; i >= 0; i-- {
+		d := fx.tr.DirOfCLV(i)
+		if m.IsSlotted(d) {
+			continue
+		}
+		_, err := m.Acquire(d)
+		if !errors.Is(err, ErrNoSlots) {
+			t.Fatalf("Acquire with all slots pinned: err = %v, want ErrNoSlots", err)
+		}
+		break
+	}
+	// Failure must not leak pins.
+	for _, d := range pinned {
+		m.Unpin(d)
+	}
+	if m.PinnedSlots() != 0 {
+		t.Fatalf("pins remain after unwind: %d", m.PinnedSlots())
+	}
+}
+
+func TestRetainExpensive(t *testing.T) {
+	fx := buildFixture(t, 9, 20, 30)
+	min := fx.tr.MinSlots()
+	m, err := NewManager(fx.part, fx.tr, Config{Slots: min + 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Populate slots.
+	for i := 0; i < fx.tr.NumInnerCLVs(); i++ {
+		d := fx.tr.DirOfCLV(i)
+		if _, err := m.Acquire(d); err != nil {
+			t.Fatal(err)
+		}
+		m.Release(d)
+	}
+	release := m.RetainExpensive(min)
+	if free := m.Slots() - m.PinnedSlots(); free < min {
+		t.Fatalf("free slots %d below requested minimum %d", free, min)
+	}
+	// Materialization must still work with the retained pins in place.
+	for i := 0; i < fx.tr.NumInnerCLVs(); i += 3 {
+		d := fx.tr.DirOfCLV(i)
+		if _, err := m.Acquire(d); err != nil {
+			t.Fatalf("Acquire(%d) with retained pins: %v", d, err)
+		}
+		m.Release(d)
+	}
+	release()
+	if m.PinnedSlots() != 0 {
+		t.Fatalf("pins remain after release: %d", m.PinnedSlots())
+	}
+}
+
+func TestRetainExpensiveKeepsCostlyCLVs(t *testing.T) {
+	fx := buildFixture(t, 10, 24, 30)
+	counts := fx.tr.SubtreeLeafCounts()
+	m, err := NewManager(fx.part, fx.tr, Config{Slots: fx.tr.MinSlots() + 4, Strategy: LRU{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Materialize the most expensive CLV, then retain.
+	var most tree.Dir
+	best := -1
+	for i := 0; i < fx.tr.NumInnerCLVs(); i++ {
+		d := fx.tr.DirOfCLV(i)
+		if counts[d] > best {
+			best, most = counts[d], d
+		}
+	}
+	if _, err := m.Acquire(most); err != nil {
+		t.Fatal(err)
+	}
+	m.Release(most)
+	release := m.RetainExpensive(fx.tr.MinSlots())
+	defer release()
+	// Hammer with other work; the expensive CLV must survive.
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 80; i++ {
+		d := fx.tr.DirOfCLV(rng.Intn(fx.tr.NumInnerCLVs()))
+		if _, err := m.Acquire(d); err != nil {
+			t.Fatal(err)
+		}
+		m.Release(d)
+	}
+	if !m.IsSlotted(most) {
+		t.Fatal("most expensive CLV was evicted despite RetainExpensive")
+	}
+}
+
+func TestStrategyVictimSelection(t *testing.T) {
+	ctx := &EvictionContext{
+		Cost:       []int{5, 1, 9, 1},
+		LastAccess: []uint64{10, 40, 30, 20},
+		SlottedAt:  []uint64{4, 3, 2, 1},
+		Tick:       100,
+	}
+	all := []int{0, 1, 2, 3}
+	if got := (CostBased{}).Victim(all, ctx); got != 3 {
+		t.Errorf("CostBased victim = %d, want 3 (cheapest, LRU tiebreak)", got)
+	}
+	if got := (LRU{}).Victim(all, ctx); got != 0 {
+		t.Errorf("LRU victim = %d, want 0", got)
+	}
+	if got := (FIFO{}).Victim(all, ctx); got != 3 {
+		t.Errorf("FIFO victim = %d, want 3", got)
+	}
+	r := NewRandom(1)
+	got := r.Victim(all, ctx)
+	found := false
+	for _, c := range all {
+		if got == c {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Random victim %d not a candidate", got)
+	}
+}
+
+func TestStrategyByName(t *testing.T) {
+	for _, name := range []string{"cost", "lru", "fifo", "random"} {
+		s := StrategyByName(name)
+		if s == nil || s.Name() != name {
+			t.Errorf("StrategyByName(%q) = %v", name, s)
+		}
+	}
+	if StrategyByName("nope") != nil {
+		t.Error("unknown strategy name accepted")
+	}
+}
+
+func TestCostBasedRetainsExpensiveCLVs(t *testing.T) {
+	// The defining behaviour of the default strategy: once an expensive
+	// (large-subtree) CLV is slotted, evictions remove cheaper CLVs first,
+	// so after a full branch sweep the most expensive CLVs are still
+	// resident.
+	fx := buildFixture(t, 11, 40, 20)
+	min := fx.tr.MinSlots()
+	m, err := NewManager(fx.part, fx.tr, Config{Slots: min + 8, Strategy: CostBased{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := fx.tr.SubtreeLeafCounts()
+	// Materialize the single most expensive CLV first.
+	var most tree.Dir
+	best := -1
+	for i := 0; i < fx.tr.NumInnerCLVs(); i++ {
+		d := fx.tr.DirOfCLV(i)
+		if counts[d] > best {
+			best, most = counts[d], d
+		}
+	}
+	if _, err := m.Acquire(most); err != nil {
+		t.Fatal(err)
+	}
+	m.Release(most)
+	// Sweep every branch. Evictions will be plentiful with min+8 slots.
+	for _, e := range fx.tr.BranchOrderDFS() {
+		a, b := e.Nodes()
+		for _, d := range []tree.Dir{fx.tr.DirOf(e, a), fx.tr.DirOf(e, b)} {
+			if _, err := m.Acquire(d); err != nil {
+				t.Fatal(err)
+			}
+			m.Release(d)
+		}
+	}
+	if m.Stats().Evictions == 0 {
+		t.Fatal("sweep caused no evictions; test is vacuous")
+	}
+	if !m.IsSlotted(most) {
+		t.Fatalf("most expensive CLV (cost %d) was evicted by the cost-based strategy", best)
+	}
+}
+
+func TestWorkersProduceIdenticalCLVs(t *testing.T) {
+	fx := buildFixture(t, 12, 16, 200)
+	m1, err := NewManager(fx.part, fx.tr, Config{Slots: fx.tr.MinSlots() + 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m4, err := NewManager(fx.part, fx.tr, Config{Slots: fx.tr.MinSlots() + 2, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < fx.tr.NumInnerCLVs(); i++ {
+		d := fx.tr.DirOfCLV(i)
+		a, err := m1.Acquire(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := m4.Acquire(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !operandsEqual(fx.part, a, b) {
+			t.Fatalf("worker count changed CLV at dir %d", d)
+		}
+		m1.Release(d)
+		m4.Release(d)
+	}
+}
+
+// Stress property: random interleavings of Acquire/Release/Pin/Unpin across
+// strategies never corrupt the slot maps, never evict pinned CLVs, and
+// always return bit-correct CLVs.
+func TestManagerRandomWorkloadProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		fx, err := tryFixture(seed, 6+int(uint64(seed)%30), 15)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed ^ 0x5a5a))
+		strategies := []Strategy{CostBased{}, CostAge{}, LRU{}, FIFO{}, NewRandom(seed)}
+		m, err := NewManager(fx.part, fx.tr, Config{
+			Slots:    fx.tr.MinSlots() + 1 + rng.Intn(6),
+			Strategy: strategies[rng.Intn(len(strategies))],
+		})
+		if err != nil {
+			return false
+		}
+		type held struct{ d tree.Dir }
+		var pins []held
+		for op := 0; op < 120; op++ {
+			switch {
+			case len(pins) > 0 && rng.Intn(3) == 0:
+				i := rng.Intn(len(pins))
+				m.Unpin(pins[i].d)
+				pins = append(pins[:i], pins[i+1:]...)
+			default:
+				d := fx.tr.DirOfCLV(rng.Intn(fx.tr.NumInnerCLVs()))
+				opnd, err := m.Acquire(d)
+				if err != nil {
+					// Legitimate only when pins have exhausted the pool.
+					if !errors.Is(err, ErrNoSlots) {
+						return false
+					}
+					continue
+				}
+				if !operandsEqual(fx.part, opnd, fx.full.Operand(d)) {
+					return false
+				}
+				if rng.Intn(2) == 0 {
+					pins = append(pins, held{d: d})
+				} else {
+					m.Release(d)
+				}
+			}
+			// Invariant: every pinned dir is still slotted.
+			for _, h := range pins {
+				if !m.IsSlotted(h.d) {
+					return false
+				}
+			}
+		}
+		for _, h := range pins {
+			m.Unpin(h.d)
+		}
+		return m.PinnedSlots() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCostAgeVictimSelection(t *testing.T) {
+	ctx := &EvictionContext{
+		Cost:       []int{100, 2, 50, 2},
+		LastAccess: []uint64{99, 99, 10, 10},
+		SlottedAt:  []uint64{1, 1, 1, 1},
+		Tick:       100,
+	}
+	// Scores: 100/2=50, 2/2=1, 50/91≈0.55, 2/91≈0.022 → victim 3 (cheap+old).
+	if got := (CostAge{}).Victim([]int{0, 1, 2, 3}, ctx); got != 3 {
+		t.Fatalf("CostAge victim = %d, want 3", got)
+	}
+	// A hot cheap CLV is protected over a cold moderately-priced one.
+	if got := (CostAge{}).Victim([]int{1, 2}, ctx); got != 2 {
+		t.Fatalf("CostAge victim = %d, want 2 (cold) over 1 (hot)", got)
+	}
+}
+
+// The sweep-cascade regression: on a DFS branch sweep with a mid-sized pool,
+// the CostAge default must stay within a small factor of the optimal
+// one-computation-per-CLV bound, where pure CostBased cascades.
+func TestCostAgeAvoidsSweepCascade(t *testing.T) {
+	fx := buildFixture(t, 77, 120, 12)
+	slots := fx.tr.NumInnerCLVs() / 3
+	sweep := func(s Strategy) uint64 {
+		m, err := NewManager(fx.part, fx.tr, Config{Slots: slots, Strategy: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range fx.tr.BranchOrderDFS() {
+			a, b := e.Nodes()
+			for _, d := range []tree.Dir{fx.tr.DirOf(e, a), fx.tr.DirOf(e, b)} {
+				if _, err := m.Acquire(d); err != nil {
+					t.Fatal(err)
+				}
+				m.Release(d)
+			}
+		}
+		return m.Stats().Recomputes
+	}
+	costage := sweep(CostAge{})
+	cost := sweep(CostBased{})
+	ideal := uint64(fx.tr.NumInnerCLVs())
+	if costage > 6*ideal {
+		t.Fatalf("CostAge sweep recomputes %d exceed 6x the ideal %d", costage, ideal)
+	}
+	if cost < costage {
+		t.Fatalf("expected CostBased (%d) to recompute at least as much as CostAge (%d) on a sweep", cost, costage)
+	}
+}
+
+func TestInvalidateEdgeAfterBranchChange(t *testing.T) {
+	// Change a branch length, invalidate dependents, and verify re-acquired
+	// CLVs match a freshly computed full set of the modified tree.
+	fx := buildFixture(t, 81, 18, 40)
+	m, err := NewManager(fx.part, fx.tr, Config{Slots: fx.tr.NumInnerCLVs()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Materialize everything.
+	for i := 0; i < fx.tr.NumInnerCLVs(); i++ {
+		d := fx.tr.DirOfCLV(i)
+		if _, err := m.Acquire(d); err != nil {
+			t.Fatal(err)
+		}
+		m.Release(d)
+	}
+	// Mutate an inner edge.
+	var target *tree.Edge
+	for _, e := range fx.tr.Edges {
+		a, b := e.Nodes()
+		if !a.IsLeaf() && !b.IsLeaf() {
+			target = e
+			break
+		}
+	}
+	if target == nil {
+		t.Skip("no inner edge")
+	}
+	target.Length *= 3
+	if err := m.InvalidateEdge(target); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := phylo.ComputeFullCLVSet(fx.part, fx.tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < fx.tr.NumInnerCLVs(); i++ {
+		d := fx.tr.DirOfCLV(i)
+		op, err := m.Acquire(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !operandsEqual(fx.part, op, fresh.Operand(d)) {
+			t.Fatalf("CLV at dir %d stale after InvalidateEdge", d)
+		}
+		m.Release(d)
+	}
+}
+
+func TestInvalidateEdgeKeepsIndependentCLVs(t *testing.T) {
+	// CLVs on the far side of the changed edge (not containing it) must
+	// remain slotted — invalidation is selective.
+	fx := buildFixture(t, 83, 16, 30)
+	m, err := NewManager(fx.part, fx.tr, Config{Slots: fx.tr.NumInnerCLVs()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < fx.tr.NumInnerCLVs(); i++ {
+		d := fx.tr.DirOfCLV(i)
+		if _, err := m.Acquire(d); err != nil {
+			t.Fatal(err)
+		}
+		m.Release(d)
+	}
+	// Pick a leaf pendant edge: its leaf-side direction CLVs (pointing
+	// toward the leaf) do not contain it.
+	leaf := fx.tr.Leaves()[0]
+	e := leaf.Edges[0]
+	before := m.Stats().Recomputes
+	if err := m.InvalidateEdge(e); err != nil {
+		t.Fatal(err)
+	}
+	// Some CLVs must survive: directions pointing at the leaf from deep in
+	// the tree do not depend on the pendant edge... they do: the subtree
+	// behind them contains the whole rest of the tree including e. The ones
+	// that survive are directions pointing AWAY from the leaf within the
+	// subtree not containing e: i.e. any direction whose tail side excludes
+	// the leaf. Count survivors.
+	survivors := 0
+	for i := 0; i < fx.tr.NumInnerCLVs(); i++ {
+		if m.IsSlotted(fx.tr.DirOfCLV(i)) {
+			survivors++
+		}
+	}
+	if survivors == 0 {
+		t.Fatal("InvalidateEdge wiped everything; it must be selective")
+	}
+	// Re-acquiring a surviving CLV is a hit, not a recompute.
+	var surv tree.Dir = -1
+	for i := 0; i < fx.tr.NumInnerCLVs(); i++ {
+		if d := fx.tr.DirOfCLV(i); m.IsSlotted(d) {
+			surv = d
+			break
+		}
+	}
+	if _, err := m.Acquire(surv); err != nil {
+		t.Fatal(err)
+	}
+	m.Release(surv)
+	if m.Stats().Recomputes != before {
+		t.Fatal("surviving CLV was recomputed")
+	}
+}
+
+func TestInvalidateAll(t *testing.T) {
+	fx := buildFixture(t, 85, 12, 30)
+	m, err := NewManager(fx.part, fx.tr, Config{Slots: fx.tr.MinSlots() + 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := fx.tr.DirOfCLV(0)
+	if _, err := m.Acquire(d); err != nil {
+		t.Fatal(err)
+	}
+	// Pinned slot blocks invalidation.
+	if err := m.InvalidateAll(); err == nil {
+		t.Fatal("InvalidateAll with pinned slot accepted")
+	}
+	m.Release(d)
+	if err := m.InvalidateAll(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < fx.tr.NumInnerCLVs(); i++ {
+		if m.IsSlotted(fx.tr.DirOfCLV(i)) {
+			t.Fatal("slot survived InvalidateAll")
+		}
+	}
+	// Everything still works afterwards.
+	if _, err := m.Acquire(d); err != nil {
+		t.Fatal(err)
+	}
+	m.Release(d)
+}
+
+func TestInvalidateEdgePinnedDependentFails(t *testing.T) {
+	fx := buildFixture(t, 87, 12, 30)
+	m, err := NewManager(fx.part, fx.tr, Config{Slots: fx.tr.NumInnerCLVs()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pin a CLV that depends on some edge within its subtree.
+	var d tree.Dir = -1
+	counts := fx.tr.SubtreeLeafCounts()
+	for i := 0; i < fx.tr.NumInnerCLVs(); i++ {
+		x := fx.tr.DirOfCLV(i)
+		if counts[x] > 2 {
+			d = x
+			break
+		}
+	}
+	if err := m.Pin(d); err != nil {
+		t.Fatal(err)
+	}
+	// An edge inside d's subtree: one of d's children's edges.
+	a, _ := fx.tr.Children(d)
+	inner := fx.tr.EdgeOf(a)
+	if err := m.InvalidateEdge(inner); err == nil {
+		t.Fatal("InvalidateEdge with pinned dependent accepted")
+	}
+	m.Unpin(d)
+	if err := m.InvalidateEdge(inner); err != nil {
+		t.Fatal(err)
+	}
+}

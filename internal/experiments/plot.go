@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"strconv"
+
+	"phylomem/internal/asciiplot"
+)
+
+// PlotFor renders the figure experiments' tables as terminal plots in the
+// paper's coordinates: Figs. 3/4 as log2-slowdown vs memory fraction (one
+// series per dataset), Fig. 5 as time vs memory (one series per tool), and
+// Figs. 6/7 as parallel efficiency vs thread count (one series per
+// dataset/mode). Non-figure experiments report ok=false.
+func PlotFor(name string, tab *Table) (plot string, ok bool) {
+	col := func(label string) int {
+		for i, c := range tab.Columns {
+			if c == label {
+				return i
+			}
+		}
+		return -1
+	}
+	num := func(row []string, idx int) (float64, bool) {
+		v, err := strconv.ParseFloat(row[idx], 64)
+		return v, err == nil
+	}
+	grouped := func(keyCols []int, xCol, yCol int) []asciiplot.Series {
+		order := []string{}
+		bySeries := map[string]*asciiplot.Series{}
+		for _, row := range tab.Rows {
+			key := ""
+			for _, kc := range keyCols {
+				if key != "" {
+					key += "/"
+				}
+				key += row[kc]
+			}
+			x, okX := num(row, xCol)
+			y, okY := num(row, yCol)
+			if !okX || !okY {
+				continue
+			}
+			s, exists := bySeries[key]
+			if !exists {
+				s = &asciiplot.Series{Name: key}
+				bySeries[key] = s
+				order = append(order, key)
+			}
+			s.X = append(s.X, x)
+			s.Y = append(s.Y, y)
+		}
+		out := make([]asciiplot.Series, 0, len(order))
+		for _, k := range order {
+			out = append(out, *bySeries[k])
+		}
+		return out
+	}
+
+	switch name {
+	case "fig3", "fig4":
+		ds, xc, yc := col("dataset"), col("mem_frac"), col("log2_slowdown")
+		if ds < 0 || xc < 0 || yc < 0 {
+			return "", false
+		}
+		return asciiplot.Scatter(grouped([]int{ds}, xc, yc), 60, 16,
+			"memory fraction of reference run", "log2(slowdown)"), true
+	case "fig5":
+		tool, ds, xc, yc := col("tool"), col("dataset"), col("mem_MiB"), col("time_s")
+		if tool < 0 || ds < 0 || xc < 0 || yc < 0 {
+			return "", false
+		}
+		return asciiplot.Scatter(grouped([]int{tool, ds}, xc, yc), 60, 16,
+			"memory (MiB)", "time (s)"), true
+	case "fig6", "fig7":
+		ds, mode, xc, yc := col("dataset"), col("mode"), col("threads_total"), col("PE")
+		if ds < 0 || mode < 0 || xc < 0 || yc < 0 {
+			return "", false
+		}
+		return asciiplot.Scatter(grouped([]int{ds, mode}, xc, yc), 60, 16,
+			"threads", "parallel efficiency"), true
+	}
+	return "", false
+}

@@ -1,0 +1,167 @@
+// Package jplace serializes phylogenetic placement results in the jplace
+// version 3 format (Matsen et al. 2012), the interchange format written by
+// EPA-NG, pplacer and consumed by downstream tools such as gappa.
+package jplace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"phylomem/internal/tree"
+)
+
+// Fields is the canonical column order for placement records.
+var Fields = []string{"edge_num", "likelihood", "like_weight_ratio", "distal_length", "pendant_length"}
+
+// Placement is one candidate location of one query.
+type Placement struct {
+	EdgeNum         int
+	LogLikelihood   float64
+	LikeWeightRatio float64
+	DistalLength    float64
+	PendantLength   float64
+}
+
+// QueryResult groups a query's candidate placements, best first.
+type Placements struct {
+	Name       string
+	Placements []Placement
+}
+
+// Document is a complete jplace file.
+type Document struct {
+	Tree       string
+	Queries    []Placements
+	Invocation string
+}
+
+type jsonDoc struct {
+	Tree       string          `json:"tree"`
+	Placements []jsonPlacement `json:"placements"`
+	Fields     []string        `json:"fields"`
+	Version    int             `json:"version"`
+	Metadata   map[string]any  `json:"metadata"`
+}
+
+type jsonPlacement struct {
+	P [][]float64 `json:"p"`
+	N []string    `json:"n"`
+}
+
+// TreeString renders the tree in jplace newick form, with {edge_num} tags
+// after each branch length using the tree's edge IDs.
+func TreeString(t *tree.Tree) string {
+	var root *tree.Node
+	for _, n := range t.Nodes {
+		if !n.IsLeaf() {
+			root = n
+			break
+		}
+	}
+	if root == nil {
+		return ";"
+	}
+	var sb strings.Builder
+	sb.WriteByte('(')
+	first := true
+	for _, e := range root.Edges {
+		if !first {
+			sb.WriteByte(',')
+		}
+		first = false
+		writeSubtree(&sb, e.Other(root), e)
+	}
+	sb.WriteString(");")
+	return sb.String()
+}
+
+func writeSubtree(sb *strings.Builder, n *tree.Node, parent *tree.Edge) {
+	if n.IsLeaf() {
+		sb.WriteString(n.Name)
+	} else {
+		sb.WriteByte('(')
+		first := true
+		for _, e := range n.Edges {
+			if e == parent {
+				continue
+			}
+			if !first {
+				sb.WriteByte(',')
+			}
+			first = false
+			writeSubtree(sb, e.Other(n), e)
+		}
+		sb.WriteByte(')')
+	}
+	fmt.Fprintf(sb, ":%g{%d}", parent.Length, parent.ID)
+}
+
+// Write serializes the document as jplace v3 JSON.
+func Write(w io.Writer, doc *Document) error {
+	jd := jsonDoc{
+		Tree:    doc.Tree,
+		Fields:  Fields,
+		Version: 3,
+		Metadata: map[string]any{
+			"invocation": doc.Invocation,
+			"software":   "phylomem",
+		},
+	}
+	for _, q := range doc.Queries {
+		jp := jsonPlacement{N: []string{q.Name}}
+		for _, p := range q.Placements {
+			jp.P = append(jp.P, []float64{
+				float64(p.EdgeNum), p.LogLikelihood, p.LikeWeightRatio, p.DistalLength, p.PendantLength,
+			})
+		}
+		jd.Placements = append(jd.Placements, jp)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jd)
+}
+
+// Read parses a jplace v3 document (used by tests and tooling).
+func Read(r io.Reader) (*Document, error) {
+	var jd jsonDoc
+	if err := json.NewDecoder(r).Decode(&jd); err != nil {
+		return nil, fmt.Errorf("jplace: %w", err)
+	}
+	if jd.Version != 3 {
+		return nil, fmt.Errorf("jplace: unsupported version %d", jd.Version)
+	}
+	if len(jd.Fields) != len(Fields) {
+		return nil, fmt.Errorf("jplace: unexpected fields %v", jd.Fields)
+	}
+	for i, f := range jd.Fields {
+		if f != Fields[i] {
+			return nil, fmt.Errorf("jplace: unexpected field order %v", jd.Fields)
+		}
+	}
+	doc := &Document{Tree: jd.Tree}
+	if inv, ok := jd.Metadata["invocation"].(string); ok {
+		doc.Invocation = inv
+	}
+	for _, jp := range jd.Placements {
+		if len(jp.N) != 1 {
+			return nil, fmt.Errorf("jplace: placement with %d names", len(jp.N))
+		}
+		q := Placements{Name: jp.N[0]}
+		for _, row := range jp.P {
+			if len(row) != len(Fields) {
+				return nil, fmt.Errorf("jplace: placement row with %d values", len(row))
+			}
+			q.Placements = append(q.Placements, Placement{
+				EdgeNum:         int(row[0]),
+				LogLikelihood:   row[1],
+				LikeWeightRatio: row[2],
+				DistalLength:    row[3],
+				PendantLength:   row[4],
+			})
+		}
+		doc.Queries = append(doc.Queries, q)
+	}
+	return doc, nil
+}

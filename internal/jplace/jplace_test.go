@@ -1,0 +1,103 @@
+package jplace
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"phylomem/internal/tree"
+)
+
+func TestTreeStringContainsEdgeNums(t *testing.T) {
+	tr, err := tree.ParseNewick("(A:0.1,B:0.2,C:0.3);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := TreeString(tr)
+	for _, tag := range []string{"{0}", "{1}", "{2}"} {
+		if !strings.Contains(s, tag) {
+			t.Fatalf("tree string %q missing edge tag %s", s, tag)
+		}
+	}
+	if !strings.HasSuffix(s, ");") {
+		t.Fatalf("tree string %q not terminated", s)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	tr, err := tree.ParseNewick("((A:1,B:1):1,C:1,D:1);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := &Document{
+		Tree:       TreeString(tr),
+		Invocation: "epang --tree t.nwk",
+		Queries: []Placements{
+			{
+				Name: "query1",
+				Placements: []Placement{
+					{EdgeNum: 2, LogLikelihood: -1234.5, LikeWeightRatio: 0.9, DistalLength: 0.05, PendantLength: 0.1},
+					{EdgeNum: 0, LogLikelihood: -1240.1, LikeWeightRatio: 0.1, DistalLength: 0.01, PendantLength: 0.2},
+				},
+			},
+			{
+				Name:       "query2",
+				Placements: []Placement{{EdgeNum: 4, LogLikelihood: -99.5, LikeWeightRatio: 1.0}},
+			},
+		},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, doc); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tree != doc.Tree || got.Invocation != doc.Invocation {
+		t.Fatalf("metadata mismatch: %+v", got)
+	}
+	if len(got.Queries) != 2 {
+		t.Fatalf("queries = %d", len(got.Queries))
+	}
+	q := got.Queries[0]
+	if q.Name != "query1" || len(q.Placements) != 2 {
+		t.Fatalf("query1 = %+v", q)
+	}
+	p := q.Placements[0]
+	if p.EdgeNum != 2 || p.LogLikelihood != -1234.5 || p.LikeWeightRatio != 0.9 || p.DistalLength != 0.05 || p.PendantLength != 0.1 {
+		t.Fatalf("placement = %+v", p)
+	}
+}
+
+func TestReadRejectsBadInput(t *testing.T) {
+	if _, err := Read(strings.NewReader("not json")); err == nil {
+		t.Error("non-JSON accepted")
+	}
+	if _, err := Read(strings.NewReader(`{"version":2,"tree":"","placements":[],"fields":["edge_num","likelihood","like_weight_ratio","distal_length","pendant_length"]}`)); err == nil {
+		t.Error("version 2 accepted")
+	}
+	if _, err := Read(strings.NewReader(`{"version":3,"tree":"","placements":[],"fields":["edge_num"]}`)); err == nil {
+		t.Error("wrong fields accepted")
+	}
+	if _, err := Read(strings.NewReader(`{"version":3,"tree":"","placements":[{"p":[[1,2]],"n":["x"]}],"fields":["edge_num","likelihood","like_weight_ratio","distal_length","pendant_length"]}`)); err == nil {
+		t.Error("short placement row accepted")
+	}
+}
+
+func TestTreeStringEdgeNumbersMatchLengths(t *testing.T) {
+	// The {edge_num} tags must refer to the same edges the engine reports:
+	// each tag must be attached to exactly its edge's branch length.
+	tr, err := tree.ParseNewick("(((A:0.11,B:0.22):0.33,C:0.44):0.55,D:0.66,(E:0.77,F:0.88):0.99);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := TreeString(tr)
+	for _, e := range tr.Edges {
+		want := fmt.Sprintf(":%g{%d}", e.Length, e.ID)
+		if !strings.Contains(s, want) {
+			t.Fatalf("tree string missing %q for edge %d:\n%s", want, e.ID, s)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+// Package memacct provides logical memory accounting and the --maxmem
+// budget planner. EPA-NG's memory-saving mode works from exactly this kind
+// of accounting: every major data structure registers its size, and the
+// planner decides — for a given memory ceiling — how many CLV slots fit,
+// whether the pre-placement lookup table fits, and consequently which
+// execution mode the placement engine runs in. The paper notes its own
+// accounting was imperfect (one pro_ref data point exceeded the limit);
+// keeping the accounting explicit and inspectable here makes the same class
+// of issue visible instead of hidden.
+package memacct
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Accountant tracks logical allocated bytes by category and remembers the
+// peak. It is safe for concurrent use.
+type Accountant struct {
+	mu         sync.Mutex
+	categories map[string]int64
+	current    int64
+	peak       int64
+}
+
+// NewAccountant returns an empty accountant.
+func NewAccountant() *Accountant {
+	return &Accountant{categories: make(map[string]int64)}
+}
+
+// Alloc records bytes allocated under the category.
+func (a *Accountant) Alloc(category string, bytes int64) {
+	if bytes < 0 {
+		panic("memacct: negative allocation")
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.categories[category] += bytes
+	a.current += bytes
+	if a.current > a.peak {
+		a.peak = a.current
+	}
+}
+
+// Free records bytes released under the category. Freeing more than was
+// allocated in a category panics: it indicates an accounting bug of the kind
+// the paper attributes its over-budget data point to.
+func (a *Accountant) Free(category string, bytes int64) {
+	if bytes < 0 {
+		panic("memacct: negative free")
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.categories[category] < bytes {
+		panic(fmt.Sprintf("memacct: freeing %d bytes from category %q holding %d", bytes, category, a.categories[category]))
+	}
+	a.categories[category] -= bytes
+	a.current -= bytes
+}
+
+// Current returns the currently accounted bytes.
+func (a *Accountant) Current() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.current
+}
+
+// Peak returns the historical maximum of Current.
+func (a *Accountant) Peak() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.peak
+}
+
+// Breakdown returns a copy of the per-category byte counts.
+func (a *Accountant) Breakdown() map[string]int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]int64, len(a.categories))
+	for k, v := range a.categories {
+		out[k] = v
+	}
+	return out
+}
+
+// String renders the breakdown sorted by descending size.
+func (a *Accountant) String() string {
+	bd := a.Breakdown()
+	keys := make([]string, 0, len(bd))
+	for k := range bd {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if bd[keys[i]] != bd[keys[j]] {
+			return bd[keys[i]] > bd[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "current %s, peak %s", FormatBytes(a.Current()), FormatBytes(a.Peak()))
+	for _, k := range keys {
+		if bd[k] > 0 {
+			fmt.Fprintf(&sb, "\n  %-16s %s", k, FormatBytes(bd[k]))
+		}
+	}
+	return sb.String()
+}
+
+// FormatBytes renders a byte count with a binary unit suffix.
+func FormatBytes(b int64) string {
+	const (
+		kib = 1 << 10
+		mib = 1 << 20
+		gib = 1 << 30
+	)
+	switch {
+	case b >= gib:
+		return fmt.Sprintf("%.2f GiB", float64(b)/gib)
+	case b >= mib:
+		return fmt.Sprintf("%.2f MiB", float64(b)/mib)
+	case b >= kib:
+		return fmt.Sprintf("%.2f KiB", float64(b)/kib)
+	}
+	return fmt.Sprintf("%d B", b)
+}
+
+// ParseBytes parses a human byte size such as "4G", "512M", "100K", "123"
+// (bytes). Binary units (1024-based) are used, matching EPA-NG's --maxmem.
+func ParseBytes(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	s = strings.TrimSuffix(strings.TrimSuffix(s, "iB"), "B")
+	if s == "" {
+		return 0, fmt.Errorf("memacct: empty size")
+	}
+	mult := int64(1)
+	switch s[len(s)-1] {
+	case 'k', 'K':
+		mult = 1 << 10
+		s = s[:len(s)-1]
+	case 'm', 'M':
+		mult = 1 << 20
+		s = s[:len(s)-1]
+	case 'g', 'G':
+		mult = 1 << 30
+		s = s[:len(s)-1]
+	}
+	var v float64
+	if _, err := fmt.Sscanf(s, "%g", &v); err != nil || v < 0 {
+		return 0, fmt.Errorf("memacct: invalid size %q", s)
+	}
+	return int64(v * float64(mult)), nil
+}

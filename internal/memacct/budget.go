@@ -1,0 +1,188 @@
+package memacct
+
+import (
+	"fmt"
+)
+
+// PlanConfig describes a placement problem's dimensions for budgeting.
+type PlanConfig struct {
+	MaxMem int64 // 0 = unlimited
+
+	Branches  int   // 2n-3 insertion branches
+	InnerCLVs int   // 3(n-2) global CLVs
+	MinSlots  int   // tree's minimum slot requirement
+	Patterns  int   // compressed alignment patterns
+	Sites     int   // original alignment width
+	States    int   // 4 or 20
+	CLVBytes  int64 // bytes of one CLV incl. scale counters
+	NumLeaves int
+
+	ChunkSize int // requested queries per chunk
+	BlockSize int // branches per precompute block (0 = default)
+}
+
+// DefaultBlockSize is the number of branches per precompute block under AMC.
+const DefaultBlockSize = 64
+
+// CLVsPerBufferedBranch is the number of CLV-sized buffers the placement
+// engine stores per branch in a precompute block: the two directional CLV
+// copies (for distal-position optimization) and the midpoint insertion CLV.
+const CLVsPerBufferedBranch = 3
+
+// Plan is the planner's decision: the execution mode the placement engine
+// will run in, plus the full accounting that led to it.
+type Plan struct {
+	AMC           bool // memory saving active (slot-managed CLVs)
+	Slots         int  // CLV slots (== InnerCLVs when AMC is false)
+	LookupEnabled bool // pre-placement lookup table fits
+	ChunkSize     int
+	BlockSize     int
+
+	FixedBytes     int64
+	ChunkBytes     int64
+	LookupBytes    int64
+	SlotsBytes     int64
+	BranchBufBytes int64
+	TotalBytes     int64 // planned footprint
+}
+
+// fixedBytes estimates the footprint that exists regardless of mode: tip
+// encodings, the tree, model tables, and engine scratch space.
+func fixedBytes(c PlanConfig) int64 {
+	tips := int64(c.NumLeaves) * int64(c.Patterns) * 4
+	treeOverhead := int64(c.NumLeaves) * 2 * 96 // nodes + edges bookkeeping
+	scratch := int64(c.States*c.States*8*8) + int64(c.Patterns)*64
+	return tips + treeOverhead + scratch
+}
+
+// chunkBytes estimates the per-chunk intermediate structures: the query
+// encodings and the per-(query, branch) score matrix that phase-1
+// pre-placement fills ("internal intermediate datastructures that save
+// results for each combination of RT branch and QS", Section II).
+func chunkBytes(c PlanConfig, chunk int) int64 {
+	queries := int64(chunk) * int64(c.Sites) * 4
+	scores := int64(chunk) * int64(c.Branches) * 8
+	candidates := int64(chunk) * 128
+	return queries + scores + candidates
+}
+
+// lookupBytes returns the pre-placement lookup table footprint: one
+// patterns×states float64 row plus per-pattern scale counters per branch.
+func lookupBytes(c PlanConfig) int64 {
+	return int64(c.Branches) * (int64(c.Patterns)*int64(c.States)*8 + int64(c.Patterns)*4)
+}
+
+// PlanBudget decides the execution mode for a memory ceiling, mirroring
+// EPA-NG's --maxmem logic:
+//
+//  1. Fixed structures and per-chunk buffers are mandatory.
+//  2. If everything (all 3(n-2) CLVs + lookup table) fits, memory saving is
+//     unnecessary: AMC off, reference mode.
+//  3. Otherwise AMC is enabled with double-buffered branch blocks. The
+//     lookup table is kept if it fits alongside the minimum slot count —
+//     losing it is the paper's Fig. 3 runtime cliff.
+//  4. Remaining bytes become CLV slots, never fewer than the tree minimum.
+//
+// An error reports the smallest feasible ceiling when MaxMem is too low.
+func PlanBudget(c PlanConfig) (Plan, error) {
+	if c.ChunkSize <= 0 {
+		return Plan{}, fmt.Errorf("memacct: chunk size must be positive, got %d", c.ChunkSize)
+	}
+	block := c.BlockSize
+	if block <= 0 {
+		block = DefaultBlockSize
+	}
+	if block > c.Branches {
+		block = c.Branches
+	}
+	// Keep the double-buffered branch blocks a small fraction (≤ 1/4) of
+	// the CLV pool they are meant to save; on large trees this never binds.
+	if cap := c.InnerCLVs / (4 * 2 * CLVsPerBufferedBranch); block > cap {
+		if cap < 1 {
+			cap = 1
+		}
+		block = cap
+	}
+	p := Plan{
+		ChunkSize:   c.ChunkSize,
+		BlockSize:   block,
+		FixedBytes:  fixedBytes(c),
+		ChunkBytes:  chunkBytes(c, c.ChunkSize),
+		LookupBytes: lookupBytes(c),
+	}
+	allCLVs := int64(c.InnerCLVs) * c.CLVBytes
+	referenceTotal := p.FixedBytes + p.ChunkBytes + p.LookupBytes + allCLVs
+
+	if c.MaxMem == 0 || c.MaxMem >= referenceTotal {
+		p.AMC = false
+		p.Slots = c.InnerCLVs
+		p.LookupEnabled = true
+		p.SlotsBytes = allCLVs
+		p.TotalBytes = referenceTotal
+		return p, nil
+	}
+
+	p.AMC = true
+	p.BranchBufBytes = 2 * int64(block) * CLVsPerBufferedBranch * c.CLVBytes
+	remaining := c.MaxMem - p.FixedBytes - p.ChunkBytes - p.BranchBufBytes
+	minSlotsBytes := int64(c.MinSlots) * c.CLVBytes
+	if remaining >= p.LookupBytes+minSlotsBytes {
+		p.LookupEnabled = true
+		slots := int((remaining - p.LookupBytes) / c.CLVBytes)
+		if slots > c.InnerCLVs {
+			slots = c.InnerCLVs
+		}
+		p.Slots = slots
+	} else {
+		p.LookupEnabled = false
+		p.LookupBytes = 0
+		slots := int(remaining / c.CLVBytes)
+		if slots > c.InnerCLVs {
+			slots = c.InnerCLVs
+		}
+		if slots < c.MinSlots {
+			need := p.FixedBytes + p.ChunkBytes + p.BranchBufBytes + minSlotsBytes
+			return Plan{}, fmt.Errorf(
+				"memacct: maxmem %s is below the minimum %s for this input (chunk %d); reduce the chunk size or raise the limit",
+				FormatBytes(c.MaxMem), FormatBytes(need), c.ChunkSize)
+		}
+		p.Slots = slots
+	}
+	p.SlotsBytes = int64(p.Slots) * c.CLVBytes
+	p.TotalBytes = p.FixedBytes + p.ChunkBytes + p.BranchBufBytes + p.LookupBytes + p.SlotsBytes
+	return p, nil
+}
+
+// ReferenceFootprint returns the planned footprint of the reference
+// (memory-saving disabled) configuration — the denominator of the paper's
+// "fraction of memory used" axis in Figs. 3 and 4.
+func ReferenceFootprint(c PlanConfig) int64 {
+	return fixedBytes(c) + chunkBytes(c, c.ChunkSize) + lookupBytes(c) + int64(c.InnerCLVs)*c.CLVBytes
+}
+
+// MinFeasibleBytes returns the smallest MaxMem that PlanBudget accepts for
+// this configuration: fixed structures, chunk buffers, the double-buffered
+// branch blocks, and the minimum CLV slot count (no lookup table).
+func MinFeasibleBytes(c PlanConfig) int64 {
+	block := c.BlockSize
+	if block <= 0 {
+		block = DefaultBlockSize
+	}
+	if block > c.Branches {
+		block = c.Branches
+	}
+	if cap := c.InnerCLVs / (4 * 2 * CLVsPerBufferedBranch); block > cap {
+		if cap < 1 {
+			cap = 1
+		}
+		block = cap
+	}
+	return fixedBytes(c) + chunkBytes(c, c.ChunkSize) +
+		2*int64(block)*CLVsPerBufferedBranch*c.CLVBytes + int64(c.MinSlots)*c.CLVBytes
+}
+
+// LookupFloorBytes returns the smallest MaxMem under which PlanBudget keeps
+// the pre-placement lookup table: the feasibility floor plus the table.
+func LookupFloorBytes(c PlanConfig) int64 {
+	return MinFeasibleBytes(c) + lookupBytes(c)
+}

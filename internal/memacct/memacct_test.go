@@ -1,0 +1,296 @@
+package memacct
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccountantBasics(t *testing.T) {
+	a := NewAccountant()
+	a.Alloc("clv", 1000)
+	a.Alloc("lookup", 500)
+	if a.Current() != 1500 || a.Peak() != 1500 {
+		t.Fatalf("current/peak = %d/%d", a.Current(), a.Peak())
+	}
+	a.Free("clv", 400)
+	if a.Current() != 1100 {
+		t.Fatalf("current = %d", a.Current())
+	}
+	if a.Peak() != 1500 {
+		t.Fatalf("peak dropped: %d", a.Peak())
+	}
+	a.Alloc("clv", 1000)
+	if a.Peak() != 2100 {
+		t.Fatalf("peak = %d, want 2100", a.Peak())
+	}
+	bd := a.Breakdown()
+	if bd["clv"] != 1600 || bd["lookup"] != 500 {
+		t.Fatalf("breakdown = %v", bd)
+	}
+}
+
+func TestAccountantOverFreePanics(t *testing.T) {
+	a := NewAccountant()
+	a.Alloc("x", 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-free did not panic")
+		}
+	}()
+	a.Free("x", 11)
+}
+
+func TestAccountantString(t *testing.T) {
+	a := NewAccountant()
+	a.Alloc("clv", 2<<20)
+	s := a.String()
+	if !strings.Contains(s, "clv") || !strings.Contains(s, "MiB") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[int64]string{
+		512:           "512 B",
+		2048:          "2.00 KiB",
+		3 << 20:       "3.00 MiB",
+		5 << 30:       "5.00 GiB",
+		1<<30 + 1<<29: "1.50 GiB",
+	}
+	for in, want := range cases {
+		if got := FormatBytes(in); got != want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestParseBytes(t *testing.T) {
+	cases := map[string]int64{
+		"123":   123,
+		"4G":    4 << 30,
+		"512M":  512 << 20,
+		"100K":  100 << 10,
+		"1.5G":  3 << 29,
+		"2GiB":  2 << 30,
+		" 10M ": 10 << 20,
+	}
+	for in, want := range cases {
+		got, err := ParseBytes(in)
+		if err != nil {
+			t.Errorf("ParseBytes(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseBytes(%q) = %d, want %d", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "abc", "-5M"} {
+		if _, err := ParseBytes(bad); err == nil {
+			t.Errorf("ParseBytes(%q) accepted", bad)
+		}
+	}
+}
+
+// proRefConfig mirrors the paper's largest dataset dimensions.
+func proRefConfig(maxmem int64, chunk int) PlanConfig {
+	n := 20000
+	return PlanConfig{
+		MaxMem:    maxmem,
+		Branches:  2*n - 3,
+		InnerCLVs: 3 * (n - 2),
+		MinSlots:  17, // ~log2(20000)+2
+		Patterns:  1200,
+		Sites:     1582,
+		States:    4,
+		CLVBytes:  1200*4*4*8 + 1200*4,
+		NumLeaves: n,
+		ChunkSize: chunk,
+	}
+}
+
+func TestPlanUnlimitedIsReferenceMode(t *testing.T) {
+	p, err := PlanBudget(proRefConfig(0, 5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.AMC {
+		t.Fatal("unlimited memory enabled AMC")
+	}
+	if !p.LookupEnabled {
+		t.Fatal("unlimited memory disabled lookup")
+	}
+	if p.Slots != 3*(20000-2) {
+		t.Fatalf("slots = %d", p.Slots)
+	}
+	if p.TotalBytes != ReferenceFootprint(proRefConfig(0, 5000)) {
+		t.Fatalf("total %d != reference %d", p.TotalBytes, ReferenceFootprint(proRefConfig(0, 5000)))
+	}
+}
+
+func TestPlanGenerousLimitIsReferenceMode(t *testing.T) {
+	ref := ReferenceFootprint(proRefConfig(0, 5000))
+	p, err := PlanBudget(proRefConfig(ref+1, 5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.AMC {
+		t.Fatal("limit above reference footprint enabled AMC")
+	}
+}
+
+func TestPlanModerateLimitKeepsLookup(t *testing.T) {
+	ref := ReferenceFootprint(proRefConfig(0, 5000))
+	p, err := PlanBudget(proRefConfig(ref/2, 5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.AMC {
+		t.Fatal("half reference footprint did not enable AMC")
+	}
+	if !p.LookupEnabled {
+		t.Fatal("half reference footprint lost the lookup table")
+	}
+	if p.Slots >= 3*(20000-2) || p.Slots < 17 {
+		t.Fatalf("slots = %d", p.Slots)
+	}
+	if p.TotalBytes > ref/2 {
+		t.Fatalf("planned %d exceeds limit %d", p.TotalBytes, ref/2)
+	}
+}
+
+func TestPlanTightLimitDropsLookup(t *testing.T) {
+	cfg := proRefConfig(0, 5000)
+	// Just above the bare minimum: fixed + chunk + branch buffers + min slots.
+	minimal := fixedBytes(cfg) + chunkBytes(cfg, 5000) + 2*DefaultBlockSize*CLVsPerBufferedBranch*cfg.CLVBytes + int64(cfg.MinSlots)*cfg.CLVBytes
+	p, err := PlanBudget(proRefConfig(minimal+10*cfg.CLVBytes, 5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.AMC || p.LookupEnabled {
+		t.Fatalf("tight limit: AMC=%v lookup=%v", p.AMC, p.LookupEnabled)
+	}
+	if p.Slots < cfg.MinSlots {
+		t.Fatalf("slots = %d below minimum", p.Slots)
+	}
+}
+
+func TestPlanInfeasibleLimitErrors(t *testing.T) {
+	_, err := PlanBudget(proRefConfig(1<<20, 5000))
+	if err == nil {
+		t.Fatal("1 MiB limit accepted for pro_ref dimensions")
+	}
+	if !strings.Contains(err.Error(), "chunk") {
+		t.Fatalf("error does not suggest reducing the chunk size: %v", err)
+	}
+}
+
+func TestPlanSmallerChunkLowersFloor(t *testing.T) {
+	// The paper's Fig. 4: a smaller chunk size admits lower memory limits.
+	cfg5000 := proRefConfig(0, 5000)
+	cfg500 := proRefConfig(0, 500)
+	floor := func(c PlanConfig) int64 {
+		return fixedBytes(c) + chunkBytes(c, c.ChunkSize) + 2*DefaultBlockSize*CLVsPerBufferedBranch*c.CLVBytes + int64(c.MinSlots)*c.CLVBytes
+	}
+	if floor(cfg500) >= floor(cfg5000) {
+		t.Fatalf("chunk 500 floor %d not below chunk 5000 floor %d", floor(cfg500), floor(cfg5000))
+	}
+	// A limit feasible at chunk 500 but not at 5000 must behave accordingly.
+	limit := (floor(cfg500) + floor(cfg5000)) / 2
+	if _, err := PlanBudget(proRefConfig(limit, 5000)); err == nil {
+		t.Fatal("limit between floors accepted at chunk 5000")
+	}
+	if _, err := PlanBudget(proRefConfig(limit, 500)); err != nil {
+		t.Fatalf("limit between floors rejected at chunk 500: %v", err)
+	}
+}
+
+func TestPlanInvalidChunk(t *testing.T) {
+	if _, err := PlanBudget(proRefConfig(0, 0)); err == nil {
+		t.Fatal("chunk 0 accepted")
+	}
+}
+
+func TestPlanNeverExceedsLimitProperty(t *testing.T) {
+	f := func(seedRaw int64) bool {
+		seed := seedRaw
+		if seed < 0 {
+			seed = -seed
+		}
+		cfg := proRefConfig(0, 500)
+		ref := ReferenceFootprint(cfg)
+		minimal := fixedBytes(cfg) + chunkBytes(cfg, 500) + 2*DefaultBlockSize*CLVsPerBufferedBranch*cfg.CLVBytes + int64(cfg.MinSlots)*cfg.CLVBytes
+		limit := minimal + seed%(2*ref)
+		cfg.MaxMem = limit
+		p, err := PlanBudget(cfg)
+		if err != nil {
+			return false
+		}
+		if p.AMC {
+			return p.TotalBytes <= limit && p.Slots >= cfg.MinSlots
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanBlockSizeClamped(t *testing.T) {
+	cfg := proRefConfig(0, 100)
+	cfg.Branches = 10
+	cfg.InnerCLVs = 15
+	cfg.BlockSize = 1000
+	cfg.MaxMem = 0
+	p, err := PlanBudget(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.BlockSize != 1 {
+		t.Fatalf("block size = %d, want clamped to 1", p.BlockSize)
+	}
+}
+
+func TestAccountantConcurrent(t *testing.T) {
+	a := NewAccountant()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				a.Alloc("x", 10)
+				a.Free("x", 10)
+			}
+		}()
+	}
+	wg.Wait()
+	if a.Current() != 0 {
+		t.Fatalf("current = %d after balanced concurrent use", a.Current())
+	}
+	if a.Peak() < 10 {
+		t.Fatalf("peak = %d", a.Peak())
+	}
+}
+
+func TestLookupFloorBetweenMinAndReference(t *testing.T) {
+	cfg := proRefConfig(0, 500)
+	min := MinFeasibleBytes(cfg)
+	floor := LookupFloorBytes(cfg)
+	ref := ReferenceFootprint(cfg)
+	if !(min < floor && floor < ref) {
+		t.Fatalf("ordering violated: min %d, lookup floor %d, ref %d", min, floor, ref)
+	}
+	// A budget at the lookup floor keeps the lookup; one just below drops it.
+	cfg.MaxMem = floor
+	p, err := PlanBudget(cfg)
+	if err != nil || !p.LookupEnabled {
+		t.Fatalf("at lookup floor: lookup=%v err=%v", p.LookupEnabled, err)
+	}
+	cfg.MaxMem = floor - 2*cfg.CLVBytes
+	p, err = PlanBudget(cfg)
+	if err != nil || p.LookupEnabled {
+		t.Fatalf("below lookup floor: lookup=%v err=%v", p.LookupEnabled, err)
+	}
+}

@@ -1,0 +1,209 @@
+package mlfit
+
+import (
+	"math"
+	"testing"
+
+	"phylomem/internal/model"
+	"phylomem/internal/seq"
+	"phylomem/internal/workload"
+)
+
+// simulated builds a dataset with known parameters for recovery tests.
+func simulated(t *testing.T, alpha float64, exch []float64, leaves, sites int, seed int64) *workload.Dataset {
+	t.Helper()
+	gtr, err := model.GTR([]float64{0.3, 0.2, 0.2, 0.3}, exch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates, err := model.GammaRates(alpha, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := workload.Simulate(workload.SimConfig{
+		Name: "fit", Leaves: leaves, Sites: sites, NumQueries: 0,
+		Alphabet: seq.DNA, Model: gtr, Rates: rates, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestEmpiricalFreqs(t *testing.T) {
+	msa, err := seq.NewMSA(seq.DNA, []seq.Sequence{
+		{Label: "a", Data: []byte("AAAACCGT")},
+		{Label: "b", Data: []byte("AAAACC--")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := EmpiricalFreqs(msa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, v := range f {
+		if v <= 0 {
+			t.Fatalf("non-positive frequency: %v", f)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("frequencies sum to %g", sum)
+	}
+	// A dominates (8 of 14 counted characters), then C; G and T tie.
+	if !(f[0] > f[1] && f[1] > f[2] && f[2] == f[3]) {
+		t.Fatalf("frequency ordering wrong: %v", f)
+	}
+}
+
+func TestEmpiricalFreqsAmbiguity(t *testing.T) {
+	// R = A|G distributes half a count to each.
+	msa, err := seq.NewMSA(seq.DNA, []seq.Sequence{{Label: "a", Data: []byte("RRRR")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := EmpiricalFreqs(msa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f[0]-f[2]) > 1e-12 {
+		t.Fatalf("A and G should be equal: %v", f)
+	}
+	if f[0] <= f[1] {
+		t.Fatalf("A should exceed C: %v", f)
+	}
+}
+
+func TestFitImprovesLikelihood(t *testing.T) {
+	ds := simulated(t, 0.8, []float64{1, 4, 1, 1, 4, 1}, 16, 400, 3)
+	// Perturb the branch lengths so there is something to recover.
+	for _, e := range ds.Tree.Edges {
+		e.Length = 0.25
+	}
+	res, err := Fit(ds.Tree, ds.RefMSA, nil, 1.0, 4, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LogLik <= res.StartLL {
+		t.Fatalf("fit did not improve: %.3f -> %.3f", res.StartLL, res.LogLik)
+	}
+	if res.Evaluations == 0 || res.Rounds == 0 {
+		t.Fatalf("stats empty: %+v", res)
+	}
+}
+
+func TestFitRecoversAlpha(t *testing.T) {
+	trueAlpha := 0.5
+	ds := simulated(t, trueAlpha, []float64{1, 1, 1, 1, 1, 1}, 24, 2000, 5)
+	opts := Options{Alpha: true, BranchLengths: true, Rounds: 3}
+	res, err := Fit(ds.Tree, ds.RefMSA, nil, 2.0 /* wrong start */, 4, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Alpha < trueAlpha/2 || res.Alpha > trueAlpha*2 {
+		t.Fatalf("fitted alpha %.3f far from simulated %.3f", res.Alpha, trueAlpha)
+	}
+}
+
+func TestFitRecoversTransitionBias(t *testing.T) {
+	// Simulate with strong transition bias (AG and CT exchangeabilities 6x)
+	// and check the fitted rates recover the bias direction.
+	ds := simulated(t, 1.0, []float64{1, 6, 1, 1, 6, 1}, 24, 1500, 7)
+	res, err := Fit(ds.Tree, ds.RefMSA, nil, 1.0, 4, Options{Exchangeabilities: true, BranchLengths: true, Rounds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recover exchangeabilities from the fitted model indirectly: compare
+	// instantaneous transition vs transversion rates via a short branch.
+	p := make([]float64, 16)
+	res.Model.TransitionMatrix(p, 0.01, 1)
+	transition := p[0*4+2] + p[1*4+3]   // A->G + C->T
+	transversion := p[0*4+1] + p[0*4+3] // A->C + A->T
+	if transition <= 2*transversion {
+		t.Fatalf("fitted model lost the transition bias: ti=%g tv=%g", transition, transversion)
+	}
+}
+
+func TestFitBranchLengthsOnly(t *testing.T) {
+	ds := simulated(t, 1.0, []float64{1, 2, 1, 1, 2, 1}, 12, 600, 11)
+	truth := make([]float64, len(ds.Tree.Edges))
+	for i, e := range ds.Tree.Edges {
+		truth[i] = e.Length
+		e.Length = 0.3 // scramble
+	}
+	res, err := Fit(ds.Tree, ds.RefMSA, []float64{1, 2, 1, 1, 2, 1}, 1.0, 4,
+		Options{BranchLengths: true, Rounds: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LogLik <= res.StartLL {
+		t.Fatalf("no improvement: %g -> %g", res.StartLL, res.LogLik)
+	}
+	// Total tree length should land near the simulated total.
+	fit := ds.Tree.TotalBranchLength()
+	want := 0.0
+	for _, v := range truth {
+		want += v
+	}
+	if fit < want*0.5 || fit > want*2 {
+		t.Fatalf("fitted total length %.3f far from simulated %.3f", fit, want)
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	ds := simulated(t, 1.0, []float64{1, 1, 1, 1, 1, 1}, 8, 100, 13)
+	if _, err := Fit(ds.Tree, ds.RefMSA, []float64{1, 2}, 1.0, 4, DefaultOptions()); err == nil {
+		t.Fatal("short exchangeability vector accepted")
+	}
+}
+
+func TestFitAminoAcid(t *testing.T) {
+	rates, err := model.GammaRates(1.0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := workload.Simulate(workload.SimConfig{
+		Name: "aa", Leaves: 8, Sites: 200, NumQueries: 0,
+		Alphabet: seq.AA, Model: model.PoissonAA(), Rates: rates, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Fit(ds.Tree, ds.RefMSA, nil, 1.0, 2, Options{BranchLengths: true, Alpha: true, Rounds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LogLik < res.StartLL {
+		t.Fatalf("AA fit degraded: %g -> %g", res.StartLL, res.LogLik)
+	}
+}
+
+func TestFitRejectsAAExchangeabilities(t *testing.T) {
+	rates, err := model.GammaRates(1.0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := workload.Simulate(workload.SimConfig{
+		Name: "aa2", Leaves: 6, Sites: 60, NumQueries: 0,
+		Alphabet: seq.AA, Model: model.PoissonAA(), Rates: rates, Seed: 19,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Fit(ds.Tree, ds.RefMSA, nil, 1.0, 2, Options{Exchangeabilities: true}); err == nil {
+		t.Fatal("AA exchangeability optimization accepted")
+	}
+}
+
+func TestFitUniformRatesSkipsAlpha(t *testing.T) {
+	ds := simulated(t, 1.0, []float64{1, 1, 1, 1, 1, 1}, 8, 120, 23)
+	res, err := Fit(ds.Tree, ds.RefMSA, nil, 1.0, 1, Options{BranchLengths: true, Alpha: true, Rounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rates.NumRates() != 1 {
+		t.Fatalf("uniform-rate fit produced %d categories", res.Rates.NumRates())
+	}
+}

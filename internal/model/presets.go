@@ -1,0 +1,168 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// uniformFreqs returns s equal frequencies.
+func uniformFreqs(s int) []float64 {
+	f := make([]float64, s)
+	for i := range f {
+		f[i] = 1 / float64(s)
+	}
+	return f
+}
+
+// symmetricFull expands the upper-triangular exchangeability list (row-major,
+// i<j order) into a full s×s matrix.
+func symmetricFull(s int, upper []float64) ([]float64, error) {
+	want := s * (s - 1) / 2
+	if len(upper) != want {
+		return nil, fmt.Errorf("model: %d exchangeabilities for %d states, want %d", len(upper), s, want)
+	}
+	full := make([]float64, s*s)
+	k := 0
+	for i := 0; i < s; i++ {
+		for j := i + 1; j < s; j++ {
+			full[i*s+j] = upper[k]
+			full[j*s+i] = upper[k]
+			k++
+		}
+	}
+	return full, nil
+}
+
+// JC69 returns the Jukes–Cantor 1969 nucleotide model: equal frequencies and
+// equal exchangeabilities.
+func JC69() *Model {
+	full, err := symmetricFull(4, []float64{1, 1, 1, 1, 1, 1})
+	if err != nil {
+		panic(err)
+	}
+	m, err := NewReversible("JC69", uniformFreqs(4), full)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// K80 returns the Kimura 1980 two-parameter model with
+// transition/transversion ratio kappa and equal base frequencies.
+// State order is A, C, G, T; transitions are A↔G and C↔T.
+func K80(kappa float64) (*Model, error) {
+	if kappa <= 0 {
+		return nil, fmt.Errorf("model: K80 kappa must be positive, got %g", kappa)
+	}
+	// Upper triangle order: AC, AG, AT, CG, CT, GT.
+	full, err := symmetricFull(4, []float64{1, kappa, 1, 1, kappa, 1})
+	if err != nil {
+		return nil, err
+	}
+	return NewReversible("K80", uniformFreqs(4), full)
+}
+
+// HKY85 returns the Hasegawa–Kishino–Yano 1985 model with arbitrary base
+// frequencies and transition/transversion ratio kappa.
+func HKY85(freqs []float64, kappa float64) (*Model, error) {
+	if kappa <= 0 {
+		return nil, fmt.Errorf("model: HKY85 kappa must be positive, got %g", kappa)
+	}
+	full, err := symmetricFull(4, []float64{1, kappa, 1, 1, kappa, 1})
+	if err != nil {
+		return nil, err
+	}
+	return NewReversible("HKY85", freqs, full)
+}
+
+// GTR returns the general time-reversible nucleotide model. rates are the
+// six upper-triangular exchangeabilities in order AC, AG, AT, CG, CT, GT.
+func GTR(freqs, rates []float64) (*Model, error) {
+	full, err := symmetricFull(4, rates)
+	if err != nil {
+		return nil, err
+	}
+	return NewReversible("GTR", freqs, full)
+}
+
+// PoissonAA returns the 20-state amino-acid analogue of JC69: equal
+// frequencies and exchangeabilities.
+func PoissonAA() *Model {
+	upper := make([]float64, 20*19/2)
+	for i := range upper {
+		upper[i] = 1
+	}
+	full, err := symmetricFull(20, upper)
+	if err != nil {
+		panic(err)
+	}
+	m, err := NewReversible("PoissonAA", uniformFreqs(20), full)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// SyntheticAA returns a deterministic pseudo-empirical amino-acid model:
+// exchangeabilities spanning roughly three orders of magnitude and skewed
+// stationary frequencies, generated from a fixed closed-form formula. It
+// stands in for empirical matrices such as LG or WAG (whose coefficient
+// tables are external data): placement cost and memory behaviour depend only
+// on the 20-state dimensionality and the heterogeneity of the matrix, both
+// of which this model reproduces. See DESIGN.md ("Substitutions").
+func SyntheticAA() *Model {
+	const s = 20
+	upper := make([]float64, s*(s-1)/2)
+	k := 0
+	for i := 0; i < s; i++ {
+		for j := i + 1; j < s; j++ {
+			// Smooth deterministic variation in (e^-3, e^3).
+			v := math.Exp(3 * math.Sin(float64(3*i+7*j)+0.5))
+			upper[k] = v
+			k++
+		}
+	}
+	freqs := make([]float64, s)
+	sum := 0.0
+	for i := range freqs {
+		freqs[i] = 0.5 + 0.45*math.Sin(float64(2*i)+1)
+		sum += freqs[i]
+	}
+	for i := range freqs {
+		freqs[i] /= sum
+	}
+	full, err := symmetricFull(s, upper)
+	if err != nil {
+		panic(err)
+	}
+	m, err := NewReversible("SyntheticAA", freqs, full)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// F81 returns the Felsenstein 1981 model: arbitrary base frequencies with
+// equal exchangeabilities.
+func F81(freqs []float64) (*Model, error) {
+	full, err := symmetricFull(4, []float64{1, 1, 1, 1, 1, 1})
+	if err != nil {
+		return nil, err
+	}
+	return NewReversible("F81", freqs, full)
+}
+
+// TN93 returns the Tamura–Nei 1993 model: separate purine (A↔G) and
+// pyrimidine (C↔T) transition rates kappaR and kappaY over arbitrary base
+// frequencies.
+func TN93(freqs []float64, kappaR, kappaY float64) (*Model, error) {
+	if kappaR <= 0 || kappaY <= 0 {
+		return nil, fmt.Errorf("model: TN93 kappas must be positive, got %g/%g", kappaR, kappaY)
+	}
+	// Upper triangle order: AC, AG, AT, CG, CT, GT.
+	full, err := symmetricFull(4, []float64{1, kappaR, 1, 1, kappaY, 1})
+	if err != nil {
+		return nil, err
+	}
+	return NewReversible("TN93", freqs, full)
+}

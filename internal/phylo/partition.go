@@ -1,0 +1,396 @@
+// Package phylo is the phylogenetic likelihood engine — the pure-Go
+// equivalent of libpll-2. It couples a site-pattern-compressed alignment, a
+// substitution model with rate heterogeneity, and a tree's tip encodings into
+// a Partition, and provides the Felsenstein-pruning kernels: CLV updates
+// (with per-site numerical scaling), edge log-likelihoods, insertion-point
+// CLVs for placement, and query placement scoring.
+//
+// CLV layout is [pattern][rate][state] contiguous float64; transition
+// matrices are [rate][from][to]. Per-pattern scaling counters accompany every
+// CLV and propagate additively from children to parents, exactly as in
+// libpll-2.
+package phylo
+
+import (
+	"fmt"
+	"math"
+
+	"phylomem/internal/model"
+	"phylomem/internal/seq"
+	"phylomem/internal/tree"
+)
+
+// Scaling constants: when all entries of a pattern block fall below
+// scaleThreshold, the block is multiplied by scaleFactor = 2^256 and the
+// pattern's scale counter is incremented. Log-likelihoods subtract
+// count*logScaleFactor.
+var (
+	scaleThreshold = math.Ldexp(1, -256)
+	scaleFactor    = math.Ldexp(1, 256)
+	logScaleFactor = 256 * math.Ln2
+)
+
+// Partition binds alignment, model and tree tips for likelihood computation.
+type Partition struct {
+	Model *model.Model
+	Rates *model.RateHet
+	Comp  *seq.Compressed
+
+	// tipCodes[leafID] holds the per-pattern state bitmasks for each leaf of
+	// the tree the partition was built against.
+	tipCodes [][]uint32
+
+	patterns int
+	states   int
+	nrates   int
+}
+
+// NewPartition matches the tree's leaf names against the compressed
+// alignment and returns a ready-to-use partition. Every leaf must have
+// exactly one sequence in the alignment.
+func NewPartition(m *model.Model, rates *model.RateHet, comp *seq.Compressed, t *tree.Tree) (*Partition, error) {
+	if m.States() != comp.Alphabet.States() {
+		return nil, fmt.Errorf("phylo: model has %d states but alignment alphabet %q has %d",
+			m.States(), comp.Alphabet.Name(), comp.Alphabet.States())
+	}
+	p := &Partition{
+		Model:    m,
+		Rates:    rates,
+		Comp:     comp,
+		patterns: comp.NumPatterns(),
+		states:   m.States(),
+		nrates:   rates.NumRates(),
+		tipCodes: make([][]uint32, t.NumLeaves()),
+	}
+	for _, leaf := range t.Leaves() {
+		row := comp.TaxonIndex(leaf.Name)
+		if row < 0 {
+			return nil, fmt.Errorf("phylo: tree leaf %q not found in alignment", leaf.Name)
+		}
+		p.tipCodes[leaf.ID] = comp.Patterns[row]
+	}
+	return p, nil
+}
+
+// NumPatterns returns the number of compressed site patterns.
+func (p *Partition) NumPatterns() int { return p.patterns }
+
+// States returns the number of character states.
+func (p *Partition) States() int { return p.states }
+
+// NumRates returns the number of rate categories.
+func (p *Partition) NumRates() int { return p.nrates }
+
+// CLVLen returns the number of float64 values in one CLV.
+func (p *Partition) CLVLen() int { return p.patterns * p.nrates * p.states }
+
+// ScaleLen returns the number of int32 scale counters per CLV.
+func (p *Partition) ScaleLen() int { return p.patterns }
+
+// CLVBytes returns the memory footprint in bytes of one CLV including its
+// scale counters — the unit of the slot-based memory accounting.
+func (p *Partition) CLVBytes() int64 { return int64(p.CLVLen())*8 + int64(p.ScaleLen())*4 }
+
+// PLen returns the number of float64 values in a per-rate-category set of
+// transition matrices.
+func (p *Partition) PLen() int { return p.nrates * p.states * p.states }
+
+// TipCodes returns the per-pattern codes of leaf id. The result aliases
+// internal state and must not be modified.
+func (p *Partition) TipCodes(leafID int) []uint32 { return p.tipCodes[leafID] }
+
+// FillP fills dst (length PLen) with transition matrices for branch length
+// bl under every rate category.
+func (p *Partition) FillP(dst []float64, bl float64) {
+	if len(dst) != p.PLen() {
+		panic(fmt.Sprintf("phylo: FillP dst length %d, want %d", len(dst), p.PLen()))
+	}
+	ss := p.states * p.states
+	for r := 0; r < p.nrates; r++ {
+		p.Model.TransitionMatrix(dst[r*ss:(r+1)*ss], bl, p.Rates.Rates[r])
+	}
+}
+
+// Operand is one input to a pruning step: either a tip (per-pattern codes)
+// or an inner CLV with its scale counters.
+type Operand struct {
+	Tip   []uint32  // non-nil for a leaf
+	CLV   []float64 // non-nil for an inner CLV
+	Scale []int32   // nil for a leaf
+}
+
+// TipOperand wraps leaf codes as an Operand.
+func TipOperand(codes []uint32) Operand { return Operand{Tip: codes} }
+
+// CLVOperand wraps an inner CLV as an Operand.
+func CLVOperand(clv []float64, scale []int32) Operand { return Operand{CLV: clv, Scale: scale} }
+
+// IsTip reports whether the operand is a leaf.
+func (o Operand) IsTip() bool { return o.Tip != nil }
+
+// dnaTipLUT precomputes, for 4-state data, the vector (P·tip)[s] for all 16
+// possible tip codes under every rate category: lut[(r*16+code)*4+s].
+func (p *Partition) dnaTipLUT(pm []float64, lut []float64) {
+	const S = 4
+	for r := 0; r < p.nrates; r++ {
+		pr := pm[r*S*S : (r+1)*S*S]
+		for code := 1; code < 16; code++ {
+			out := lut[(r*16+code)*S : (r*16+code)*S+S]
+			for s := 0; s < S; s++ {
+				sum := 0.0
+				row := pr[s*S : s*S+S]
+				for sp := 0; sp < S; sp++ {
+					if code&(1<<uint(sp)) != 0 {
+						sum += row[sp]
+					}
+				}
+				out[s] = sum
+			}
+		}
+	}
+}
+
+// childVector computes x[s] = Σ_{s'} P[s][s'] · child[s'] for one pattern and
+// one rate category, where child is either a tip code or a CLV block.
+func childVector(x []float64, states int, pr []float64, op Operand, clvOff int, code uint32) {
+	if op.Tip != nil {
+		// Tip: sum P rows over the states compatible with the observed code.
+		for s := 0; s < states; s++ {
+			row := pr[s*states : s*states+states]
+			sum := 0.0
+			c := code
+			for c != 0 {
+				sp := trailingZeros32(c)
+				sum += row[sp]
+				c &= c - 1
+			}
+			x[s] = sum
+		}
+		return
+	}
+	cv := op.CLV[clvOff : clvOff+states]
+	for s := 0; s < states; s++ {
+		row := pr[s*states : s*states+states]
+		sum := 0.0
+		for sp := 0; sp < states; sp++ {
+			sum += row[sp] * cv[sp]
+		}
+		x[s] = sum
+	}
+}
+
+// trailingZeros32 is a tiny local copy of bits.TrailingZeros32 kept inline-
+// able in the hot loop.
+func trailingZeros32(v uint32) int {
+	n := 0
+	for v&1 == 0 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// UpdateCLV computes dst = (Pa·a) ⊙ (Pb·b) across all patterns and rate
+// categories, with per-pattern scaling. dstScale receives the combined scale
+// counters. Pa and Pb are PLen-sized transition matrix sets for the
+// respective child branch lengths.
+//
+// UpdateCLV is the Felsenstein pruning step and the dominant cost of
+// placement preprocessing; the CLV recomputations that the AMC memory/runtime
+// trade-off is about are exactly repeated calls of this kernel.
+func (p *Partition) UpdateCLV(dst []float64, dstScale []int32, a, b Operand, pa, pb []float64) {
+	p.updateCLVRange(dst, dstScale, a, b, pa, pb, 0, p.patterns, nil, nil)
+}
+
+// UpdateCLVParallel is UpdateCLV with the pattern range split across
+// `workers` goroutines — the paper's experimental across-site
+// parallelization of branch-block precomputation (Fig. 7). With workers <= 1
+// it is identical to UpdateCLV.
+func (p *Partition) UpdateCLVParallel(dst []float64, dstScale []int32, a, b Operand, pa, pb []float64, workers int) {
+	if workers <= 1 || p.patterns < 4*workers {
+		p.UpdateCLV(dst, dstScale, a, b, pa, pb)
+		return
+	}
+	var lutA, lutB []float64
+	if p.states == 4 {
+		if a.IsTip() {
+			lutA = make([]float64, p.nrates*16*4)
+			p.dnaTipLUT(pa, lutA)
+		}
+		if b.IsTip() {
+			lutB = make([]float64, p.nrates*16*4)
+			p.dnaTipLUT(pb, lutB)
+		}
+	}
+	done := make(chan struct{}, workers)
+	chunk := (p.patterns + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > p.patterns {
+			hi = p.patterns
+		}
+		go func(lo, hi int) {
+			if lo < hi {
+				p.updateCLVRange(dst, dstScale, a, b, pa, pb, lo, hi, lutA, lutB)
+			}
+			done <- struct{}{}
+		}(lo, hi)
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+}
+
+// updateCLVRange is the kernel over patterns [lo, hi). lutA/lutB are
+// optional precomputed DNA tip lookups.
+func (p *Partition) updateCLVRange(dst []float64, dstScale []int32, a, b Operand, pa, pb []float64, lo, hi int, lutA, lutB []float64) {
+	S, R := p.states, p.nrates
+	if p.states == 4 && lutA == nil && a.IsTip() && hi-lo >= 8 {
+		lutA = make([]float64, R*16*4)
+		p.dnaTipLUT(pa, lutA)
+	}
+	if p.states == 4 && lutB == nil && b.IsTip() && hi-lo >= 8 {
+		lutB = make([]float64, R*16*4)
+		p.dnaTipLUT(pb, lutB)
+	}
+	var xa, xb [20]float64
+	for pat := lo; pat < hi; pat++ {
+		base := pat * R * S
+		allSmall := true
+		for r := 0; r < R; r++ {
+			off := base + r*S
+			if lutA != nil {
+				code := a.Tip[pat]
+				copy(xa[:S], lutA[(r*16+int(code))*4:(r*16+int(code))*4+S])
+			} else {
+				childVector(xa[:S], S, pa[r*S*S:(r+1)*S*S], a, off, tipCodeAt(a, pat))
+			}
+			if lutB != nil {
+				code := b.Tip[pat]
+				copy(xb[:S], lutB[(r*16+int(code))*4:(r*16+int(code))*4+S])
+			} else {
+				childVector(xb[:S], S, pb[r*S*S:(r+1)*S*S], b, off, tipCodeAt(b, pat))
+			}
+			d := dst[off : off+S]
+			for s := 0; s < S; s++ {
+				v := xa[s] * xb[s]
+				d[s] = v
+				if v > scaleThreshold {
+					allSmall = false
+				}
+			}
+		}
+		var count int32
+		if a.Scale != nil {
+			count += a.Scale[pat]
+		}
+		if b.Scale != nil {
+			count += b.Scale[pat]
+		}
+		if allSmall {
+			blk := dst[base : base+R*S]
+			for i := range blk {
+				blk[i] *= scaleFactor
+			}
+			count++
+		}
+		dstScale[pat] = count
+	}
+}
+
+func tipCodeAt(op Operand, pat int) uint32 {
+	if op.Tip != nil {
+		return op.Tip[pat]
+	}
+	return 0
+}
+
+// EdgeSiteLogLiks fills dst (one entry per compressed pattern) with the
+// per-pattern log-likelihoods at an edge, the quantity standard likelihood
+// libraries expose for site-wise model comparison; EdgeLogLik is the
+// weighted sum of these values. dst must have NumPatterns entries.
+func (p *Partition) EdgeSiteLogLiks(dst []float64, a, b Operand, pm []float64) {
+	if len(dst) != p.patterns {
+		panic(fmt.Sprintf("phylo: EdgeSiteLogLiks dst has %d entries, want %d", len(dst), p.patterns))
+	}
+	S, R := p.states, p.nrates
+	pi := p.Model.Freqs()
+	var xb [20]float64
+	for pat := 0; pat < p.patterns; pat++ {
+		base := pat * R * S
+		site := 0.0
+		for r := 0; r < R; r++ {
+			off := base + r*S
+			childVector(xb[:S], S, pm[r*S*S:(r+1)*S*S], b, off, tipCodeAt(b, pat))
+			sum := 0.0
+			if a.Tip != nil {
+				c := a.Tip[pat]
+				for c != 0 {
+					s := trailingZeros32(c)
+					sum += pi[s] * xb[s]
+					c &= c - 1
+				}
+			} else {
+				av := a.CLV[off : off+S]
+				for s := 0; s < S; s++ {
+					sum += pi[s] * av[s] * xb[s]
+				}
+			}
+			site += p.Rates.Weights[r] * sum
+		}
+		var count int32
+		if a.Scale != nil {
+			count += a.Scale[pat]
+		}
+		if b.Scale != nil {
+			count += b.Scale[pat]
+		}
+		dst[pat] = math.Log(site) - float64(count)*logScaleFactor
+	}
+}
+
+// EdgeLogLik evaluates the total log-likelihood of the tree at an edge whose
+// two directed CLVs are a and b, connected by transition matrices pm for the
+// edge's branch length:
+//
+//	ℓ = Σ_pat w_pat · [ log Σ_r f_r Σ_s π_s a_s (Σ_s' P^r_ss' b_s') − scale·log 2^256 ]
+func (p *Partition) EdgeLogLik(a, b Operand, pm []float64) float64 {
+	S, R := p.states, p.nrates
+	pi := p.Model.Freqs()
+	var xb [20]float64
+	total := 0.0
+	for pat := 0; pat < p.patterns; pat++ {
+		base := pat * R * S
+		site := 0.0
+		for r := 0; r < R; r++ {
+			off := base + r*S
+			childVector(xb[:S], S, pm[r*S*S:(r+1)*S*S], b, off, tipCodeAt(b, pat))
+			sum := 0.0
+			if a.Tip != nil {
+				code := a.Tip[pat]
+				c := code
+				for c != 0 {
+					s := trailingZeros32(c)
+					sum += pi[s] * xb[s]
+					c &= c - 1
+				}
+			} else {
+				av := a.CLV[off : off+S]
+				for s := 0; s < S; s++ {
+					sum += pi[s] * av[s] * xb[s]
+				}
+			}
+			site += p.Rates.Weights[r] * sum
+		}
+		var count int32
+		if a.Scale != nil {
+			count += a.Scale[pat]
+		}
+		if b.Scale != nil {
+			count += b.Scale[pat]
+		}
+		total += p.Comp.Weights[pat] * (math.Log(site) - float64(count)*logScaleFactor)
+	}
+	return total
+}

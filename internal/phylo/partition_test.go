@@ -1,0 +1,387 @@
+package phylo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"phylomem/internal/model"
+	"phylomem/internal/seq"
+	"phylomem/internal/tree"
+)
+
+// randomMSA builds a random alignment over the tree's leaf names.
+func randomMSA(t *testing.T, tr *tree.Tree, a *seq.Alphabet, width int, rng *rand.Rand) *seq.MSA {
+	t.Helper()
+	chars := "ACGT"
+	if a.States() == 20 {
+		chars = "ARNDCQEGHILKMFPSTWYV"
+	}
+	var seqs []seq.Sequence
+	for _, leaf := range tr.Leaves() {
+		data := make([]byte, width)
+		for i := range data {
+			if rng.Float64() < 0.05 {
+				data[i] = '-'
+			} else {
+				data[i] = chars[rng.Intn(len(chars))]
+			}
+		}
+		seqs = append(seqs, seq.Sequence{Label: leaf.Name, Data: data})
+	}
+	m, err := seq.NewMSA(a, seqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func buildPartition(t *testing.T, tr *tree.Tree, msa *seq.MSA, m *model.Model, rates *model.RateHet) *Partition {
+	t.Helper()
+	comp, err := seq.Compress(msa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPartition(m, rates, comp, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// naiveSiteLogLik is an independent, slow implementation of the phylogenetic
+// likelihood: per original site, per rate category, full recursion, no
+// pattern compression and no scaling. It cross-validates every kernel in
+// this package.
+func naiveLogLik(tr *tree.Tree, msa *seq.MSA, m *model.Model, rates *model.RateHet) float64 {
+	s := m.States()
+	a := msa.Alphabet
+	eval := tr.Edges[0]
+	total := 0.0
+	for site := 0; site < msa.Width(); site++ {
+		siteL := 0.0
+		for r := 0; r < rates.NumRates(); r++ {
+			rate := rates.Rates[r]
+			var partial func(d tree.Dir) []float64
+			partial = func(d tree.Dir) []float64 {
+				u := tr.Tail(d)
+				out := make([]float64, s)
+				if u.IsLeaf() {
+					row := msa.Index(u.Name)
+					code, _ := a.Code(msa.Sequences[row].Data[site])
+					for st := 0; st < s; st++ {
+						if code&(1<<uint(st)) != 0 {
+							out[st] = 1
+						}
+					}
+					return out
+				}
+				ca, cb := tr.Children(d)
+				va, vb := partial(ca), partial(cb)
+				pa := make([]float64, s*s)
+				pb := make([]float64, s*s)
+				m.TransitionMatrix(pa, tr.EdgeOf(ca).Length, rate)
+				m.TransitionMatrix(pb, tr.EdgeOf(cb).Length, rate)
+				for st := 0; st < s; st++ {
+					xa, xb := 0.0, 0.0
+					for sp := 0; sp < s; sp++ {
+						xa += pa[st*s+sp] * va[sp]
+						xb += pb[st*s+sp] * vb[sp]
+					}
+					out[st] = xa * xb
+				}
+				return out
+			}
+			na, nb := eval.Nodes()
+			va := partial(tr.DirOf(eval, na))
+			vb := partial(tr.DirOf(eval, nb))
+			pm := make([]float64, s*s)
+			m.TransitionMatrix(pm, eval.Length, rate)
+			lr := 0.0
+			for st := 0; st < s; st++ {
+				inner := 0.0
+				for sp := 0; sp < s; sp++ {
+					inner += pm[st*s+sp] * vb[sp]
+				}
+				lr += m.Freqs()[st] * va[st] * inner
+			}
+			siteL += rates.Weights[r] * lr
+		}
+		total += math.Log(siteL)
+	}
+	return total
+}
+
+func TestPartitionDimensions(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tr, err := tree.Random(8, 0.1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msa := randomMSA(t, tr, seq.DNA, 100, rng)
+	rates, err := model.GammaRates(1.0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := buildPartition(t, tr, msa, model.JC69(), rates)
+	if p.States() != 4 || p.NumRates() != 4 {
+		t.Fatalf("states/rates = %d/%d", p.States(), p.NumRates())
+	}
+	if p.CLVLen() != p.NumPatterns()*16 {
+		t.Fatalf("CLVLen = %d", p.CLVLen())
+	}
+	if p.CLVBytes() != int64(p.CLVLen())*8+int64(p.NumPatterns())*4 {
+		t.Fatalf("CLVBytes = %d", p.CLVBytes())
+	}
+	if p.PLen() != 4*16 {
+		t.Fatalf("PLen = %d", p.PLen())
+	}
+	if err := p.CheckTreeCompatible(tr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewPartitionErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tr, err := tree.Random(5, 0.1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msa := randomMSA(t, tr, seq.DNA, 20, rng)
+	comp, err := seq.Compress(msa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// AA model over DNA alignment must fail.
+	if _, err := NewPartition(model.PoissonAA(), model.UniformRates(), comp, tr); err == nil {
+		t.Error("state-count mismatch accepted")
+	}
+	// Missing taxon must fail.
+	short := *msa
+	short.Sequences = msa.Sequences[1:]
+	compShort, err := seq.Compress(&short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPartition(model.JC69(), model.UniformRates(), compShort, tr); err == nil {
+		t.Error("missing taxon accepted")
+	}
+}
+
+func TestLikelihoodMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(8)
+		tr, err := tree.Random(n, 0.15, rng)
+		if err != nil {
+			return false
+		}
+		msa := randomMSA(t, tr, seq.DNA, 30, rng)
+		rates, err := model.GammaRates(0.7, 3)
+		if err != nil {
+			return false
+		}
+		gtr, err := model.GTR([]float64{0.3, 0.2, 0.25, 0.25}, []float64{1, 2, 0.5, 0.8, 3, 1})
+		if err != nil {
+			return false
+		}
+		p := buildPartition(t, tr, msa, gtr, rates)
+		full, err := ComputeFullCLVSet(p, tr, 1)
+		if err != nil {
+			return false
+		}
+		got := full.TreeLogLik(tr.Edges[0])
+		want := naiveLogLik(tr, msa, gtr, rates)
+		return math.Abs(got-want) < 1e-8*(1+math.Abs(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLikelihoodEdgeInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tr, err := tree.Random(12, 0.2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msa := randomMSA(t, tr, seq.DNA, 60, rng)
+	rates, err := model.GammaRates(1.2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := buildPartition(t, tr, msa, model.JC69(), rates)
+	full, err := ComputeFullCLVSet(p, tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := full.TreeLogLik(tr.Edges[0])
+	for _, e := range tr.Edges {
+		if got := full.TreeLogLik(e); math.Abs(got-ref) > 1e-8*(1+math.Abs(ref)) {
+			t.Fatalf("loglik at edge %d = %.12f, want %.12f", e.ID, got, ref)
+		}
+	}
+}
+
+func TestLikelihoodAminoAcid(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	tr, err := tree.Random(6, 0.2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msa := randomMSA(t, tr, seq.AA, 25, rng)
+	rates := model.UniformRates()
+	m := model.SyntheticAA()
+	p := buildPartition(t, tr, msa, m, rates)
+	full, err := ComputeFullCLVSet(p, tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := full.TreeLogLik(tr.Edges[0])
+	want := naiveLogLik(tr, msa, m, rates)
+	if math.Abs(got-want) > 1e-8*(1+math.Abs(want)) {
+		t.Fatalf("AA loglik = %.10f, naive = %.10f", got, want)
+	}
+}
+
+func TestScalingOnDeepTree(t *testing.T) {
+	// A deep caterpillar with enough taxa forces CLV entries below the
+	// scaling threshold; the loglik must stay finite and edge-invariant.
+	tr, err := tree.Caterpillar(400, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	msa := randomMSA(t, tr, seq.DNA, 12, rng)
+	p := buildPartition(t, tr, msa, model.JC69(), model.UniformRates())
+	full, err := ComputeFullCLVSet(p, tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled := false
+	for _, c := range full.scales {
+		if c > 0 {
+			scaled = true
+			break
+		}
+	}
+	if !scaled {
+		t.Fatal("deep tree produced no scaling events; threshold logic untested")
+	}
+	ref := full.TreeLogLik(tr.Edges[0])
+	if math.IsInf(ref, 0) || math.IsNaN(ref) {
+		t.Fatalf("loglik not finite: %g", ref)
+	}
+	for _, e := range []int{1, len(tr.Edges) / 2, len(tr.Edges) - 1} {
+		if got := full.TreeLogLik(tr.Edges[e]); math.Abs(got-ref) > 1e-6*math.Abs(ref) {
+			t.Fatalf("scaled loglik differs across edges: %g vs %g", got, ref)
+		}
+	}
+}
+
+func TestUpdateCLVParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	tr, err := tree.Random(10, 0.1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msa := randomMSA(t, tr, seq.DNA, 300, rng)
+	rates, err := model.GammaRates(0.9, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := buildPartition(t, tr, msa, model.JC69(), rates)
+	serial, err := ComputeFullCLVSet(p, tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := ComputeFullCLVSet(p, tr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial.clvs {
+		if serial.clvs[i] != parallel.clvs[i] {
+			t.Fatalf("parallel CLV differs at %d: %g vs %g", i, parallel.clvs[i], serial.clvs[i])
+		}
+	}
+	for i := range serial.scales {
+		if serial.scales[i] != parallel.scales[i] {
+			t.Fatalf("parallel scale differs at %d", i)
+		}
+	}
+}
+
+func TestFullCLVSetBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	tr, err := tree.Random(6, 0.1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msa := randomMSA(t, tr, seq.DNA, 40, rng)
+	p := buildPartition(t, tr, msa, model.JC69(), model.UniformRates())
+	full, err := ComputeFullCLVSet(p, tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(tr.NumInnerCLVs()) * p.CLVBytes()
+	if full.Bytes() != want {
+		t.Fatalf("Bytes = %d, want %d", full.Bytes(), want)
+	}
+}
+
+func TestEdgeSiteLogLiksSumToTotal(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	tr, err := tree.Random(10, 0.2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msa := randomMSA(t, tr, seq.DNA, 80, rng)
+	rates, err := model.GammaRates(0.8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := buildPartition(t, tr, msa, model.JC69(), rates)
+	full, err := ComputeFullCLVSet(p, tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := tr.Edges[2]
+	a, b := e.Nodes()
+	pm := make([]float64, p.PLen())
+	p.FillP(pm, e.Length)
+	opA := full.Operand(tr.DirOf(e, a))
+	opB := full.Operand(tr.DirOf(e, b))
+	site := make([]float64, p.NumPatterns())
+	p.EdgeSiteLogLiks(site, opA, opB, pm)
+	sum := 0.0
+	for pat, ll := range site {
+		sum += p.Comp.Weights[pat] * ll
+	}
+	total := p.EdgeLogLik(opA, opB, pm)
+	if math.Abs(sum-total) > 1e-9*(1+math.Abs(total)) {
+		t.Fatalf("per-site sum %.10f != total %.10f", sum, total)
+	}
+	// Per-site values must be valid log-probabilities (negative).
+	for pat, ll := range site {
+		if ll >= 0 || math.IsNaN(ll) {
+			t.Fatalf("pattern %d loglik = %g", pat, ll)
+		}
+	}
+}
+
+func TestEdgeSiteLogLiksWrongSizePanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	tr, err := tree.Random(5, 0.2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msa := randomMSA(t, tr, seq.DNA, 20, rng)
+	p := buildPartition(t, tr, msa, model.JC69(), model.UniformRates())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong-size dst did not panic")
+		}
+	}()
+	p.EdgeSiteLogLiks(make([]float64, 1), Operand{}, Operand{}, nil)
+}

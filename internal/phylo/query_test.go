@@ -1,0 +1,262 @@
+package phylo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"phylomem/internal/model"
+	"phylomem/internal/seq"
+	"phylomem/internal/tree"
+)
+
+// placementFixture bundles everything needed to score queries on branches.
+type placementFixture struct {
+	tr   *tree.Tree
+	p    *Partition
+	full *FullCLVSet
+	rng  *rand.Rand
+}
+
+func newFixture(t *testing.T, seed int64, n, width int) *placementFixture {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	tr, err := tree.Random(n, 0.15, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msa := randomMSA(t, tr, seq.DNA, width, rng)
+	rates, err := model.GammaRates(1.0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := buildPartition(t, tr, msa, model.JC69(), rates)
+	full, err := ComputeFullCLVSet(p, tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &placementFixture{tr: tr, p: p, full: full, rng: rng}
+}
+
+// insertionCLV computes the branch CLV at the midpoint of edge e.
+func (fx *placementFixture) insertionCLV(e *tree.Edge) ([]float64, []int32) {
+	p := fx.p
+	dst := make([]float64, p.CLVLen())
+	scale := make([]int32, p.ScaleLen())
+	a, b := e.Nodes()
+	pu := make([]float64, p.PLen())
+	pv := make([]float64, p.PLen())
+	p.FillP(pu, e.Length/2)
+	p.FillP(pv, e.Length/2)
+	p.UpdateCLV(dst, scale, fx.full.Operand(fx.tr.DirOf(e, a)), fx.full.Operand(fx.tr.DirOf(e, b)), pu, pv)
+	return dst, scale
+}
+
+func (fx *placementFixture) randomQuery(width int, gapFrac float64) []uint32 {
+	q := make([]uint32, width)
+	for i := range q {
+		if fx.rng.Float64() < gapFrac {
+			q[i] = seq.DNA.GapMask()
+		} else {
+			q[i] = 1 << uint(fx.rng.Intn(4))
+		}
+	}
+	return q
+}
+
+func TestPrescoreMatchesQueryLogLik(t *testing.T) {
+	fx := newFixture(t, 31, 8, 50)
+	pendant := 0.08
+	ppend := make([]float64, fx.p.PLen())
+	fx.p.FillP(ppend, pendant)
+	row := make([]float64, fx.p.PrescoreRowLen())
+	for _, e := range fx.tr.Edges[:5] {
+		bclv, bscale := fx.insertionCLV(e)
+		fx.p.BuildPrescoreRow(row, bclv, ppend)
+		for trial := 0; trial < 5; trial++ {
+			q := fx.randomQuery(fx.p.Comp.OriginalWidth(), 0.2)
+			direct := fx.p.QueryLogLik(bclv, bscale, q, ppend, true)
+			viaRow := fx.p.PrescoreQuery(row, bscale, q, true)
+			if math.Abs(direct-viaRow) > 1e-9*(1+math.Abs(direct)) {
+				t.Fatalf("edge %d trial %d: direct %.12f vs prescore %.12f", e.ID, trial, direct, viaRow)
+			}
+		}
+	}
+}
+
+func TestQueryLogLikGapSkipShiftsByConstant(t *testing.T) {
+	// Skipping gap sites must shift every branch's score by the same
+	// constant (the reference-tree likelihood of the skipped sites), so the
+	// ranking is unchanged.
+	fx := newFixture(t, 37, 10, 60)
+	pendant := 0.1
+	ppend := make([]float64, fx.p.PLen())
+	fx.p.FillP(ppend, pendant)
+	q := fx.randomQuery(fx.p.Comp.OriginalWidth(), 0.3)
+	var deltas []float64
+	for _, e := range fx.tr.Edges {
+		bclv, bscale := fx.insertionCLV(e)
+		with := fx.p.QueryLogLik(bclv, bscale, q, ppend, false)
+		without := fx.p.QueryLogLik(bclv, bscale, q, ppend, true)
+		deltas = append(deltas, with-without)
+	}
+	for i := 1; i < len(deltas); i++ {
+		if math.Abs(deltas[i]-deltas[0]) > 1e-7*(1+math.Abs(deltas[0])) {
+			t.Fatalf("gap contribution is branch-dependent: %.12f vs %.12f", deltas[i], deltas[0])
+		}
+	}
+}
+
+func TestQueryLogLikAmbiguityIsSumOfStates(t *testing.T) {
+	// For a single ambiguous site, the likelihood must equal the sum of the
+	// likelihoods of the compatible concrete states (linearity of the tip
+	// vector). Verified via the prescore row which is exactly additive.
+	fx := newFixture(t, 41, 6, 30)
+	ppend := make([]float64, fx.p.PLen())
+	fx.p.FillP(ppend, 0.05)
+	e := fx.tr.Edges[2]
+	bclv, bscale := fx.insertionCLV(e)
+	width := fx.p.Comp.OriginalWidth()
+	base := fx.randomQuery(width, 0)
+
+	qR := append([]uint32(nil), base...)
+	qA := append([]uint32(nil), base...)
+	qG := append([]uint32(nil), base...)
+	qR[0] = 1 | 4 // R = A|G
+	qA[0] = 1
+	qG[0] = 4
+	lr := fx.p.QueryLogLik(bclv, bscale, qR, ppend, false)
+	la := fx.p.QueryLogLik(bclv, bscale, qA, ppend, false)
+	lg := fx.p.QueryLogLik(bclv, bscale, qG, ppend, false)
+	// Site contributions are logs; convert back for site 0 only: the other
+	// sites are identical, so exp(lr - common) = exp(la - common) + exp(lg - common).
+	common := la // use as reference point
+	want := math.Log(math.Exp(la-common) + math.Exp(lg-common))
+	got := lr - common
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("ambiguity not additive: got %.12f, want %.12f", got, want)
+	}
+}
+
+func TestQueryPlacementRecoversOrigin(t *testing.T) {
+	// A query identical to an existing leaf must score best on (or adjacent
+	// to) that leaf's pendant branch.
+	rng := rand.New(rand.NewSource(53))
+	tr, err := tree.Random(12, 0.25, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build an MSA with strong signal (long random sequences).
+	msa := randomMSA(t, tr, seq.DNA, 200, rng)
+	rates := model.UniformRates()
+	p := buildPartition(t, tr, msa, model.JC69(), rates)
+	full, err := ComputeFullCLVSet(p, tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx := &placementFixture{tr: tr, p: p, full: full, rng: rng}
+
+	leaf := tr.Leaves()[3]
+	q, err := seq.DNA.Encode(msa.Sequences[msa.Index(leaf.Name)].Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ppend := make([]float64, p.PLen())
+	p.FillP(ppend, 0.01)
+	best, bestScore := -1, math.Inf(-1)
+	for _, e := range tr.Edges {
+		bclv, bscale := fx.insertionCLV(e)
+		score := p.QueryLogLik(bclv, bscale, q, ppend, true)
+		if score > bestScore {
+			best, bestScore = e.ID, score
+		}
+	}
+	if best != leaf.Edges[0].ID {
+		t.Fatalf("identical query placed on edge %d, want pendant edge %d of its origin leaf", best, leaf.Edges[0].ID)
+	}
+}
+
+func TestQueryLogLikPendantMonotonicityForIdenticalQuery(t *testing.T) {
+	// For a query identical to a leaf placed on its own pendant branch, a
+	// shorter pendant length must not decrease the likelihood.
+	fx := newFixture(t, 59, 8, 150)
+	leaf := fx.tr.Leaves()[0]
+	row := fx.p.Comp.TaxonIndex(leaf.Name)
+	q := append([]uint32(nil), fx.p.Comp.Patterns[row]...)
+	// Expand pattern codes back to site codes.
+	qs := make([]uint32, fx.p.Comp.OriginalWidth())
+	for site, pat := range fx.p.Comp.SiteToPattern {
+		qs[site] = q[pat]
+	}
+	e := leaf.Edges[0]
+	bclv, bscale := fx.insertionCLV(e)
+	prev := math.Inf(-1)
+	for _, pend := range []float64{0.5, 0.1, 0.02, 0.004} {
+		ppend := make([]float64, fx.p.PLen())
+		fx.p.FillP(ppend, pend)
+		score := fx.p.QueryLogLik(bclv, bscale, qs, ppend, true)
+		if score < prev-1e-9 {
+			t.Fatalf("identical query score decreased when pendant shrank: %g after %g", score, prev)
+		}
+		prev = score
+	}
+}
+
+func TestPrescoreRowProperty(t *testing.T) {
+	// Property: prescore row and direct scoring agree for random fixtures.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr, err := tree.Random(4+rng.Intn(6), 0.2, rng)
+		if err != nil {
+			return false
+		}
+		var seqs []seq.Sequence
+		for _, leaf := range tr.Leaves() {
+			data := make([]byte, 20)
+			for i := range data {
+				data[i] = "ACGT"[rng.Intn(4)]
+			}
+			seqs = append(seqs, seq.Sequence{Label: leaf.Name, Data: data})
+		}
+		msa, err := seq.NewMSA(seq.DNA, seqs)
+		if err != nil {
+			return false
+		}
+		comp, err := seq.Compress(msa)
+		if err != nil {
+			return false
+		}
+		p, err := NewPartition(model.JC69(), model.UniformRates(), comp, tr)
+		if err != nil {
+			return false
+		}
+		full, err := ComputeFullCLVSet(p, tr, 1)
+		if err != nil {
+			return false
+		}
+		e := tr.Edges[rng.Intn(len(tr.Edges))]
+		a, b := e.Nodes()
+		dst := make([]float64, p.CLVLen())
+		scale := make([]int32, p.ScaleLen())
+		pu := make([]float64, p.PLen())
+		pv := make([]float64, p.PLen())
+		p.FillP(pu, e.Length/2)
+		p.FillP(pv, e.Length/2)
+		p.UpdateCLV(dst, scale, full.Operand(tr.DirOf(e, a)), full.Operand(tr.DirOf(e, b)), pu, pv)
+		ppend := make([]float64, p.PLen())
+		p.FillP(ppend, 0.07)
+		row := make([]float64, p.PrescoreRowLen())
+		p.BuildPrescoreRow(row, dst, ppend)
+		q := make([]uint32, 20)
+		for i := range q {
+			q[i] = 1 << uint(rng.Intn(4))
+		}
+		d := p.QueryLogLik(dst, scale, q, ppend, true)
+		v := p.PrescoreQuery(row, scale, q, true)
+		return math.Abs(d-v) < 1e-9*(1+math.Abs(d))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,120 @@
+package phylo
+
+import (
+	"fmt"
+
+	"phylomem/internal/tree"
+)
+
+// FullCLVSet holds all 3(n-2) inner directional CLVs resident in memory at
+// once — the reference (memory-saving disabled) CLV organization of EPA-NG.
+// It is also the ground truth that the slot-managed path (internal/core) is
+// property-tested against.
+type FullCLVSet struct {
+	part *Partition
+	tr   *tree.Tree
+
+	clvs   []float64 // NumInnerCLVs × CLVLen, indexed by dense CLV index
+	scales []int32   // NumInnerCLVs × ScaleLen
+}
+
+// Bytes returns the total CLV storage footprint of the set.
+func (f *FullCLVSet) Bytes() int64 {
+	return int64(f.tr.NumInnerCLVs()) * f.part.CLVBytes()
+}
+
+// ComputeFullCLVSet computes every inner directional CLV of the tree via
+// post-order traversals. workers > 1 enables the across-site parallel kernel
+// for each update.
+func ComputeFullCLVSet(p *Partition, tr *tree.Tree, workers int) (*FullCLVSet, error) {
+	f := &FullCLVSet{
+		part:   p,
+		tr:     tr,
+		clvs:   make([]float64, tr.NumInnerCLVs()*p.CLVLen()),
+		scales: make([]int32, tr.NumInnerCLVs()*p.ScaleLen()),
+	}
+	computed := make([]bool, tr.NumInnerCLVs())
+	pa := make([]float64, p.PLen())
+	pb := make([]float64, p.PLen())
+	for i := 0; i < tr.NumInnerCLVs(); i++ {
+		if computed[i] {
+			continue
+		}
+		ops := tr.PostorderOps(tr.DirOfCLV(i), func(d tree.Dir) bool {
+			return computed[tr.CLVIndex(d)]
+		})
+		for _, op := range ops {
+			idx := tr.CLVIndex(op.Target)
+			p.FillP(pa, tr.EdgeOf(op.ChildA).Length)
+			p.FillP(pb, tr.EdgeOf(op.ChildB).Length)
+			dst, dstScale := f.view(idx)
+			p.UpdateCLVParallel(dst, dstScale, f.Operand(op.ChildA), f.Operand(op.ChildB), pa, pb, workers)
+			computed[idx] = true
+		}
+	}
+	return f, nil
+}
+
+func (f *FullCLVSet) view(idx int) ([]float64, []int32) {
+	cl := f.part.CLVLen()
+	sl := f.part.ScaleLen()
+	return f.clvs[idx*cl : (idx+1)*cl], f.scales[idx*sl : (idx+1)*sl]
+}
+
+// Operand returns the likelihood operand for directed edge d: the tip codes
+// when Tail(d) is a leaf, otherwise the stored CLV.
+func (f *FullCLVSet) Operand(d tree.Dir) Operand {
+	if u := f.tr.Tail(d); u.IsLeaf() {
+		return TipOperand(f.part.TipCodes(u.ID))
+	}
+	idx := f.tr.CLVIndex(d)
+	clv, scale := f.view(idx)
+	return CLVOperand(clv, scale)
+}
+
+// TreeLogLik evaluates the tree log-likelihood at the given edge, which by
+// time-reversibility is independent of the edge chosen.
+func (f *FullCLVSet) TreeLogLik(e *tree.Edge) float64 {
+	a, b := e.Nodes()
+	da := f.tr.DirOf(e, a)
+	db := f.tr.DirOf(e, b)
+	pm := make([]float64, f.part.PLen())
+	f.part.FillP(pm, e.Length)
+	return f.part.EdgeLogLik(f.Operand(da), f.Operand(db), pm)
+}
+
+// CLVSource yields likelihood operands for directed edges. The full set and
+// the slot-managed AMC implementation (internal/core) both satisfy it; the
+// placement engine is written against this interface so that AMC on/off is
+// purely a memory-organization choice with identical results.
+type CLVSource interface {
+	// Acquire returns the operand for d, materializing (recomputing) it if
+	// necessary. The operand remains valid until the matching Release.
+	Acquire(d tree.Dir) (Operand, error)
+	// Release declares the operand of d no longer in use.
+	Release(d tree.Dir)
+}
+
+// Acquire implements CLVSource (materialization is a no-op: everything is
+// always resident).
+func (f *FullCLVSet) Acquire(d tree.Dir) (Operand, error) { return f.Operand(d), nil }
+
+// Release implements CLVSource as a no-op.
+func (f *FullCLVSet) Release(d tree.Dir) {}
+
+var _ CLVSource = (*FullCLVSet)(nil)
+
+// CheckTreeCompatible verifies that the partition was built against a tree
+// with the same leaf set as tr (used to catch mixed-up tree/alignment pairs
+// early).
+func (p *Partition) CheckTreeCompatible(tr *tree.Tree) error {
+	if len(p.tipCodes) != tr.NumLeaves() {
+		return fmt.Errorf("phylo: partition has %d tips, tree has %d leaves", len(p.tipCodes), tr.NumLeaves())
+	}
+	for _, leaf := range tr.Leaves() {
+		if p.tipCodes[leaf.ID] == nil {
+			return fmt.Errorf("phylo: no tip codes for leaf %q (id %d)", leaf.Name, leaf.ID)
+		}
+	}
+	return nil
+}

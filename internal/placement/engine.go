@@ -1,0 +1,339 @@
+package placement
+
+import (
+	"fmt"
+	"time"
+
+	"phylomem/internal/core"
+	"phylomem/internal/memacct"
+	"phylomem/internal/phylo"
+	"phylomem/internal/tree"
+)
+
+// Config parameterizes the placement engine. The zero value plus a partition
+// and tree gives EPA-NG defaults: unlimited memory, chunk size 5000, lookup
+// table on, thorough (pendant + distal) optimization, premasking on.
+type Config struct {
+	// MaxMem is the memory ceiling in bytes (0 = unlimited). The budget
+	// planner translates it into an execution mode.
+	MaxMem int64
+	// ChunkSize is the number of queries processed per pass over the tree
+	// (EPA-NG default 5000).
+	ChunkSize int
+	// BlockSize is the number of branches per precompute block (default 64).
+	BlockSize int
+	// Threads is the number of placement worker goroutines (default 1).
+	Threads int
+	// SiteWorkers splits CLV updates across sites during precomputation
+	// (the paper's experimental Fig. 7 scheme; default 1 = off).
+	SiteWorkers int
+	// SyncPrecompute disables the asynchronous precompute goroutine and
+	// instead computes each branch block synchronously (used together with
+	// SiteWorkers for the Fig. 7 experiment).
+	SyncPrecompute bool
+	// ForceAMC runs the slot-managed machinery even when memory is
+	// unlimited (the paper's "maxmem" parallel-efficiency mode: AMC with
+	// the maximum slot count).
+	ForceAMC bool
+	// DisableLookup forces the pre-placement lookup table off regardless of
+	// the budget (used to measure the lookup's ≈15×/23× speedup).
+	DisableLookup bool
+	// Strategy is the CLV replacement strategy. nil selects core.CostAge,
+	// the cost/recency hybrid that avoids the descent-cascade pathology of
+	// the paper's pure cost-based default (see core.CostAge).
+	Strategy core.Strategy
+	// KeepFraction caps the fraction of branches that survive pre-placement
+	// into the thorough phase (default 0.01, minimum 2 branches).
+	KeepFraction float64
+	// PrescoreThreshold stops candidate selection once the accumulated
+	// likelihood-weight ratio of the kept branches (computed from the
+	// pre-scores) reaches this value (default 0.99999) — EPA-NG's dynamic
+	// pre-placement heuristic.
+	PrescoreThreshold float64
+	// Thorough also optimizes the distal (insertion) position, not just the
+	// pendant length, for surviving candidates. DefaultConfig enables it.
+	Thorough bool
+	// SkipGaps enables premasking: fully ambiguous query sites are skipped.
+	SkipGaps bool
+	// FilterAccThreshold stops emitting per-query placements once their
+	// accumulated likelihood-weight ratio reaches this value (default
+	// 0.99999, EPA-NG's --filter-acc-lwr).
+	FilterAccThreshold float64
+	// FilterMax bounds the number of placements reported per query
+	// (default 7, EPA-NG's --filter-max).
+	FilterMax int
+}
+
+// DefaultConfig returns EPA-NG-like defaults.
+func DefaultConfig() Config {
+	return Config{
+		ChunkSize:          5000,
+		BlockSize:          memacct.DefaultBlockSize,
+		Threads:            1,
+		SiteWorkers:        1,
+		KeepFraction:       0.01,
+		PrescoreThreshold:  0.99999,
+		Thorough:           true,
+		SkipGaps:           true,
+		FilterAccThreshold: 0.99999,
+		FilterMax:          7,
+	}
+}
+
+// Engine performs placements on one reference tree + alignment.
+type Engine struct {
+	cfg  Config
+	tr   *tree.Tree
+	part *phylo.Partition
+	plan memacct.Plan
+	acct *memacct.Accountant
+
+	// CLV source: exactly one of full / mgr is non-nil.
+	full *phylo.FullCLVSet
+	mgr  *core.Manager
+	src  phylo.CLVSource
+
+	// Pre-placement lookup table: one prescore row + scale counters per
+	// branch (nil when disabled).
+	lookup      []float64
+	lookupScale []int32
+
+	branchOrder []*tree.Edge
+	pendant0    float64 // default pendant length for prescoring
+	avgBranch   float64
+
+	stats RunStats
+}
+
+// RunStats aggregates the engine's activity since construction.
+type RunStats struct {
+	QueriesPlaced   int
+	Phase1          time.Duration
+	Phase2          time.Duration
+	Precompute      time.Duration
+	LookupBuild     time.Duration
+	CLVStats        core.Stats // zero when AMC is off
+	ThreadsUsed     int        // workers + async precompute thread if any
+	PeakBytes       int64
+	PlannedBytes    int64
+	LookupEnabled   bool
+	AMC             bool
+	Slots           int
+	ChunksProcessed int
+}
+
+// New builds a placement engine: plans the memory budget, allocates the CLV
+// organization it prescribes, and builds the lookup table if it fits.
+func New(part *phylo.Partition, tr *tree.Tree, cfg Config) (*Engine, error) {
+	if cfg.ChunkSize <= 0 {
+		cfg.ChunkSize = 5000
+	}
+	if cfg.BlockSize <= 0 {
+		cfg.BlockSize = memacct.DefaultBlockSize
+	}
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	if cfg.SiteWorkers <= 0 {
+		cfg.SiteWorkers = 1
+	}
+	if cfg.KeepFraction <= 0 {
+		cfg.KeepFraction = 0.01
+	}
+	if cfg.PrescoreThreshold <= 0 {
+		cfg.PrescoreThreshold = 0.99999
+	}
+	if cfg.FilterAccThreshold <= 0 {
+		cfg.FilterAccThreshold = 0.99999
+	}
+	if cfg.FilterMax <= 0 {
+		cfg.FilterMax = 7
+	}
+	if err := part.CheckTreeCompatible(tr); err != nil {
+		return nil, err
+	}
+
+	plan, err := memacct.PlanBudget(memacct.PlanConfig{
+		MaxMem:    cfg.MaxMem,
+		Branches:  tr.NumBranches(),
+		InnerCLVs: tr.NumInnerCLVs(),
+		// One slot beyond the single-CLV minimum: branch precomputation holds
+		// one end of a branch pinned while materializing the other.
+		MinSlots:  tr.MinSlots() + 1,
+		Patterns:  part.NumPatterns(),
+		Sites:     part.Comp.OriginalWidth(),
+		States:    part.States(),
+		CLVBytes:  part.CLVBytes(),
+		NumLeaves: tr.NumLeaves(),
+		ChunkSize: cfg.ChunkSize,
+		BlockSize: cfg.BlockSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.ForceAMC {
+		plan.AMC = true
+		if plan.BranchBufBytes == 0 {
+			plan.BranchBufBytes = 2 * int64(plan.BlockSize) * memacct.CLVsPerBufferedBranch * part.CLVBytes()
+		}
+	}
+	if cfg.DisableLookup {
+		plan.LookupEnabled = false
+		plan.LookupBytes = 0
+	}
+
+	e := &Engine{
+		cfg:         cfg,
+		tr:          tr,
+		part:        part,
+		plan:        plan,
+		acct:        memacct.NewAccountant(),
+		branchOrder: tr.BranchOrderDFS(),
+	}
+	e.avgBranch = tr.TotalBranchLength() / float64(tr.NumBranches())
+	e.pendant0 = e.avgBranch / 2
+	if e.pendant0 <= 0 {
+		e.pendant0 = 0.01
+	}
+	e.acct.Alloc("fixed", plan.FixedBytes)
+
+	if plan.AMC {
+		strategy := cfg.Strategy
+		if strategy == nil {
+			strategy = core.CostAge{}
+		}
+		mgr, err := core.NewManager(part, tr, core.Config{
+			Slots:    plan.Slots,
+			Strategy: strategy,
+			Workers:  e.precomputeSiteWorkers(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		e.mgr = mgr
+		e.src = mgr
+		e.acct.Alloc("clv-slots", mgr.Bytes())
+		e.acct.Alloc("branch-buffers", plan.BranchBufBytes)
+	} else {
+		start := time.Now()
+		full, err := phylo.ComputeFullCLVSet(part, tr, e.precomputeSiteWorkers())
+		if err != nil {
+			return nil, err
+		}
+		e.stats.Precompute += time.Since(start)
+		e.full = full
+		e.src = full
+		e.acct.Alloc("clv-slots", full.Bytes())
+		e.acct.Alloc("branch-buffers", plan.BranchBufBytes)
+	}
+
+	if plan.LookupEnabled {
+		if err := e.buildLookup(); err != nil {
+			return nil, err
+		}
+	}
+	e.stats.AMC = plan.AMC
+	e.stats.Slots = plan.Slots
+	e.stats.LookupEnabled = plan.LookupEnabled
+	e.stats.PlannedBytes = plan.TotalBytes
+	e.stats.ThreadsUsed = cfg.Threads
+	if plan.AMC && !cfg.SyncPrecompute {
+		e.stats.ThreadsUsed++ // the asynchronous precompute thread
+	}
+	return e, nil
+}
+
+// precomputeSiteWorkers returns the across-site parallelism for CLV updates.
+func (e *Engine) precomputeSiteWorkers() int {
+	if e.cfg.SiteWorkers > 1 {
+		return e.cfg.SiteWorkers
+	}
+	return 1
+}
+
+// Plan returns the budget plan the engine runs under.
+func (e *Engine) Plan() memacct.Plan { return e.plan }
+
+// Accountant exposes the engine's memory accounting.
+func (e *Engine) Accountant() *memacct.Accountant { return e.acct }
+
+// Stats returns a snapshot of the run statistics.
+func (e *Engine) Stats() RunStats {
+	s := e.stats
+	if e.mgr != nil {
+		s.CLVStats = e.mgr.Stats()
+	}
+	s.PeakBytes = e.acct.Peak()
+	return s
+}
+
+// buildLookup computes the pre-placement lookup table: one prescore row per
+// branch, built from the branch's midpoint insertion CLV. Under AMC this is
+// one full sweep over the tree through the slot manager.
+func (e *Engine) buildLookup() error {
+	start := time.Now()
+	rowLen := e.part.PrescoreRowLen()
+	e.lookup = make([]float64, e.tr.NumBranches()*rowLen)
+	e.lookupScale = make([]int32, e.tr.NumBranches()*e.part.ScaleLen())
+	e.acct.Alloc("lookup-table", e.plan.LookupBytes)
+
+	bclv := make([]float64, e.part.CLVLen())
+	bscale := make([]int32, e.part.ScaleLen())
+	pu := make([]float64, e.part.PLen())
+	pv := make([]float64, e.part.PLen())
+	ppend := make([]float64, e.part.PLen())
+	e.part.FillP(ppend, e.pendant0)
+
+	for _, edge := range e.branchOrder {
+		opA, opB, release, err := e.acquireBranchEnds(edge)
+		if err != nil {
+			return fmt.Errorf("placement: lookup build: %w", err)
+		}
+		e.part.FillP(pu, edge.Length/2)
+		e.part.FillP(pv, edge.Length/2)
+		e.part.UpdateCLVParallel(bclv, bscale, opA, opB, pu, pv, e.precomputeSiteWorkers())
+		release()
+		e.part.BuildPrescoreRow(e.lookup[edge.ID*rowLen:(edge.ID+1)*rowLen], bclv, ppend)
+		copy(e.lookupScale[edge.ID*e.part.ScaleLen():(edge.ID+1)*e.part.ScaleLen()], bscale)
+	}
+	e.stats.LookupBuild = time.Since(start)
+	return nil
+}
+
+// acquireBranchEnds materializes both directional CLVs of a branch,
+// acquiring the end with the larger slot requirement first so that the pair
+// fits in MinSlots+1 slots, and returns the operands in (A, B) node order
+// plus a release function.
+func (e *Engine) acquireBranchEnds(edge *tree.Edge) (opA, opB phylo.Operand, release func(), err error) {
+	a, b := edge.Nodes()
+	da, db := e.tr.DirOf(edge, a), e.tr.DirOf(edge, b)
+	su := e.tr.SlotRequirements()
+	first, second := da, db
+	if su[db] > su[da] {
+		first, second = db, da
+	}
+	op1, err := e.src.Acquire(first)
+	if err != nil {
+		return phylo.Operand{}, phylo.Operand{}, nil, err
+	}
+	op2, err := e.src.Acquire(second)
+	if err != nil {
+		e.src.Release(first)
+		return phylo.Operand{}, phylo.Operand{}, nil, err
+	}
+	opA, opB = op1, op2
+	if first != da {
+		opA, opB = op2, op1
+	}
+	return opA, opB, func() {
+		e.src.Release(first)
+		e.src.Release(second)
+	}, nil
+}
+
+// lookupRow returns branch e's prescore row and scale counters.
+func (e *Engine) lookupRow(edgeID int) ([]float64, []int32) {
+	rowLen := e.part.PrescoreRowLen()
+	sl := e.part.ScaleLen()
+	return e.lookup[edgeID*rowLen : (edgeID+1)*rowLen], e.lookupScale[edgeID*sl : (edgeID+1)*sl]
+}

@@ -1,0 +1,326 @@
+package placement
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"phylomem/internal/jplace"
+	"phylomem/internal/numeric"
+	"phylomem/internal/phylo"
+	"phylomem/internal/tree"
+)
+
+// Result is the outcome of placing a set of queries.
+type Result struct {
+	Queries []jplace.Placements
+}
+
+// Place runs two-phase placement for all queries, processing them in chunks
+// of Config.ChunkSize: phase 1 pre-scores every query against every branch
+// (via the lookup table when it fits, otherwise by full likelihood
+// computations over branch blocks); phase 2 re-scores the best candidate
+// branches per query with pendant (and, in thorough mode, distal)
+// branch-length optimization. Results are deterministic and independent of
+// the memory mode, thread count, and replacement strategy.
+func (e *Engine) Place(queries []Query) (*Result, error) {
+	res := &Result{Queries: make([]jplace.Placements, 0, len(queries))}
+	if _, err := e.PlaceStream(NewSliceSource(queries), func(p jplace.Placements) error {
+		res.Queries = append(res.Queries, p)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// candidate is one (query, branch) pair surviving pre-placement.
+type candidate struct {
+	query  int // index within chunk
+	edgeID int
+	loglik float64
+	distal float64
+	pend   float64
+}
+
+func (e *Engine) placeChunk(chunk []Query) ([]jplace.Placements, error) {
+	for _, q := range chunk {
+		if len(q.Codes) != e.part.Comp.OriginalWidth() {
+			return nil, fmt.Errorf("placement: query %q has %d sites, want %d",
+				q.Name, len(q.Codes), e.part.Comp.OriginalWidth())
+		}
+	}
+	nb := e.tr.NumBranches()
+	scoresBytes := int64(len(chunk)) * int64(nb) * 8
+	e.acct.Alloc("chunk-scores", scoresBytes)
+	defer e.acct.Free("chunk-scores", scoresBytes)
+	qBytes := QueryBytes(chunk)
+	e.acct.Alloc("chunk-queries", qBytes)
+	defer e.acct.Free("chunk-queries", qBytes)
+
+	scores := make([]float64, len(chunk)*nb)
+
+	// Phase 1: pre-placement.
+	start := time.Now()
+	if e.lookup != nil {
+		e.parallelFor(len(chunk), func(qi int) {
+			q := chunk[qi]
+			row := scores[qi*nb : (qi+1)*nb]
+			for b := 0; b < nb; b++ {
+				lr, ls := e.lookupRow(b)
+				row[b] = e.part.PrescoreQuery(lr, ls, q.Codes, e.cfg.SkipGaps)
+			}
+		})
+	} else {
+		ppend := make([]float64, e.part.PLen())
+		e.part.FillP(ppend, e.pendant0)
+		err := e.runBlocks(e.branchOrder, func(blk *branchBlock) error {
+			e.parallelFor(len(chunk), func(qi int) {
+				q := chunk[qi]
+				for _, ent := range blk.entries {
+					scores[qi*nb+ent.edge.ID] = e.part.QueryLogLik(ent.m, ent.ms, q.Codes, ppend, e.cfg.SkipGaps)
+				}
+			})
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	e.stats.Phase1 += time.Since(start)
+
+	// Candidate selection, as in EPA-NG's pre-placement heuristic: per
+	// query, branches are kept best-first until their accumulated
+	// likelihood-weight ratio (computed from the pre-scores) reaches the
+	// threshold; KeepFraction bounds the candidate count from above. For
+	// well-resolved queries this keeps only a handful of branches, which is
+	// what makes phase 2 cheap ("each QS only gets matched against a small
+	// set of promising branches", Section II).
+	keepMax := int(math.Ceil(e.cfg.KeepFraction * float64(nb)))
+	if keepMax < 2 {
+		keepMax = 2
+	}
+	if keepMax > nb {
+		keepMax = nb
+	}
+	byBranch := make([][]*candidate, nb)
+	perQuery := make([][]*candidate, len(chunk))
+	var candMu sync.Mutex
+	e.parallelFor(len(chunk), func(qi int) {
+		row := scores[qi*nb : (qi+1)*nb]
+		order := make([]int, nb)
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool {
+			if row[order[a]] != row[order[b]] {
+				return row[order[a]] > row[order[b]]
+			}
+			return order[a] < order[b]
+		})
+		best := row[order[0]]
+		total := 0.0
+		for _, b := range order {
+			total += math.Exp(row[b] - best)
+		}
+		cands := make([]*candidate, 0, 8)
+		acc := 0.0
+		for _, b := range order {
+			if len(cands) >= keepMax {
+				break
+			}
+			cands = append(cands, &candidate{query: qi, edgeID: b, loglik: math.Inf(-1)})
+			acc += math.Exp(row[b]-best) / total
+			if len(cands) >= 2 && acc >= e.cfg.PrescoreThreshold {
+				break
+			}
+		}
+		perQuery[qi] = cands
+		candMu.Lock()
+		for _, c := range cands {
+			byBranch[c.edgeID] = append(byBranch[c.edgeID], c)
+		}
+		candMu.Unlock()
+	})
+
+	// Phase 2: thorough scoring of candidates, grouped into branch blocks in
+	// DFS order for slot locality.
+	start = time.Now()
+	var candEdges []*tree.Edge
+	for _, edge := range e.branchOrder {
+		if len(byBranch[edge.ID]) > 0 {
+			candEdges = append(candEdges, edge)
+		}
+	}
+	err := e.runBlocks(candEdges, func(blk *branchBlock) error {
+		// Flatten the block's tasks for even worker distribution.
+		type task struct {
+			ent  *branchEntry
+			cand *candidate
+		}
+		var tasks []task
+		for i := range blk.entries {
+			ent := &blk.entries[i]
+			for _, c := range byBranch[ent.edge.ID] {
+				tasks = append(tasks, task{ent: ent, cand: c})
+			}
+		}
+		e.parallelFor(len(tasks), func(ti int) {
+			t := tasks[ti]
+			e.scoreCandidate(t.ent, chunk[t.cand.query].Codes, t.cand)
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.stats.Phase2 += time.Since(start)
+
+	// Likelihood weight ratios and output filtering per query.
+	out := make([]jplace.Placements, len(chunk))
+	e.parallelFor(len(chunk), func(qi int) {
+		out[qi] = e.filterPlacements(chunk[qi].Name, perQuery[qi])
+	})
+	return out, nil
+}
+
+// scoreCandidate optimizes the placement of one query on one branch. The
+// pendant length is always optimized (Brent); in thorough mode the distal
+// (insertion) position along the branch is optimized as well, re-deriving
+// the insertion CLV from the block's directional snapshots.
+func (e *Engine) scoreCandidate(ent *branchEntry, codes []uint32, c *candidate) {
+	part := e.part
+	ppend := make([]float64, part.PLen())
+	blen := ent.edge.Length
+
+	maxPend := 4 * e.avgBranch
+	if maxPend < 1e-4 {
+		maxPend = 1e-4
+	}
+	optimizePendant := func(bclv []float64, bscale []int32) (float64, float64) {
+		obj := func(p float64) float64 {
+			part.FillP(ppend, p)
+			return -part.QueryLogLik(bclv, bscale, codes, ppend, e.cfg.SkipGaps)
+		}
+		r := numeric.BrentMin(obj, 1e-8, maxPend, 1e-4, 24)
+		return r.X, -r.F
+	}
+
+	pend, ll := optimizePendant(ent.m, ent.ms)
+	distal := blen / 2
+
+	if e.cfg.Thorough && blen > 1e-9 {
+		// Optimize the insertion point with the pendant fixed, then refine
+		// the pendant once more at the optimal position.
+		scratch := make([]float64, part.CLVLen())
+		scratchScale := make([]int32, part.ScaleLen())
+		pu := make([]float64, part.PLen())
+		pv := make([]float64, part.PLen())
+		part.FillP(ppend, pend)
+		uop := operandOf(ent.u)
+		vop := operandOf(ent.v)
+		objDistal := func(x float64) float64 {
+			part.FillP(pu, x)
+			part.FillP(pv, blen-x)
+			part.UpdateCLV(scratch, scratchScale, uop, vop, pu, pv)
+			return -part.QueryLogLik(scratch, scratchScale, codes, ppend, e.cfg.SkipGaps)
+		}
+		r := numeric.BrentMin(objDistal, 1e-9*blen, blen*(1-1e-9), 0.02*blen, 10)
+		if -r.F > ll {
+			distal = r.X
+			part.FillP(pu, distal)
+			part.FillP(pv, blen-distal)
+			part.UpdateCLV(scratch, scratchScale, uop, vop, pu, pv)
+			pend2, ll2 := optimizePendant(scratch, scratchScale)
+			if ll2 > -r.F {
+				pend, ll = pend2, ll2
+			} else {
+				ll = -r.F
+			}
+		}
+	}
+	c.loglik = ll
+	c.distal = distal
+	c.pend = pend
+}
+
+func operandOf(oc operandCopy) phylo.Operand {
+	if oc.tip != nil {
+		return phylo.TipOperand(oc.tip)
+	}
+	return phylo.CLVOperand(oc.clv, oc.scale)
+}
+
+// filterPlacements converts a query's scored candidates into the reported
+// placement list: sorted by likelihood, annotated with likelihood weight
+// ratios, cut off at the accumulated-LWR threshold and the maximum count.
+func (e *Engine) filterPlacements(name string, cands []*candidate) jplace.Placements {
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].loglik != cands[b].loglik {
+			return cands[a].loglik > cands[b].loglik
+		}
+		return cands[a].edgeID < cands[b].edgeID
+	})
+	best := cands[0].loglik
+	total := 0.0
+	for _, c := range cands {
+		total += math.Exp(c.loglik - best)
+	}
+	out := jplace.Placements{Name: name}
+	acc := 0.0
+	for _, c := range cands {
+		lwr := math.Exp(c.loglik-best) / total
+		out.Placements = append(out.Placements, jplace.Placement{
+			EdgeNum:         c.edgeID,
+			LogLikelihood:   c.loglik,
+			LikeWeightRatio: lwr,
+			DistalLength:    c.distal,
+			PendantLength:   c.pend,
+		})
+		acc += lwr
+		if acc >= e.cfg.FilterAccThreshold || len(out.Placements) >= e.cfg.FilterMax {
+			break
+		}
+	}
+	return out
+}
+
+// parallelFor runs fn(i) for i in [0, n) using the configured worker count.
+func (e *Engine) parallelFor(n int, fn func(i int)) {
+	workers := e.cfg.Threads
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int64
+	var mu sync.Mutex
+	take := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		i := int(next)
+		next++
+		return i
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := take()
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,52 @@
+// Package placement implements the EPA-NG equivalent: maximum-likelihood
+// phylogenetic placement of query sequences on a fixed reference tree, with
+// the paper's memory-saving machinery — budget-driven mode selection
+// (internal/memacct), slot-managed CLVs (internal/core), the pre-placement
+// lookup table memoization, query chunking, and branch-block precomputation
+// with an asynchronous double-buffered pipeline.
+//
+// The engine is written against the phylo.CLVSource interface, so enabling
+// Active Management of CLVs changes only where CLVs live, never the
+// placement results: AMC on/off, slot counts, replacement strategies, and
+// thread counts all produce bit-identical output.
+package placement
+
+import (
+	"fmt"
+
+	"phylomem/internal/seq"
+)
+
+// Query is one query sequence, encoded as per-site state bitmasks aligned to
+// the reference alignment's columns.
+type Query struct {
+	Name  string
+	Codes []uint32
+}
+
+// EncodeQueries validates and encodes aligned query sequences. Every query
+// must have exactly the reference alignment's width.
+func EncodeQueries(a *seq.Alphabet, seqs []seq.Sequence, width int) ([]Query, error) {
+	out := make([]Query, 0, len(seqs))
+	for _, s := range seqs {
+		if len(s.Data) != width {
+			return nil, fmt.Errorf("placement: query %q has %d sites, reference alignment has %d",
+				s.Label, len(s.Data), width)
+		}
+		codes, err := a.Encode(s.Data)
+		if err != nil {
+			return nil, fmt.Errorf("placement: query %q: %w", s.Label, err)
+		}
+		out = append(out, Query{Name: s.Label, Codes: codes})
+	}
+	return out, nil
+}
+
+// QueryBytes returns the accounted footprint of a set of encoded queries.
+func QueryBytes(qs []Query) int64 {
+	var b int64
+	for _, q := range qs {
+		b += int64(len(q.Codes)) * 4
+	}
+	return b
+}

@@ -1,0 +1,108 @@
+package placement
+
+import (
+	"fmt"
+
+	"phylomem/internal/jplace"
+	"phylomem/internal/seq"
+)
+
+// QuerySource yields successive encoded query chunks. Implementations allow
+// the engine to overlap input parsing with placement and to keep only one
+// chunk of queries in memory at a time (EPA-NG's rationale for chunked
+// processing, Section II).
+type QuerySource interface {
+	// NextChunk returns up to max queries. An empty result signals the end
+	// of the input.
+	NextChunk(max int) ([]Query, error)
+}
+
+// SliceSource adapts an in-memory query slice to QuerySource.
+type SliceSource struct {
+	queries []Query
+	off     int
+}
+
+// NewSliceSource wraps qs.
+func NewSliceSource(qs []Query) *SliceSource { return &SliceSource{queries: qs} }
+
+// NextChunk implements QuerySource.
+func (s *SliceSource) NextChunk(max int) ([]Query, error) {
+	if s.off >= len(s.queries) {
+		return nil, nil
+	}
+	end := s.off + max
+	if end > len(s.queries) {
+		end = len(s.queries)
+	}
+	chunk := s.queries[s.off:end]
+	s.off = end
+	return chunk, nil
+}
+
+// FastaSource streams aligned queries from FASTA input, validating and
+// encoding them chunk by chunk.
+type FastaSource struct {
+	sc       *seq.FastaScanner
+	alphabet *seq.Alphabet
+	width    int
+}
+
+// NewFastaSource builds a source over a FASTA scanner; width is the
+// reference alignment width every query must match.
+func NewFastaSource(sc *seq.FastaScanner, alphabet *seq.Alphabet, width int) *FastaSource {
+	return &FastaSource{sc: sc, alphabet: alphabet, width: width}
+}
+
+// NextChunk implements QuerySource.
+func (f *FastaSource) NextChunk(max int) ([]Query, error) {
+	var out []Query
+	for len(out) < max {
+		s, ok, err := f.sc.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		if len(s.Data) != f.width {
+			return nil, fmt.Errorf("placement: query %q has %d sites, reference alignment has %d",
+				s.Label, len(s.Data), f.width)
+		}
+		codes, err := f.alphabet.Encode(s.Data)
+		if err != nil {
+			return nil, fmt.Errorf("placement: query %q: %w", s.Label, err)
+		}
+		out = append(out, Query{Name: s.Label, Codes: codes})
+	}
+	return out, nil
+}
+
+// PlaceStream places queries from a source chunk by chunk, passing each
+// query's placements to sink as soon as its chunk completes. It returns the
+// number of queries placed. Unlike Place, at most one chunk of queries and
+// results is resident at any time.
+func (e *Engine) PlaceStream(src QuerySource, sink func(jplace.Placements) error) (int, error) {
+	placed := 0
+	for {
+		chunk, err := src.NextChunk(e.cfg.ChunkSize)
+		if err != nil {
+			return placed, err
+		}
+		if len(chunk) == 0 {
+			e.stats.QueriesPlaced += placed
+			return placed, nil
+		}
+		results, err := e.placeChunk(chunk)
+		if err != nil {
+			return placed, err
+		}
+		e.stats.ChunksProcessed++
+		for _, r := range results {
+			if err := sink(r); err != nil {
+				return placed, err
+			}
+			placed++
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package placement
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"phylomem/internal/jplace"
+	"phylomem/internal/seq"
+)
+
+func TestPlaceStreamMatchesPlace(t *testing.T) {
+	fx := newFixture(t, 20, 20, 100, 12)
+	cfg := testConfig()
+	cfg.ChunkSize = 5
+	eng, err := New(fx.part, fx.tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bulk, err := eng.Place(fx.queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng2, err := New(fx.part, fx.tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed []jplace.Placements
+	n, err := eng2.PlaceStream(NewSliceSource(fx.queries), func(p jplace.Placements) error {
+		streamed = append(streamed, p)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(fx.queries) {
+		t.Fatalf("streamed %d of %d", n, len(fx.queries))
+	}
+	if !resultsEqual(&Result{Queries: streamed}, bulk) {
+		t.Fatal("streaming changed results")
+	}
+	if eng2.Stats().QueriesPlaced != len(fx.queries) {
+		t.Fatalf("stats QueriesPlaced = %d", eng2.Stats().QueriesPlaced)
+	}
+}
+
+func TestFastaSourceEndToEnd(t *testing.T) {
+	fx := newFixture(t, 21, 12, 80, 0)
+	// Render three aligned queries as FASTA and place them via streaming.
+	width := fx.part.Comp.OriginalWidth()
+	var sb strings.Builder
+	for i := 0; i < 3; i++ {
+		fmt.Fprintf(&sb, ">sq%d\n%s\n", i, strings.Repeat("A", width))
+	}
+	src := NewFastaSource(seq.NewFastaScanner(strings.NewReader(sb.String())), seq.DNA, width)
+	eng, err := New(fx.part, fx.tr, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	n, err := eng.PlaceStream(src, func(p jplace.Placements) error {
+		count++
+		if len(p.Placements) == 0 {
+			t.Fatalf("query %s got no placements", p.Name)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || count != 3 {
+		t.Fatalf("placed %d/%d", n, count)
+	}
+}
+
+func TestFastaSourceValidation(t *testing.T) {
+	fx := newFixture(t, 22, 12, 80, 0)
+	eng, err := New(fx.part, fx.tr, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong width.
+	src := NewFastaSource(seq.NewFastaScanner(strings.NewReader(">q\nACGT\n")), seq.DNA, fx.part.Comp.OriginalWidth())
+	if _, err := eng.PlaceStream(src, func(jplace.Placements) error { return nil }); err == nil {
+		t.Fatal("wrong-width streamed query accepted")
+	}
+	// Invalid character.
+	bad := strings.Repeat("A", fx.part.Comp.OriginalWidth()-1) + "!"
+	src = NewFastaSource(seq.NewFastaScanner(strings.NewReader(">q\n"+bad+"\n")), seq.DNA, fx.part.Comp.OriginalWidth())
+	if _, err := eng.PlaceStream(src, func(jplace.Placements) error { return nil }); err == nil {
+		t.Fatal("invalid character accepted")
+	}
+}
+
+func TestPlaceStreamSinkError(t *testing.T) {
+	fx := newFixture(t, 23, 12, 80, 6)
+	eng, err := New(fx.part, fx.tr, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantErr := fmt.Errorf("sink full")
+	_, err = eng.PlaceStream(NewSliceSource(fx.queries), func(jplace.Placements) error { return wantErr })
+	if err != wantErr {
+		t.Fatalf("sink error not propagated: %v", err)
+	}
+}
+
+func TestSliceSourceChunking(t *testing.T) {
+	qs := make([]Query, 7)
+	src := NewSliceSource(qs)
+	sizes := []int{}
+	for {
+		c, err := src.NextChunk(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(c) == 0 {
+			break
+		}
+		sizes = append(sizes, len(c))
+	}
+	if len(sizes) != 3 || sizes[0] != 3 || sizes[1] != 3 || sizes[2] != 1 {
+		t.Fatalf("chunk sizes = %v", sizes)
+	}
+}

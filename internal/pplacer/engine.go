@@ -1,0 +1,326 @@
+package pplacer
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"phylomem/internal/core"
+	"phylomem/internal/jplace"
+	"phylomem/internal/memacct"
+	"phylomem/internal/numeric"
+	"phylomem/internal/phylo"
+	"phylomem/internal/placement"
+	"phylomem/internal/tree"
+)
+
+// Config parameterizes the baseline tool.
+type Config struct {
+	// FileBacked enables the memory-saving mode: the CLV store lives in a
+	// file instead of RAM (pplacer's --mmap-file).
+	FileBacked bool
+	// FilePath is the backing file location (empty = temporary file).
+	FilePath string
+	// KeepCount is the number of best branches per query that receive
+	// pendant-length optimization (default 7).
+	KeepCount int
+	// Threads is the number of scoring workers (default 1).
+	Threads int
+}
+
+// Engine is the baseline placement tool.
+type Engine struct {
+	cfg  Config
+	tr   *tree.Tree
+	part *phylo.Partition
+
+	store CLVStore
+	acct  *memacct.Accountant
+
+	pendant0  float64
+	avgBranch float64
+
+	// storeMu serializes store access from concurrent optimization workers.
+	storeMu sync.Mutex
+
+	stats Stats
+}
+
+// Stats records the baseline's activity.
+type Stats struct {
+	Precompute time.Duration
+	PlaceTime  time.Duration
+	StoreReads uint64
+	PeakBytes  int64
+	FileBacked bool
+}
+
+// New precomputes all 3(n-2) directional CLVs into the configured store.
+// The precompute itself runs through a small slot-managed working set so
+// that the file-backed mode never holds the full CLV set in RAM.
+func New(part *phylo.Partition, tr *tree.Tree, cfg Config) (*Engine, error) {
+	if cfg.KeepCount <= 0 {
+		cfg.KeepCount = 7
+	}
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	if err := part.CheckTreeCompatible(tr); err != nil {
+		return nil, err
+	}
+	e := &Engine{cfg: cfg, tr: tr, part: part, acct: memacct.NewAccountant()}
+	e.avgBranch = tr.TotalBranchLength() / float64(tr.NumBranches())
+	e.pendant0 = e.avgBranch / 2
+	if e.pendant0 <= 0 {
+		e.pendant0 = 0.01
+	}
+
+	n := tr.NumInnerCLVs()
+	if cfg.FileBacked {
+		fs, err := NewFileStore(cfg.FilePath, n, part.CLVLen(), part.ScaleLen())
+		if err != nil {
+			return nil, err
+		}
+		e.store = fs
+	} else {
+		e.store = NewMemStore(n, part.CLVLen(), part.ScaleLen())
+	}
+	e.acct.Alloc("clv-store", e.store.Bytes())
+	e.stats.FileBacked = cfg.FileBacked
+
+	// Precompute every directional CLV through a bounded working set.
+	start := time.Now()
+	workSlots := tr.MinSlots() + 8
+	if workSlots > n {
+		workSlots = n
+	}
+	mgr, err := core.NewManager(part, tr, core.Config{Slots: workSlots})
+	if err != nil {
+		e.store.Close()
+		return nil, err
+	}
+	e.acct.Alloc("precompute-slots", mgr.Bytes())
+	for i := 0; i < n; i++ {
+		d := tr.DirOfCLV(i)
+		op, err := mgr.Acquire(d)
+		if err != nil {
+			e.store.Close()
+			return nil, fmt.Errorf("pplacer: precompute: %w", err)
+		}
+		if err := e.store.Write(i, op.CLV, op.Scale); err != nil {
+			mgr.Release(d)
+			e.store.Close()
+			return nil, err
+		}
+		mgr.Release(d)
+	}
+	e.acct.Free("precompute-slots", mgr.Bytes())
+	e.stats.Precompute = time.Since(start)
+	return e, nil
+}
+
+// Close releases the CLV store.
+func (e *Engine) Close() error { return e.store.Close() }
+
+// Stats returns a snapshot of the run counters.
+func (e *Engine) Stats() Stats {
+	s := e.stats
+	s.PeakBytes = e.acct.Peak()
+	return s
+}
+
+// Accountant exposes the baseline's memory accounting.
+func (e *Engine) Accountant() *memacct.Accountant { return e.acct }
+
+// readDir loads a directional CLV operand; leaf tails resolve to tip codes.
+func (e *Engine) readDir(d tree.Dir, clv []float64, scale []int32) (phylo.Operand, error) {
+	if u := e.tr.Tail(d); u.IsLeaf() {
+		return phylo.TipOperand(e.part.TipCodes(u.ID)), nil
+	}
+	idx := e.tr.CLVIndex(d)
+	if err := e.store.Read(idx, clv, scale); err != nil {
+		return phylo.Operand{}, err
+	}
+	e.stats.StoreReads++
+	return phylo.CLVOperand(clv, scale), nil
+}
+
+// Place scores every query against every branch (no pre-scoring heuristic,
+// no chunking — all queries and the full score matrix are held at once),
+// then optimizes the pendant length for the best KeepCount branches per
+// query.
+func (e *Engine) Place(queries []placement.Query) ([]jplace.Placements, error) {
+	start := time.Now()
+	defer func() { e.stats.PlaceTime += time.Since(start) }()
+
+	nq, nb := len(queries), e.tr.NumBranches()
+	qBytes := placement.QueryBytes(queries)
+	e.acct.Alloc("queries", qBytes)
+	defer e.acct.Free("queries", qBytes)
+	scoreBytes := int64(nq) * int64(nb) * 8
+	e.acct.Alloc("scores", scoreBytes)
+	defer e.acct.Free("scores", scoreBytes)
+
+	scores := make([]float64, nq*nb)
+	ppend := make([]float64, e.part.PLen())
+	e.part.FillP(ppend, e.pendant0)
+
+	// Branch-major full scan: one insertion CLV per branch, scored by all
+	// queries (parallelized over queries).
+	uclv := make([]float64, e.part.CLVLen())
+	uscale := make([]int32, e.part.ScaleLen())
+	vclv := make([]float64, e.part.CLVLen())
+	vscale := make([]int32, e.part.ScaleLen())
+	bclv := make([]float64, e.part.CLVLen())
+	bscale := make([]int32, e.part.ScaleLen())
+	pu := make([]float64, e.part.PLen())
+	pv := make([]float64, e.part.PLen())
+	insBytes := 3 * e.part.CLVBytes()
+	e.acct.Alloc("branch-scratch", insBytes)
+	defer e.acct.Free("branch-scratch", insBytes)
+
+	for _, edge := range e.tr.Edges {
+		a, b := edge.Nodes()
+		opU, err := e.readDir(e.tr.DirOf(edge, a), uclv, uscale)
+		if err != nil {
+			return nil, err
+		}
+		opV, err := e.readDir(e.tr.DirOf(edge, b), vclv, vscale)
+		if err != nil {
+			return nil, err
+		}
+		e.part.FillP(pu, edge.Length/2)
+		e.part.FillP(pv, edge.Length/2)
+		e.part.UpdateCLV(bclv, bscale, opU, opV, pu, pv)
+		e.parallelFor(nq, func(qi int) {
+			scores[qi*nb+edge.ID] = e.part.QueryLogLik(bclv, bscale, queries[qi].Codes, ppend, true)
+		})
+	}
+
+	// Per query: optimize the best KeepCount branches.
+	out := make([]jplace.Placements, nq)
+	for qi := 0; qi < nq; qi++ {
+		row := scores[qi*nb : (qi+1)*nb]
+		order := make([]int, nb)
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(x, y int) bool {
+			if row[order[x]] != row[order[y]] {
+				return row[order[x]] > row[order[y]]
+			}
+			return order[x] < order[y]
+		})
+		keep := e.cfg.KeepCount
+		if keep > nb {
+			keep = nb
+		}
+		type scored struct {
+			edge *tree.Edge
+			ll   float64
+			pend float64
+		}
+		results := make([]scored, keep)
+		e.parallelFor(keep, func(ci int) {
+			edge := e.tr.Edges[order[ci]]
+			ll, pend := e.optimizeOn(edge, queries[qi].Codes)
+			results[ci] = scored{edge: edge, ll: ll, pend: pend}
+		})
+		sort.Slice(results, func(x, y int) bool {
+			if results[x].ll != results[y].ll {
+				return results[x].ll > results[y].ll
+			}
+			return results[x].edge.ID < results[y].edge.ID
+		})
+		best := results[0].ll
+		total := 0.0
+		for _, r := range results {
+			total += math.Exp(r.ll - best)
+		}
+		ps := jplace.Placements{Name: queries[qi].Name}
+		for _, r := range results {
+			ps.Placements = append(ps.Placements, jplace.Placement{
+				EdgeNum:         r.edge.ID,
+				LogLikelihood:   r.ll,
+				LikeWeightRatio: math.Exp(r.ll-best) / total,
+				DistalLength:    r.edge.Length / 2,
+				PendantLength:   r.pend,
+			})
+		}
+		out[qi] = ps
+	}
+	return out, nil
+}
+
+// optimizeOn re-reads a branch's CLVs and optimizes the query's pendant
+// length on it. Serialized store access keeps the file-backed mode simple;
+// the extra reads are exactly the I/O cost the memory saving pays for.
+func (e *Engine) optimizeOn(edge *tree.Edge, codes []uint32) (loglik, pendant float64) {
+	uclv := make([]float64, e.part.CLVLen())
+	uscale := make([]int32, e.part.ScaleLen())
+	vclv := make([]float64, e.part.CLVLen())
+	vscale := make([]int32, e.part.ScaleLen())
+	bclv := make([]float64, e.part.CLVLen())
+	bscale := make([]int32, e.part.ScaleLen())
+	pu := make([]float64, e.part.PLen())
+	pv := make([]float64, e.part.PLen())
+
+	a, b := edge.Nodes()
+	e.storeMu.Lock()
+	opU, errU := e.readDir(e.tr.DirOf(edge, a), uclv, uscale)
+	opV, errV := e.readDir(e.tr.DirOf(edge, b), vclv, vscale)
+	e.storeMu.Unlock()
+	if errU != nil || errV != nil {
+		return math.Inf(-1), e.pendant0
+	}
+	e.part.FillP(pu, edge.Length/2)
+	e.part.FillP(pv, edge.Length/2)
+	e.part.UpdateCLV(bclv, bscale, opU, opV, pu, pv)
+
+	ppend := make([]float64, e.part.PLen())
+	maxPend := 4 * e.avgBranch
+	if maxPend < 1e-4 {
+		maxPend = 1e-4
+	}
+	r := numeric.BrentMin(func(p float64) float64 {
+		e.part.FillP(ppend, p)
+		return -e.part.QueryLogLik(bclv, bscale, codes, ppend, true)
+	}, 1e-8, maxPend, 1e-4, 24)
+	return -r.F, r.X
+}
+
+// parallelFor runs fn(i) for i in [0, n) with the configured worker count.
+func (e *Engine) parallelFor(n int, fn func(i int)) {
+	workers := e.cfg.Threads
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := 0
+	var mu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,150 @@
+package seq
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadFasta parses FASTA-formatted sequences from r. Sequence data may span
+// multiple lines; whitespace inside sequence lines is ignored. Labels are the
+// first whitespace-delimited token of the header line.
+func ReadFasta(r io.Reader) ([]Sequence, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<26)
+	var seqs []Sequence
+	var cur *Sequence
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if text[0] == '>' {
+			label := strings.Fields(text[1:])
+			if len(label) == 0 {
+				return nil, fmt.Errorf("seq: fasta line %d: empty header", line)
+			}
+			seqs = append(seqs, Sequence{Label: label[0]})
+			cur = &seqs[len(seqs)-1]
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("seq: fasta line %d: sequence data before first header", line)
+		}
+		for i := 0; i < len(text); i++ {
+			c := text[i]
+			if c == ' ' || c == '\t' {
+				continue
+			}
+			cur.Data = append(cur.Data, c)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("seq: reading fasta: %w", err)
+	}
+	if len(seqs) == 0 {
+		return nil, fmt.Errorf("seq: fasta input contains no sequences")
+	}
+	return seqs, nil
+}
+
+// WriteFasta writes sequences in FASTA format with 80-column wrapping.
+func WriteFasta(w io.Writer, seqs []Sequence) error {
+	bw := bufio.NewWriter(w)
+	for _, s := range seqs {
+		if _, err := fmt.Fprintf(bw, ">%s\n", s.Label); err != nil {
+			return err
+		}
+		for off := 0; off < len(s.Data); off += 80 {
+			end := off + 80
+			if end > len(s.Data) {
+				end = len(s.Data)
+			}
+			if _, err := bw.Write(s.Data[off:end]); err != nil {
+				return err
+			}
+			if err := bw.WriteByte('\n'); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPhylip parses a relaxed sequential PHYLIP alignment: a header line with
+// taxon and site counts, then one "label sequence" record per taxon (the
+// sequence may continue on following lines until the declared width is
+// reached).
+func ReadPhylip(r io.Reader) ([]Sequence, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<26)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("seq: phylip input is empty")
+	}
+	header := strings.Fields(sc.Text())
+	if len(header) < 2 {
+		return nil, fmt.Errorf("seq: phylip header must contain taxon and site counts, got %q", sc.Text())
+	}
+	ntax, err := strconv.Atoi(header[0])
+	if err != nil {
+		return nil, fmt.Errorf("seq: phylip taxon count: %w", err)
+	}
+	nsites, err := strconv.Atoi(header[1])
+	if err != nil {
+		return nil, fmt.Errorf("seq: phylip site count: %w", err)
+	}
+	if ntax <= 0 || nsites <= 0 {
+		return nil, fmt.Errorf("seq: phylip dimensions must be positive, got %d x %d", ntax, nsites)
+	}
+	seqs := make([]Sequence, 0, ntax)
+	var cur *Sequence
+	for sc.Scan() {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if cur == nil || len(cur.Data) >= nsites {
+			fields := strings.Fields(text)
+			if len(fields) < 1 {
+				continue
+			}
+			seqs = append(seqs, Sequence{Label: fields[0]})
+			cur = &seqs[len(seqs)-1]
+			text = strings.Join(fields[1:], "")
+		} else {
+			text = strings.Join(strings.Fields(text), "")
+		}
+		cur.Data = append(cur.Data, []byte(text)...)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("seq: reading phylip: %w", err)
+	}
+	if len(seqs) != ntax {
+		return nil, fmt.Errorf("seq: phylip declared %d taxa but found %d", ntax, len(seqs))
+	}
+	for _, s := range seqs {
+		if len(s.Data) != nsites {
+			return nil, fmt.Errorf("seq: phylip taxon %q has %d sites, declared %d", s.Label, len(s.Data), nsites)
+		}
+	}
+	return seqs, nil
+}
+
+// WritePhylip writes sequences in relaxed sequential PHYLIP format.
+func WritePhylip(w io.Writer, seqs []Sequence) error {
+	if len(seqs) == 0 {
+		return fmt.Errorf("seq: cannot write empty phylip alignment")
+	}
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "%d %d\n", len(seqs), len(seqs[0].Data))
+	for _, s := range seqs {
+		fmt.Fprintf(&buf, "%s  %s\n", s.Label, s.Data)
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}

@@ -1,0 +1,122 @@
+package tree
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// leafName returns the canonical synthetic taxon name for index i.
+func leafName(i int) string { return fmt.Sprintf("taxon%04d", i) }
+
+// Random generates an unrooted binary tree with n >= 3 leaves by stepwise
+// random addition: starting from the 3-leaf star, each new leaf subdivides a
+// uniformly chosen branch. Branch lengths are exponentially distributed with
+// the given mean. The construction is deterministic given the rand source.
+func Random(n int, meanBranch float64, rng *rand.Rand) (*Tree, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("tree: Random requires n >= 3, got %d", n)
+	}
+	bl := func() float64 { return rng.ExpFloat64() * meanBranch }
+	t := &Tree{}
+	// Edge IDs are maintained during construction so that split edges can be
+	// replaced in place; index() reassigns them at the end regardless.
+	addEdge := func(a, b *Node, length float64) *Edge {
+		e := connect(a, b, length)
+		e.ID = len(t.Edges)
+		t.Edges = append(t.Edges, e)
+		return e
+	}
+	center := &Node{}
+	t.Nodes = append(t.Nodes, center)
+	for i := 0; i < 3; i++ {
+		leaf := &Node{Name: leafName(i)}
+		t.Nodes = append(t.Nodes, leaf)
+		addEdge(center, leaf, bl())
+	}
+	for i := 3; i < n; i++ {
+		e := t.Edges[rng.Intn(len(t.Edges))]
+		a, b := e.Nodes()
+		// Split e at a new inner node and hang the new leaf off it.
+		mid := &Node{}
+		leaf := &Node{Name: leafName(i)}
+		t.Nodes = append(t.Nodes, mid, leaf)
+		removeEdge(a, e)
+		removeEdge(b, e)
+		half := e.Length / 2
+		replacement := connect(a, mid, half)
+		replacement.ID = e.ID
+		t.Edges[e.ID] = replacement
+		addEdge(mid, b, e.Length-half)
+		addEdge(mid, leaf, bl())
+	}
+	if err := t.index(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Balanced generates the fully balanced unrooted tree with n = 2^k leaves
+// (k >= 2): two balanced rooted subtrees of size n/2 joined by a central
+// branch, which is the worst case for the minimum slot requirement (the
+// paper's log2(n)+2 bound). All branches get the given length.
+func Balanced(n int, branch float64) (*Tree, error) {
+	if n < 4 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("tree: Balanced requires n a power of two >= 4, got %d", n)
+	}
+	t := &Tree{}
+	next := 0
+	var build func(size int) *Node
+	build = func(size int) *Node {
+		if size == 1 {
+			leaf := &Node{Name: leafName(next)}
+			next++
+			t.Nodes = append(t.Nodes, leaf)
+			return leaf
+		}
+		node := &Node{}
+		t.Nodes = append(t.Nodes, node)
+		l := build(size / 2)
+		r := build(size / 2)
+		t.Edges = append(t.Edges, connect(node, l, branch), connect(node, r, branch))
+		return node
+	}
+	left := build(n / 2)
+	right := build(n / 2)
+	t.Edges = append(t.Edges, connect(left, right, branch))
+	if err := t.index(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Caterpillar generates the fully pectinate (ladder) tree with n >= 3
+// leaves: the best case for memory-limited pruning (constant slot
+// requirement). All branches get the given length.
+func Caterpillar(n int, branch float64) (*Tree, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("tree: Caterpillar requires n >= 3, got %d", n)
+	}
+	t := &Tree{}
+	spine := &Node{}
+	t.Nodes = append(t.Nodes, spine)
+	for i := 0; i < 2; i++ {
+		leaf := &Node{Name: leafName(i)}
+		t.Nodes = append(t.Nodes, leaf)
+		t.Edges = append(t.Edges, connect(spine, leaf, branch))
+	}
+	for i := 2; i < n-1; i++ {
+		nextSpine := &Node{}
+		leaf := &Node{Name: leafName(i)}
+		t.Nodes = append(t.Nodes, nextSpine, leaf)
+		t.Edges = append(t.Edges, connect(spine, nextSpine, branch), connect(nextSpine, leaf, branch))
+		spine = nextSpine
+	}
+	last := &Node{Name: leafName(n - 1)}
+	t.Nodes = append(t.Nodes, last)
+	// The final spine node currently has degree 2; give it its third edge.
+	t.Edges = append(t.Edges, connect(spine, last, branch))
+	if err := t.index(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

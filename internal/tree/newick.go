@@ -1,0 +1,283 @@
+package tree
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseNewick parses a Newick tree description. Rooted (bifurcating root)
+// inputs are unrooted by merging the two root edges; the common
+// trifurcating-root form is accepted directly. Inner node labels and
+// comments in brackets are ignored. Branch lengths default to
+// DefaultBranchLength when absent.
+func ParseNewick(s string) (*Tree, error) {
+	p := &newickParser{src: s}
+	p.skipSpace()
+	if p.pos >= len(p.src) || p.src[p.pos] != '(' {
+		return nil, fmt.Errorf("tree: newick must start with '(', got %q", s)
+	}
+	t := &Tree{}
+	root, rootChildren, err := p.parseInternal(t)
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	// Optional root label / length are ignored.
+	p.parseLabelAndLength()
+	p.skipSpace()
+	if p.pos < len(p.src) && p.src[p.pos] == ';' {
+		p.pos++
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("tree: trailing characters after newick at offset %d", p.pos)
+	}
+
+	switch rootChildren {
+	case 2:
+		// Rooted input: remove the degree-2 root by merging its two edges.
+		if err := unrootAt(t, root); err != nil {
+			return nil, err
+		}
+	case 3:
+		// Already unrooted.
+	default:
+		return nil, fmt.Errorf("tree: root has %d children, want 2 or 3", rootChildren)
+	}
+	if err := t.index(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// DefaultBranchLength substitutes for missing branch lengths in Newick input.
+const DefaultBranchLength = 0.1
+
+type newickParser struct {
+	src string
+	pos int
+}
+
+func (p *newickParser) skipSpace() {
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		case '[': // comment
+			end := strings.IndexByte(p.src[p.pos:], ']')
+			if end < 0 {
+				p.pos = len(p.src)
+				return
+			}
+			p.pos += end + 1
+		default:
+			return
+		}
+	}
+}
+
+// parseInternal parses "(...)" and returns the new inner node and its child
+// count. Child edges are connected to the returned node.
+func (p *newickParser) parseInternal(t *Tree) (*Node, int, error) {
+	if p.src[p.pos] != '(' {
+		return nil, 0, fmt.Errorf("tree: expected '(' at offset %d", p.pos)
+	}
+	p.pos++
+	node := &Node{}
+	t.Nodes = append(t.Nodes, node)
+	children := 0
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.src) {
+			return nil, 0, fmt.Errorf("tree: unterminated '(' group")
+		}
+		var child *Node
+		var err error
+		if p.src[p.pos] == '(' {
+			child, _, err = p.parseSubtree(t)
+		} else {
+			child, err = p.parseLeaf(t)
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+		_, length := p.parseLabelAndLength()
+		t.Edges = append(t.Edges, connect(node, child, length))
+		children++
+		p.skipSpace()
+		if p.pos >= len(p.src) {
+			return nil, 0, fmt.Errorf("tree: unterminated '(' group")
+		}
+		switch p.src[p.pos] {
+		case ',':
+			p.pos++
+		case ')':
+			p.pos++
+			return node, children, nil
+		default:
+			return nil, 0, fmt.Errorf("tree: unexpected character %q at offset %d", p.src[p.pos], p.pos)
+		}
+	}
+}
+
+// parseSubtree parses a parenthesized group that must be strictly binary.
+func (p *newickParser) parseSubtree(t *Tree) (*Node, int, error) {
+	node, children, err := p.parseInternal(t)
+	if err != nil {
+		return nil, 0, err
+	}
+	if children != 2 {
+		return nil, 0, fmt.Errorf("tree: non-binary inner node with %d children (only the root may have 3)", children)
+	}
+	return node, children, nil
+}
+
+func (p *newickParser) parseLeaf(t *Tree) (*Node, error) {
+	start := p.pos
+	var name string
+	if p.src[p.pos] == '\'' {
+		// Quoted label: runs to the closing quote; '' escapes a quote.
+		p.pos++
+		var sb strings.Builder
+		for {
+			if p.pos >= len(p.src) {
+				return nil, fmt.Errorf("tree: unterminated quoted label at offset %d", start)
+			}
+			c := p.src[p.pos]
+			p.pos++
+			if c == '\'' {
+				if p.pos < len(p.src) && p.src[p.pos] == '\'' {
+					sb.WriteByte('\'')
+					p.pos++
+					continue
+				}
+				break
+			}
+			sb.WriteByte(c)
+		}
+		name = sb.String()
+	} else {
+		for p.pos < len(p.src) && !strings.ContainsRune("(),:;[", rune(p.src[p.pos])) {
+			p.pos++
+		}
+		name = strings.TrimSpace(p.src[start:p.pos])
+	}
+	if name == "" {
+		return nil, fmt.Errorf("tree: empty leaf name at offset %d", start)
+	}
+	node := &Node{Name: name}
+	t.Nodes = append(t.Nodes, node)
+	return node, nil
+}
+
+// parseLabelAndLength consumes an optional node label and ":length" suffix.
+func (p *newickParser) parseLabelAndLength() (label string, length float64) {
+	length = DefaultBranchLength
+	start := p.pos
+	for p.pos < len(p.src) && !strings.ContainsRune("(),:;[", rune(p.src[p.pos])) {
+		p.pos++
+	}
+	label = strings.TrimSpace(p.src[start:p.pos])
+	p.skipSpace()
+	if p.pos < len(p.src) && p.src[p.pos] == ':' {
+		p.pos++
+		p.skipSpace()
+		s := p.pos
+		for p.pos < len(p.src) && !strings.ContainsRune("(),;[", rune(p.src[p.pos])) {
+			p.pos++
+		}
+		if v, err := strconv.ParseFloat(strings.TrimSpace(p.src[s:p.pos]), 64); err == nil {
+			length = v
+		}
+	}
+	return label, length
+}
+
+// unrootAt removes the degree-2 node created by a rooted Newick input,
+// merging its two incident edges (lengths add).
+func unrootAt(t *Tree, root *Node) error {
+	if len(root.Edges) != 2 {
+		return fmt.Errorf("tree: unroot target has degree %d", len(root.Edges))
+	}
+	e1, e2 := root.Edges[0], root.Edges[1]
+	a, b := e1.Other(root), e2.Other(root)
+	if a.IsLeaf() && b.IsLeaf() {
+		return fmt.Errorf("tree: two-leaf trees are not supported (need >= 3 leaves)")
+	}
+	merged := connect(a, b, e1.Length+e2.Length)
+	removeEdge(a, e1)
+	removeEdge(b, e2)
+	// Drop root node and the two old edges.
+	nodes := t.Nodes[:0]
+	for _, n := range t.Nodes {
+		if n != root {
+			nodes = append(nodes, n)
+		}
+	}
+	t.Nodes = nodes
+	edges := t.Edges[:0]
+	for _, e := range t.Edges {
+		if e != e1 && e != e2 {
+			edges = append(edges, e)
+		}
+	}
+	t.Edges = append(edges, merged)
+	return nil
+}
+
+func removeEdge(n *Node, e *Edge) {
+	for i, x := range n.Edges {
+		if x == e {
+			n.Edges = append(n.Edges[:i], n.Edges[i+1:]...)
+			return
+		}
+	}
+}
+
+// WriteNewick serializes the tree in unrooted Newick form (trifurcation at
+// an arbitrary inner node) with branch lengths.
+func (t *Tree) WriteNewick() string {
+	// Root the traversal at the first inner node.
+	var root *Node
+	for _, n := range t.Nodes {
+		if !n.IsLeaf() {
+			root = n
+			break
+		}
+	}
+	if root == nil {
+		return ";"
+	}
+	var sb strings.Builder
+	sb.WriteByte('(')
+	for i, e := range root.Edges {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		writeSubtree(&sb, e.Other(root), e)
+	}
+	sb.WriteString(");")
+	return sb.String()
+}
+
+func writeSubtree(sb *strings.Builder, n *Node, parent *Edge) {
+	if n.IsLeaf() {
+		sb.WriteString(n.Name)
+	} else {
+		sb.WriteByte('(')
+		first := true
+		for _, e := range n.Edges {
+			if e == parent {
+				continue
+			}
+			if !first {
+				sb.WriteByte(',')
+			}
+			first = false
+			writeSubtree(sb, e.Other(n), e)
+		}
+		sb.WriteByte(')')
+	}
+	fmt.Fprintf(sb, ":%g", parent.Length)
+}

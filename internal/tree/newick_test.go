@@ -1,0 +1,72 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestParseQuotedLabels(t *testing.T) {
+	tr := mustParse(t, "('taxon one':0.1,'it''s':0.2,C:0.3);")
+	if tr.LeafByName("taxon one") == nil {
+		t.Fatal("quoted label with space not parsed")
+	}
+	if tr.LeafByName("it's") == nil {
+		t.Fatal("escaped quote not parsed")
+	}
+}
+
+func TestParseQuotedErrors(t *testing.T) {
+	if _, err := ParseNewick("('unterminated,B,C);"); err == nil {
+		t.Fatal("unterminated quote accepted")
+	}
+	if _, err := ParseNewick("('':1,B:1,C:1);"); err == nil {
+		t.Fatal("empty quoted label accepted")
+	}
+}
+
+// Parser robustness: random mutations of a valid Newick string must never
+// panic — they either parse or return an error.
+func TestParseNewickNeverPanics(t *testing.T) {
+	base := "((A:0.1,'B b':0.2):0.05,(C:0.3,D:0.4):0.15,(E:1,F:2):0.3);"
+	rng := rand.New(rand.NewSource(99))
+	mutants := []byte("():,;'[]0123456789.ABC \t")
+	for trial := 0; trial < 3000; trial++ {
+		b := []byte(base)
+		for k := 0; k < 1+rng.Intn(6); k++ {
+			switch rng.Intn(3) {
+			case 0: // substitute
+				b[rng.Intn(len(b))] = mutants[rng.Intn(len(mutants))]
+			case 1: // delete
+				i := rng.Intn(len(b))
+				b = append(b[:i], b[i+1:]...)
+			case 2: // insert
+				i := rng.Intn(len(b) + 1)
+				b = append(b[:i], append([]byte{mutants[rng.Intn(len(mutants))]}, b[i:]...)...)
+			}
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("ParseNewick panicked on %q: %v", b, r)
+				}
+			}()
+			tr, err := ParseNewick(string(b))
+			if err == nil {
+				// If it parsed, the invariants must hold.
+				checkInvariants(t, tr)
+			}
+		}()
+	}
+}
+
+func TestWriteNewickQuotesRoundTrip(t *testing.T) {
+	// Labels without special characters round-trip through WriteNewick.
+	in := "((alpha:1,beta:2):0.5,gamma:1,delta:2);"
+	tr := mustParse(t, in)
+	tr2 := mustParse(t, tr.WriteNewick())
+	for _, name := range []string{"alpha", "beta", "gamma", "delta"} {
+		if tr2.LeafByName(name) == nil {
+			t.Fatalf("label %q lost in round trip", name)
+		}
+	}
+}

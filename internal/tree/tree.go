@@ -1,0 +1,461 @@
+// Package tree implements unrooted binary phylogenies and the traversal
+// machinery required by likelihood computation and CLV management.
+//
+// The central concept is the *directed edge*: for an unrooted binary tree
+// with n leaves there are 2n-3 branches and 4n-6 directed edges. A
+// conditional likelihood vector (CLV) is associated with each directed edge
+// (u→v): it summarizes the subtree on u's side of the branch, as seen from
+// v. Directed edges whose tail is a leaf are "free" (their CLV is the tip
+// encoding and occupies no slot); the remaining 3(n-2) directed edges are the
+// CLVs that EPA-NG keeps in memory, and the objects the Active Management of
+// CLVs (internal/core) slots in and out.
+package tree
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Node is a vertex of an unrooted tree: degree 1 (leaf) or 3 (inner).
+type Node struct {
+	ID    int    // leaves are 0..NumLeaves-1, inner nodes follow
+	Name  string // non-empty for leaves
+	Edges []*Edge
+}
+
+// IsLeaf reports whether the node has degree 1.
+func (n *Node) IsLeaf() bool { return len(n.Edges) == 1 }
+
+// Neighbor returns the node at the other end of edge e.
+func (n *Node) Neighbor(e *Edge) *Node { return e.Other(n) }
+
+// Edge is an undirected branch with a length.
+type Edge struct {
+	ID     int
+	Length float64
+	nodes  [2]*Node
+}
+
+// Nodes returns the two endpoints of the edge.
+func (e *Edge) Nodes() (a, b *Node) { return e.nodes[0], e.nodes[1] }
+
+// Other returns the endpoint of e that is not n. It panics if n is not an
+// endpoint, which is a programming error.
+func (e *Edge) Other(n *Node) *Node {
+	switch n {
+	case e.nodes[0]:
+		return e.nodes[1]
+	case e.nodes[1]:
+		return e.nodes[0]
+	}
+	panic("tree: Other called with non-incident node")
+}
+
+// side returns 0 if n is nodes[0], 1 if nodes[1].
+func (e *Edge) side(n *Node) int {
+	switch n {
+	case e.nodes[0]:
+		return 0
+	case e.nodes[1]:
+		return 1
+	}
+	panic("tree: side called with non-incident node")
+}
+
+// Dir identifies a directed edge: the undirected edge plus the tail side.
+// Dir values are dense integers in [0, 2*NumBranches).
+type Dir int32
+
+// NoDir is the sentinel for "no directed edge".
+const NoDir Dir = -1
+
+// Tree is an unrooted binary phylogeny.
+type Tree struct {
+	Nodes  []*Node // leaves first, then inner nodes
+	Edges  []*Edge
+	leaves int
+
+	// clvIndex maps a Dir to a dense index in [0, 3(n-2)) when the tail is an
+	// inner node, or -1 when the tail is a leaf.
+	clvIndex []int32
+	// dirOf is the inverse of clvIndex.
+	dirOf []Dir
+
+	suOnce sync.Once
+	su     []int32 // cached Sethi–Ullman slot requirements per Dir
+}
+
+// NumLeaves returns the number of leaves.
+func (t *Tree) NumLeaves() int { return t.leaves }
+
+// NumInner returns the number of inner nodes (n-2 for a binary tree).
+func (t *Tree) NumInner() int { return len(t.Nodes) - t.leaves }
+
+// NumBranches returns the number of undirected branches (2n-3).
+func (t *Tree) NumBranches() int { return len(t.Edges) }
+
+// NumInnerCLVs returns the number of slot-managed CLVs, 3(n-2).
+func (t *Tree) NumInnerCLVs() int { return len(t.dirOf) }
+
+// Leaves returns the leaf nodes (ids 0..NumLeaves-1).
+func (t *Tree) Leaves() []*Node { return t.Nodes[:t.leaves] }
+
+// DirOf returns the directed edge for undirected edge e with tail node tail.
+func (t *Tree) DirOf(e *Edge, tail *Node) Dir {
+	return Dir(2*e.ID + e.side(tail))
+}
+
+// EdgeOf returns the undirected edge underlying d.
+func (t *Tree) EdgeOf(d Dir) *Edge { return t.Edges[int(d)/2] }
+
+// Tail returns the node at the tail (origin) of d: the CLV at d summarizes
+// the subtree containing Tail(d).
+func (t *Tree) Tail(d Dir) *Node { return t.Edges[int(d)/2].nodes[int(d)%2] }
+
+// Head returns the node the directed edge points at.
+func (t *Tree) Head(d Dir) *Node { return t.Edges[int(d)/2].nodes[1-int(d)%2] }
+
+// Reverse returns the directed edge with tail and head swapped.
+func (t *Tree) Reverse(d Dir) Dir { return d ^ 1 }
+
+// CLVIndex returns the dense inner-CLV index of d, or -1 if Tail(d) is a
+// leaf (tip CLVs are not slot-managed).
+func (t *Tree) CLVIndex(d Dir) int { return int(t.clvIndex[d]) }
+
+// DirOfCLV returns the directed edge for a dense inner-CLV index.
+func (t *Tree) DirOfCLV(idx int) Dir { return t.dirOf[idx] }
+
+// Children returns the two directed edges feeding the CLV at d: for
+// d = (u→v) with u inner, these are (w1→u) and (w2→u) where w1, w2 are u's
+// other neighbors. It panics if Tail(d) is a leaf.
+func (t *Tree) Children(d Dir) (a, b Dir) {
+	u := t.Tail(d)
+	if u.IsLeaf() {
+		panic("tree: Children of a leaf-tailed directed edge")
+	}
+	parent := t.EdgeOf(d)
+	found := 0
+	var out [2]Dir
+	for _, e := range u.Edges {
+		if e == parent {
+			continue
+		}
+		out[found] = t.DirOf(e, e.Other(u))
+		found++
+	}
+	if found != 2 {
+		panic(fmt.Sprintf("tree: inner node %d does not have exactly 3 edges", u.ID))
+	}
+	return out[0], out[1]
+}
+
+// LeafByName returns the leaf with the given name, or nil.
+func (t *Tree) LeafByName(name string) *Node {
+	for _, n := range t.Leaves() {
+		if n.Name == name {
+			return n
+		}
+	}
+	return nil
+}
+
+// TotalBranchLength returns the sum of all branch lengths.
+func (t *Tree) TotalBranchLength() float64 {
+	sum := 0.0
+	for _, e := range t.Edges {
+		sum += e.Length
+	}
+	return sum
+}
+
+// index assigns node IDs (leaves first), edge IDs, and the dense CLV
+// indexing. Builders must call it exactly once after wiring up the topology.
+func (t *Tree) index() error {
+	var leaves, inner []*Node
+	for _, n := range t.Nodes {
+		switch len(n.Edges) {
+		case 1:
+			if n.Name == "" {
+				return fmt.Errorf("tree: leaf without a name")
+			}
+			leaves = append(leaves, n)
+		case 3:
+			inner = append(inner, n)
+		default:
+			return fmt.Errorf("tree: node %q has degree %d, want 1 or 3", n.Name, len(n.Edges))
+		}
+	}
+	if len(leaves) < 3 {
+		return fmt.Errorf("tree: need at least 3 leaves, got %d", len(leaves))
+	}
+	if len(inner) != len(leaves)-2 {
+		return fmt.Errorf("tree: %d inner nodes for %d leaves, want %d", len(inner), len(leaves), len(leaves)-2)
+	}
+	t.leaves = len(leaves)
+	t.Nodes = append(leaves, inner...)
+	for i, n := range t.Nodes {
+		n.ID = i
+	}
+	if want := 2*len(leaves) - 3; len(t.Edges) != want {
+		return fmt.Errorf("tree: %d edges for %d leaves, want %d", len(t.Edges), len(leaves), want)
+	}
+	for i, e := range t.Edges {
+		e.ID = i
+		if e.Length < 0 || math.IsNaN(e.Length) {
+			return fmt.Errorf("tree: edge %d has invalid length %g", i, e.Length)
+		}
+	}
+	t.clvIndex = make([]int32, 2*len(t.Edges))
+	t.dirOf = t.dirOf[:0]
+	for d := range t.clvIndex {
+		if t.Tail(Dir(d)).IsLeaf() {
+			t.clvIndex[d] = -1
+		} else {
+			t.clvIndex[d] = int32(len(t.dirOf))
+			t.dirOf = append(t.dirOf, Dir(d))
+		}
+	}
+	return nil
+}
+
+// connect adds an edge of the given length between a and b.
+func connect(a, b *Node, length float64) *Edge {
+	e := &Edge{Length: length, nodes: [2]*Node{a, b}}
+	a.Edges = append(a.Edges, e)
+	b.Edges = append(b.Edges, e)
+	return e
+}
+
+// Op is one Felsenstein-pruning step: compute the CLV at Target from the
+// CLVs at ChildA and ChildB (which may be leaf-tailed, i.e. free).
+type Op struct {
+	Target Dir
+	ChildA Dir
+	ChildB Dir
+}
+
+// PostorderOps returns the pruning operations required to compute the CLV at
+// d, in dependency order (children before parents, d's op last). Leaf-tailed
+// directed edges produce no op. The skip predicate, when non-nil, prunes the
+// recursion: directed edges for which skip returns true are assumed already
+// available and are not descended into.
+//
+// Within each op, the child with the larger Sethi–Ullman slot requirement is
+// scheduled first. This ordering is what makes the slot-managed execution in
+// internal/core achieve the MinSlots bound: evaluating the more demanding
+// subtree while no sibling result is pinned keeps the peak number of live
+// CLVs at the Sethi–Ullman number.
+func (t *Tree) PostorderOps(d Dir, skip func(Dir) bool) []Op {
+	su := t.SlotRequirements()
+	var ops []Op
+	// Iterative post-order to survive very deep (caterpillar) trees.
+	type frame struct {
+		d        Dir
+		expanded bool
+	}
+	stack := []frame{{d: d}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if t.Tail(f.d).IsLeaf() {
+			continue
+		}
+		if !f.expanded && skip != nil && skip(f.d) {
+			continue
+		}
+		a, b := t.Children(f.d)
+		if f.expanded {
+			ops = append(ops, Op{Target: f.d, ChildA: a, ChildB: b})
+			continue
+		}
+		stack = append(stack, frame{d: f.d, expanded: true})
+		// The stack pops last-pushed first, so push the lighter child first
+		// to evaluate the heavier one before its sibling occupies a slot.
+		if su[a] >= su[b] {
+			stack = append(stack, frame{d: b}, frame{d: a})
+		} else {
+			stack = append(stack, frame{d: a}, frame{d: b})
+		}
+	}
+	return ops
+}
+
+// SubtreeLeafCounts returns, indexed by Dir, the number of leaves in the
+// subtree behind each directed edge. This is the recomputation-cost
+// approximation used by the default CLV replacement strategy.
+func (t *Tree) SubtreeLeafCounts() []int {
+	counts := make([]int, 2*len(t.Edges))
+	for i := range counts {
+		counts[i] = -1
+	}
+	// Iterative DFS with an explicit stack (deep caterpillars again).
+	type frame struct {
+		d        Dir
+		expanded bool
+	}
+	for start := 0; start < 2*len(t.Edges); start++ {
+		if counts[start] >= 0 {
+			continue
+		}
+		stack := []frame{{d: Dir(start)}}
+		for len(stack) > 0 {
+			f := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if counts[f.d] >= 0 {
+				continue
+			}
+			if t.Tail(f.d).IsLeaf() {
+				counts[f.d] = 1
+				continue
+			}
+			a, b := t.Children(f.d)
+			if f.expanded {
+				counts[f.d] = counts[a] + counts[b]
+				continue
+			}
+			stack = append(stack, frame{d: f.d, expanded: true})
+			if counts[a] < 0 {
+				stack = append(stack, frame{d: a})
+			}
+			if counts[b] < 0 {
+				stack = append(stack, frame{d: b})
+			}
+		}
+	}
+	return counts
+}
+
+// SlotRequirements returns the cached Sethi–Ullman slot requirement per
+// directed edge (see sethiUllman). The returned slice is shared; callers
+// must not modify it.
+func (t *Tree) SlotRequirements() []int32 {
+	t.suOnce.Do(func() { t.su = t.sethiUllman() })
+	return t.su
+}
+
+// MinSlots returns the exact minimum number of CLV slots that suffice to
+// compute the CLV at any single directed edge of the tree by the Felsenstein
+// pruning algorithm, assuming tip CLVs are free and intermediate CLVs may be
+// discarded as soon as their parent is computed. This is the Sethi–Ullman
+// register count adapted to free leaves; it is bounded by ⌈log2(n)⌉+2
+// (the paper's `log n` approach) and is typically much smaller for
+// unbalanced trees.
+func (t *Tree) MinSlots() int {
+	su := t.SlotRequirements()
+	max := 0
+	for _, v := range su {
+		if int(v) > max {
+			max = int(v)
+		}
+	}
+	return max
+}
+
+// MinSlotsFor returns the minimum slots needed to compute the CLV at d.
+func (t *Tree) MinSlotsFor(d Dir) int {
+	return int(t.SlotRequirements()[d])
+}
+
+// sethiUllman computes, per directed edge, the simultaneous slot requirement
+// for evaluating that CLV: for children requirements s1 ≥ s2 with inner-ness
+// indicators i1, i2 ∈ {0,1}:
+//
+//	slots(d) = max(s1, s2+i1, i1+i2+1)
+//
+// (evaluate the more demanding child first; while evaluating the second, the
+// first child's result occupies a slot if it is inner; finally both inner
+// children plus the result are resident together).
+func (t *Tree) sethiUllman() []int32 {
+	su := make([]int32, 2*len(t.Edges))
+	for i := range su {
+		su[i] = -1
+	}
+	type frame struct {
+		d        Dir
+		expanded bool
+	}
+	for start := 0; start < 2*len(t.Edges); start++ {
+		if su[start] >= 0 {
+			continue
+		}
+		stack := []frame{{d: Dir(start)}}
+		for len(stack) > 0 {
+			f := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if su[f.d] >= 0 {
+				continue
+			}
+			if t.Tail(f.d).IsLeaf() {
+				su[f.d] = 0
+				continue
+			}
+			a, b := t.Children(f.d)
+			if f.expanded {
+				s1, s2 := su[a], su[b]
+				i1, i2 := int32(1), int32(1)
+				if t.Tail(a).IsLeaf() {
+					i1 = 0
+				}
+				if t.Tail(b).IsLeaf() {
+					i2 = 0
+				}
+				if s1 < s2 {
+					s1, s2 = s2, s1
+					i1, i2 = i2, i1
+				}
+				v := s1
+				if s2+i1 > v {
+					v = s2 + i1
+				}
+				if i1+i2+1 > v {
+					v = i1 + i2 + 1
+				}
+				su[f.d] = v
+				continue
+			}
+			stack = append(stack, frame{d: f.d, expanded: true})
+			if su[a] < 0 {
+				stack = append(stack, frame{d: a})
+			}
+			if su[b] < 0 {
+				stack = append(stack, frame{d: b})
+			}
+		}
+	}
+	return su
+}
+
+// LogNBound returns ⌈log2(n)⌉ + 2, the worst-case slot requirement proven in
+// the paper's reference [5] for a fully balanced tree with n leaves.
+func LogNBound(n int) int {
+	return int(math.Ceil(math.Log2(float64(n)))) + 2
+}
+
+// BranchOrderDFS returns all undirected edges in a depth-first order starting
+// from the edge incident to leaf 0. Consecutive edges in this order share
+// subtrees, which maximizes CLV slot reuse during branch-block precomputation.
+func (t *Tree) BranchOrderDFS() []*Edge {
+	visited := make([]bool, len(t.Edges))
+	order := make([]*Edge, 0, len(t.Edges))
+	start := t.Nodes[0].Edges[0]
+	var stack []*Edge
+	push := func(e *Edge) {
+		if !visited[e.ID] {
+			visited[e.ID] = true
+			stack = append(stack, e)
+		}
+	}
+	push(start)
+	for len(stack) > 0 {
+		e := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		order = append(order, e)
+		for _, n := range []*Node{e.nodes[0], e.nodes[1]} {
+			for _, ne := range n.Edges {
+				push(ne)
+			}
+		}
+	}
+	return order
+}

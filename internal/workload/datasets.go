@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"fmt"
+
+	"phylomem/internal/model"
+	"phylomem/internal/seq"
+)
+
+// The three canonical datasets of the paper's Table I. Scale divides each
+// dimension: scale 1 reproduces the full published dimensions (pro_ref then
+// needs tens of GiB in reference mode — exactly the paper's motivation);
+// larger scales generate shape-preserving miniatures for laptops and tests.
+//
+//	name      leaves  sites   #QSs    type
+//	neotrop      512   4,686  95,417  NT    (many queries)
+//	serratus     546  10,170     136  AA    (wide alignment, 20 states)
+//	pro_ref   20,000   1,582   3,333  NT    (huge reference tree)
+
+// scaleDim divides v by scale with a floor.
+func scaleDim(v int, scale, floor int) int {
+	out := v / scale
+	if out < floor {
+		out = floor
+	}
+	return out
+}
+
+// Neotrop generates the neotropical-soil-like dataset: a moderate NT tree
+// with a very large number of fragmentary (read-like) queries.
+func Neotrop(scale int, seed int64) (*Dataset, error) {
+	if scale < 1 {
+		return nil, fmt.Errorf("workload: scale must be >= 1, got %d", scale)
+	}
+	gtr, err := model.GTR([]float64{0.28, 0.22, 0.24, 0.26}, []float64{1.1, 2.9, 0.7, 0.9, 3.2, 1.0})
+	if err != nil {
+		return nil, err
+	}
+	rates, err := model.GammaRates(0.7, 4)
+	if err != nil {
+		return nil, err
+	}
+	return Simulate(SimConfig{
+		Name:          "neotrop",
+		Leaves:        scaleDim(512, scale, 48),
+		Sites:         scaleDim(4686, scale, 128),
+		NumQueries:    scaleDim(95417, scale, 50),
+		Alphabet:      seq.DNA,
+		Model:         gtr,
+		Rates:         rates,
+		Seed:          seed,
+		QueryCoverage: 0.35, // 16S read fragments
+	})
+}
+
+// Serratus generates the Coronaviridae-like dataset: a wide amino-acid
+// alignment with few, long queries.
+func Serratus(scale int, seed int64) (*Dataset, error) {
+	if scale < 1 {
+		return nil, fmt.Errorf("workload: scale must be >= 1, got %d", scale)
+	}
+	rates, err := model.GammaRates(1.0, 4)
+	if err != nil {
+		return nil, err
+	}
+	return Simulate(SimConfig{
+		Name:          "serratus",
+		Leaves:        scaleDim(546, scale, 32),
+		Sites:         scaleDim(10170, scale, 256),
+		NumQueries:    scaleDim(136, scale, 8),
+		Alphabet:      seq.AA,
+		Model:         model.SyntheticAA(),
+		Rates:         rates,
+		Seed:          seed,
+		QueryCoverage: 1, // assembled genomes: full length
+	})
+}
+
+// ProRef generates the PICRUSt2-like dataset: a very large NT reference
+// tree with moderately many queries.
+func ProRef(scale int, seed int64) (*Dataset, error) {
+	if scale < 1 {
+		return nil, fmt.Errorf("workload: scale must be >= 1, got %d", scale)
+	}
+	gtr, err := model.GTR([]float64{0.25, 0.23, 0.27, 0.25}, []float64{1.0, 2.5, 0.8, 1.1, 2.8, 1.0})
+	if err != nil {
+		return nil, err
+	}
+	rates, err := model.GammaRates(0.9, 4)
+	if err != nil {
+		return nil, err
+	}
+	return Simulate(SimConfig{
+		Name:          "pro_ref",
+		Leaves:        scaleDim(20000, scale, 96),
+		Sites:         scaleDim(1582, scale, 100),
+		NumQueries:    scaleDim(3333, scale, 16),
+		Alphabet:      seq.DNA,
+		Model:         gtr,
+		Rates:         rates,
+		Seed:          seed,
+		QueryCoverage: 0.5,
+	})
+}
+
+// ByName returns one of the canonical datasets ("neotrop", "serratus",
+// "pro_ref") at the given scale.
+func ByName(name string, scale int, seed int64) (*Dataset, error) {
+	switch name {
+	case "neotrop":
+		return Neotrop(scale, seed)
+	case "serratus":
+		return Serratus(scale, seed)
+	case "pro_ref":
+		return ProRef(scale, seed)
+	}
+	return nil, fmt.Errorf("workload: unknown dataset %q (want neotrop, serratus or pro_ref)", name)
+}
+
+// Names lists the canonical dataset names in the paper's Table I order.
+func Names() []string { return []string{"neotrop", "serratus", "pro_ref"} }

@@ -1,0 +1,252 @@
+// Package workload synthesizes placement datasets with controlled
+// dimensions. The paper's empirical datasets (neotrop, serratus, pro_ref)
+// are proprietary-ish downloads; what the experiments actually exercise is
+// their *shape* — reference-tree size, alignment width, query count, and
+// data type — so this package generates datasets with exactly those shapes
+// by simulating sequence evolution along random trees under the same models
+// the likelihood engine scores with (see DESIGN.md, "Substitutions").
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"phylomem/internal/model"
+	"phylomem/internal/seq"
+	"phylomem/internal/tree"
+)
+
+// SimConfig controls dataset synthesis.
+type SimConfig struct {
+	Name       string
+	Leaves     int
+	Sites      int
+	NumQueries int
+	Alphabet   *seq.Alphabet
+	Model      *model.Model
+	Rates      *model.RateHet
+	Seed       int64
+	// MeanBranch is the mean branch length of the random tree (default 0.1).
+	MeanBranch float64
+	// QueryCoverage is the fraction of sites a query covers; the rest are
+	// gaps, mimicking read data (default 1 = full length).
+	QueryCoverage float64
+	// QueryDivergence is the pendant branch length queries evolve along
+	// before sampling (default 0.15).
+	QueryDivergence float64
+}
+
+// Dataset is a synthesized placement problem.
+type Dataset struct {
+	Name     string
+	Tree     *tree.Tree
+	RefMSA   *seq.MSA
+	Queries  []seq.Sequence
+	Model    *model.Model
+	Rates    *model.RateHet
+	Alphabet *seq.Alphabet
+	// QueryOrigins[i] is the tree node each query was evolved from — the
+	// ground truth that placement-accuracy evaluation measures against.
+	QueryOrigins []*tree.Node
+}
+
+// Type returns "NT" or "AA" in the paper's Table I notation.
+func (d *Dataset) Type() string {
+	if d.Alphabet.States() == 4 {
+		return "NT"
+	}
+	return "AA"
+}
+
+// Simulate generates a dataset: a random tree, a reference alignment evolved
+// along it (per-site discrete-Gamma rates), and queries evolved from random
+// attachment points with optional read-like fragmentation.
+func Simulate(cfg SimConfig) (*Dataset, error) {
+	if cfg.Leaves < 4 {
+		return nil, fmt.Errorf("workload: need at least 4 leaves, got %d", cfg.Leaves)
+	}
+	if cfg.Sites < 1 {
+		return nil, fmt.Errorf("workload: need at least 1 site, got %d", cfg.Sites)
+	}
+	if cfg.Alphabet == nil || cfg.Model == nil || cfg.Rates == nil {
+		return nil, fmt.Errorf("workload: alphabet, model and rates are required")
+	}
+	if cfg.Model.States() != cfg.Alphabet.States() {
+		return nil, fmt.Errorf("workload: model states %d != alphabet states %d", cfg.Model.States(), cfg.Alphabet.States())
+	}
+	if cfg.MeanBranch <= 0 {
+		cfg.MeanBranch = 0.1
+	}
+	if cfg.QueryCoverage <= 0 || cfg.QueryCoverage > 1 {
+		cfg.QueryCoverage = 1
+	}
+	if cfg.QueryDivergence <= 0 {
+		cfg.QueryDivergence = 0.15
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tr, err := tree.Random(cfg.Leaves, cfg.MeanBranch, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	sim := &simulator{
+		cfg:   cfg,
+		rng:   rng,
+		m:     cfg.Model,
+		s:     cfg.Model.States(),
+		sites: cfg.Sites,
+	}
+	// Per-site rate categories, shared by the whole simulation.
+	sim.siteRates = make([]float64, cfg.Sites)
+	for i := range sim.siteRates {
+		sim.siteRates[i] = cfg.Rates.Rates[sampleWeighted(rng, cfg.Rates.Weights)]
+	}
+
+	// Evolve from the first inner node outward.
+	var root *tree.Node
+	for _, n := range tr.Nodes {
+		if !n.IsLeaf() {
+			root = n
+			break
+		}
+	}
+	states := make(map[*tree.Node][]uint8, len(tr.Nodes))
+	rootSeq := make([]uint8, cfg.Sites)
+	pi := cfg.Model.Freqs()
+	for i := range rootSeq {
+		rootSeq[i] = uint8(sampleWeighted(rng, pi))
+	}
+	states[root] = rootSeq
+	sim.evolveFrom(root, nil, states)
+
+	var refSeqs []seq.Sequence
+	for _, leaf := range tr.Leaves() {
+		refSeqs = append(refSeqs, seq.Sequence{Label: leaf.Name, Data: sim.toChars(states[leaf])})
+	}
+	msa, err := seq.NewMSA(cfg.Alphabet, refSeqs)
+	if err != nil {
+		return nil, err
+	}
+
+	// Queries: evolve from a random node's sequence along a pendant branch,
+	// then mask to a read-like window.
+	queries := make([]seq.Sequence, 0, cfg.NumQueries)
+	origins := make([]*tree.Node, 0, cfg.NumQueries)
+	nodes := tr.Nodes
+	for qi := 0; qi < cfg.NumQueries; qi++ {
+		origin := nodes[rng.Intn(len(nodes))]
+		src := states[origin]
+		pend := rng.ExpFloat64() * cfg.QueryDivergence
+		qstates := sim.evolveSeq(src, pend)
+		data := sim.toChars(qstates)
+		if cfg.QueryCoverage < 1 {
+			covered := int(cfg.QueryCoverage * float64(cfg.Sites))
+			if covered < 1 {
+				covered = 1
+			}
+			start := 0
+			if covered < cfg.Sites {
+				start = rng.Intn(cfg.Sites - covered)
+			}
+			for i := 0; i < cfg.Sites; i++ {
+				if i < start || i >= start+covered {
+					data[i] = '-'
+				}
+			}
+		}
+		queries = append(queries, seq.Sequence{Label: fmt.Sprintf("query%06d", qi), Data: data})
+		origins = append(origins, origin)
+	}
+	return &Dataset{
+		Name:         cfg.Name,
+		Tree:         tr,
+		RefMSA:       msa,
+		Queries:      queries,
+		Model:        cfg.Model,
+		Rates:        cfg.Rates,
+		Alphabet:     cfg.Alphabet,
+		QueryOrigins: origins,
+	}, nil
+}
+
+type simulator struct {
+	cfg       SimConfig
+	rng       *rand.Rand
+	m         *model.Model
+	s         int
+	sites     int
+	siteRates []float64
+}
+
+// evolveFrom walks the tree from node, evolving each neighbor's sequence
+// from node's along the connecting branch.
+func (sim *simulator) evolveFrom(node *tree.Node, from *tree.Edge, states map[*tree.Node][]uint8) {
+	type frame struct {
+		node *tree.Node
+		from *tree.Edge
+	}
+	stack := []frame{{node: node, from: from}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		src := states[f.node]
+		for _, e := range f.node.Edges {
+			if e == f.from {
+				continue
+			}
+			child := e.Other(f.node)
+			states[child] = sim.evolveSeqLen(src, e.Length)
+			stack = append(stack, frame{node: child, from: e})
+		}
+	}
+}
+
+// evolveSeq evolves a sequence along a branch of the given length.
+func (sim *simulator) evolveSeq(src []uint8, length float64) []uint8 {
+	return sim.evolveSeqLen(src, length)
+}
+
+func (sim *simulator) evolveSeqLen(src []uint8, length float64) []uint8 {
+	out := make([]uint8, len(src))
+	p := make([]float64, sim.s*sim.s)
+	// Group sites by rate category to reuse P matrices.
+	done := make(map[float64]bool)
+	for _, rate := range sim.siteRates {
+		if done[rate] {
+			continue
+		}
+		done[rate] = true
+		sim.m.TransitionMatrix(p, length, rate)
+		for i, r := range sim.siteRates {
+			if r != rate {
+				continue
+			}
+			row := p[int(src[i])*sim.s : int(src[i])*sim.s+sim.s]
+			out[i] = uint8(sampleWeighted(sim.rng, row))
+		}
+	}
+	return out
+}
+
+// toChars renders state indices as alphabet symbols.
+func (sim *simulator) toChars(states []uint8) []byte {
+	out := make([]byte, len(states))
+	for i, s := range states {
+		out[i] = sim.cfg.Alphabet.Symbol(int(s))
+	}
+	return out
+}
+
+// sampleWeighted draws an index proportional to the weights (which need not
+// be normalized exactly; the tail absorbs rounding).
+func sampleWeighted(rng *rand.Rand, w []float64) int {
+	r := rng.Float64()
+	acc := 0.0
+	for i, v := range w {
+		acc += v
+		if r < acc {
+			return i
+		}
+	}
+	return len(w) - 1
+}

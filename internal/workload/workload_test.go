@@ -1,0 +1,231 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"phylomem/internal/model"
+	"phylomem/internal/phylo"
+	"phylomem/internal/placement"
+	"phylomem/internal/seq"
+)
+
+func simpleConfig(seed int64) SimConfig {
+	rates, err := model.GammaRates(1.0, 4)
+	if err != nil {
+		panic(err)
+	}
+	return SimConfig{
+		Name:       "test",
+		Leaves:     24,
+		Sites:      150,
+		NumQueries: 10,
+		Alphabet:   seq.DNA,
+		Model:      model.JC69(),
+		Rates:      rates,
+		Seed:       seed,
+	}
+}
+
+func TestSimulateShapes(t *testing.T) {
+	ds, err := Simulate(simpleConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Tree.NumLeaves() != 24 {
+		t.Fatalf("leaves = %d", ds.Tree.NumLeaves())
+	}
+	if ds.RefMSA.Len() != 24 || ds.RefMSA.Width() != 150 {
+		t.Fatalf("ref MSA = %d x %d", ds.RefMSA.Len(), ds.RefMSA.Width())
+	}
+	if len(ds.Queries) != 10 {
+		t.Fatalf("queries = %d", len(ds.Queries))
+	}
+	for _, q := range ds.Queries {
+		if len(q.Data) != 150 {
+			t.Fatalf("query %s width = %d", q.Label, len(q.Data))
+		}
+	}
+	if ds.Type() != "NT" {
+		t.Fatalf("type = %s", ds.Type())
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	a, err := Simulate(simpleConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(simpleConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Tree.WriteNewick() != b.Tree.WriteNewick() {
+		t.Fatal("trees differ for the same seed")
+	}
+	for i := range a.RefMSA.Sequences {
+		if string(a.RefMSA.Sequences[i].Data) != string(b.RefMSA.Sequences[i].Data) {
+			t.Fatal("reference sequences differ for the same seed")
+		}
+	}
+	for i := range a.Queries {
+		if string(a.Queries[i].Data) != string(b.Queries[i].Data) {
+			t.Fatal("queries differ for the same seed")
+		}
+	}
+	c, err := Simulate(simpleConfig(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Tree.WriteNewick() == c.Tree.WriteNewick() {
+		t.Fatal("different seeds produced identical trees")
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	bad := simpleConfig(1)
+	bad.Leaves = 2
+	if _, err := Simulate(bad); err == nil {
+		t.Error("2 leaves accepted")
+	}
+	bad = simpleConfig(1)
+	bad.Sites = 0
+	if _, err := Simulate(bad); err == nil {
+		t.Error("0 sites accepted")
+	}
+	bad = simpleConfig(1)
+	bad.Model = model.PoissonAA()
+	if _, err := Simulate(bad); err == nil {
+		t.Error("AA model over DNA alphabet accepted")
+	}
+}
+
+func TestSimulatedSignalIsPhylogenetic(t *testing.T) {
+	// Sequences evolved along the tree must carry signal: sister leaves
+	// should be more similar than distant ones, and a query evolved from a
+	// leaf should place near it. Verify the pipeline end-to-end.
+	cfg := simpleConfig(7)
+	cfg.QueryDivergence = 0.05
+	ds, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := seq.Compress(ds.RefMSA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := phylo.NewPartition(ds.Model, ds.Rates, comp, ds.Tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, err := placement.EncodeQueries(ds.Alphabet, ds.Queries, ds.RefMSA.Width())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := placement.New(part, ds.Tree, placement.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Place(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With low divergence, most best placements should be decisive.
+	decisive := 0
+	for _, q := range res.Queries {
+		if q.Placements[0].LikeWeightRatio > 0.3 {
+			decisive++
+		}
+	}
+	if decisive < len(res.Queries)/2 {
+		t.Fatalf("only %d/%d placements decisive; simulated data may lack signal", decisive, len(res.Queries))
+	}
+}
+
+func TestQueryCoverageMasks(t *testing.T) {
+	cfg := simpleConfig(3)
+	cfg.QueryCoverage = 0.3
+	ds, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range ds.Queries {
+		gaps := 0
+		for _, c := range q.Data {
+			if c == '-' {
+				gaps++
+			}
+		}
+		covered := len(q.Data) - gaps
+		want := int(0.3 * float64(len(q.Data)))
+		if covered < want-1 || covered > want+1 {
+			t.Fatalf("query %s covers %d sites, want ~%d", q.Label, covered, want)
+		}
+	}
+}
+
+func TestCanonicalDatasets(t *testing.T) {
+	for _, name := range Names() {
+		ds, err := ByName(name, 64, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if ds.Name != name {
+			t.Fatalf("name = %q", ds.Name)
+		}
+		if ds.Tree.NumLeaves() < 16 || ds.RefMSA.Width() < 64 {
+			t.Fatalf("%s too small: %d x %d", name, ds.Tree.NumLeaves(), ds.RefMSA.Width())
+		}
+	}
+	if _, err := ByName("nope", 1, 1); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if _, err := Neotrop(0, 1); err == nil {
+		t.Error("scale 0 accepted")
+	}
+}
+
+func TestCanonicalDatasetCharacteristics(t *testing.T) {
+	neo, err := Neotrop(64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ser, err := Serratus(64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pro, err := ProRef(64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if neo.Type() != "NT" || ser.Type() != "AA" || pro.Type() != "NT" {
+		t.Fatal("dataset types wrong")
+	}
+	// The defining shape relations from Table I must survive scaling:
+	// neotrop has the most queries; serratus the widest alignment; pro_ref
+	// the largest tree.
+	if len(neo.Queries) <= len(ser.Queries) || len(neo.Queries) <= len(pro.Queries) {
+		t.Fatal("neotrop does not dominate query count")
+	}
+	if ser.RefMSA.Width() <= neo.RefMSA.Width() || ser.RefMSA.Width() <= pro.RefMSA.Width() {
+		t.Fatal("serratus does not dominate alignment width")
+	}
+	if pro.Tree.NumLeaves() <= neo.Tree.NumLeaves() || pro.Tree.NumLeaves() <= ser.Tree.NumLeaves() {
+		t.Fatal("pro_ref does not dominate tree size")
+	}
+}
+
+func TestSampleWeighted(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	counts := [3]int{}
+	w := []float64{0.5, 0.3, 0.2}
+	for i := 0; i < 30000; i++ {
+		counts[sampleWeighted(rng, w)]++
+	}
+	for i, want := range []float64{0.5, 0.3, 0.2} {
+		got := float64(counts[i]) / 30000
+		if got < want-0.02 || got > want+0.02 {
+			t.Fatalf("category %d frequency %g, want ~%g", i, got, want)
+		}
+	}
+}
