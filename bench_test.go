@@ -214,6 +214,102 @@ func BenchmarkUpdateCLV(b *testing.B) {
 	}
 }
 
+// findKernelOp locates a directed inner CLV whose two children match the
+// requested operand kinds (tip or inner), for kernel micro-benchmarks.
+func findKernelOp(b *testing.B, fx *kernelFixture, tipA, tipB bool) (phylo.Operand, phylo.Operand) {
+	b.Helper()
+	for i := 0; i < fx.tr.NumInnerCLVs(); i++ {
+		d := fx.tr.DirOfCLV(i)
+		ca, cb := fx.tr.Children(d)
+		la, lb := fx.tr.Tail(ca).IsLeaf(), fx.tr.Tail(cb).IsLeaf()
+		if la == tipA && lb == tipB {
+			return fx.full.Operand(ca), fx.full.Operand(cb)
+		}
+		if la == tipB && lb == tipA {
+			return fx.full.Operand(cb), fx.full.Operand(ca)
+		}
+	}
+	b.Fatalf("no op with children tipA=%v tipB=%v", tipA, tipB)
+	return phylo.Operand{}, phylo.Operand{}
+}
+
+// BenchmarkKernelUpdateCLV compares the generic reference kernel against the
+// specialized dispatch (kernels.go) per operand-kind combination. The
+// specialized sub-benches report allocations to pin the zero-alloc contract.
+func BenchmarkKernelUpdateCLV(b *testing.B) {
+	for _, tc := range []struct {
+		name       string
+		states     int
+		tipA, tipB bool
+	}{
+		{"DNA-tiptip", 4, true, true},
+		{"DNA-tipinner", 4, true, false},
+		{"DNA-innerinner", 4, false, false},
+		{"AA-tipinner", 20, true, false},
+		{"AA-innerinner", 20, false, false},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			fx := newKernelFixture(b, tc.states, 24, 1000)
+			opA, opB := findKernelOp(b, fx, tc.tipA, tc.tipB)
+			dst := make([]float64, fx.part.CLVLen())
+			scale := make([]int32, fx.part.ScaleLen())
+			pa := make([]float64, fx.part.PLen())
+			pb := make([]float64, fx.part.PLen())
+			fx.part.FillP(pa, 0.1)
+			fx.part.FillP(pb, 0.2)
+			b.Run("generic", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					fx.part.UpdateCLVGeneric(dst, scale, opA, opB, pa, pb)
+				}
+			})
+			b.Run("specialized", func(b *testing.B) {
+				fx.part.UpdateCLV(dst, scale, opA, opB, pa, pb) // warm the scratch pool
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					fx.part.UpdateCLV(dst, scale, opA, opB, pa, pb)
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkKernelEdgeLogLik compares the generic and 4-state-specialized
+// edge log-likelihood evaluation (π-premultiplied accumulation, tip LUT).
+func BenchmarkKernelEdgeLogLik(b *testing.B) {
+	for _, tc := range []struct {
+		name       string
+		states     int
+		tipA, tipB bool
+	}{
+		{"DNA-tipinner", 4, true, false},
+		{"DNA-innerinner", 4, false, false},
+		{"AA-innerinner", 20, false, false},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			fx := newKernelFixture(b, tc.states, 24, 1000)
+			opA, opB := findKernelOp(b, fx, tc.tipA, tc.tipB)
+			pm := make([]float64, fx.part.PLen())
+			fx.part.FillP(pm, 0.15)
+			b.Run("generic", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					fx.part.EdgeLogLikGeneric(opA, opB, pm)
+				}
+			})
+			b.Run("specialized", func(b *testing.B) {
+				fx.part.EdgeLogLik(opA, opB, pm) // warm the scratch pool
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					fx.part.EdgeLogLik(opA, opB, pm)
+				}
+			})
+		})
+	}
+}
+
 // BenchmarkPrescoreQuery measures the lookup-table scoring path (phase 1
 // with the memoization the paper's cliff is about).
 func BenchmarkPrescoreQuery(b *testing.B) {

@@ -27,6 +27,7 @@ import (
 	"phylomem/internal/model"
 	"phylomem/internal/phylo"
 	"phylomem/internal/placement"
+	"phylomem/internal/prof"
 	"phylomem/internal/refdb"
 	"phylomem/internal/seq"
 	"phylomem/internal/tree"
@@ -61,10 +62,21 @@ func run(args []string, stdout io.Writer) error {
 		dataType  = fs.String("type", "NT", "data type: NT or AA")
 		syncPre   = fs.Bool("sync-precompute", false, "synchronous across-site branch-block precompute (experimental)")
 		verbose   = fs.Bool("verbose", false, "print plan and statistics")
+		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(os.Stderr, "epang:", perr)
+		}
+	}()
 	if *dbFile == "" && *treeFile == "" {
 		return fmt.Errorf("--tree (or --db) is required")
 	}

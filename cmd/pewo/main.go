@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"phylomem/internal/experiments"
+	"phylomem/internal/prof"
 )
 
 func main() {
@@ -39,10 +40,21 @@ func run(args []string) error {
 		csv      = fs.Bool("csv", false, "emit CSV instead of an aligned table")
 		plot     = fs.Bool("plot", false, "also render figure experiments as terminal plots")
 		list     = fs.Bool("list", false, "list available experiments")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(os.Stderr, "pewo:", perr)
+		}
+	}()
 	if *list {
 		for _, name := range experiments.ExperimentNames() {
 			fmt.Println(name)

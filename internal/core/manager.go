@@ -56,7 +56,9 @@ type Manager struct {
 	cost       []int    // per CLV index: subtree leaf count
 	tick       uint64
 
-	// Scratch transition-matrix buffers reused across updates.
+	// Kernel scratch (tip LUTs, pair LUT) and transition-matrix buffers
+	// reused across updates; safe because Manager is single-threaded.
+	sc     *phylo.Scratch
 	pa, pb []float64
 
 	stats Stats
@@ -111,10 +113,11 @@ func NewManager(part *phylo.Partition, tr *tree.Tree, cfg Config) (*Manager, err
 		lastAccess: make([]uint64, nclv),
 		slottedAt:  make([]uint64, nclv),
 		cost:       make([]int, nclv),
-		pa:         make([]float64, part.PLen()),
-		pb:         make([]float64, part.PLen()),
+		sc:         part.NewScratch(),
 		workers:    cfg.Workers,
 	}
+	m.pa = m.sc.P(0)
+	m.pb = m.sc.P(1)
 	for i := range m.slotOf {
 		m.slotOf[i] = noSlot
 	}
@@ -291,7 +294,7 @@ func (m *Manager) materialize(d tree.Dir) error {
 	dst, dstScale := m.view(slot)
 	m.part.FillP(m.pa, m.tr.EdgeOf(a).Length)
 	m.part.FillP(m.pb, m.tr.EdgeOf(b).Length)
-	m.part.UpdateCLVParallel(dst, dstScale, m.operandOf(a), m.operandOf(b), m.pa, m.pb, m.workers)
+	m.part.UpdateCLVParallelScratch(dst, dstScale, m.operandOf(a), m.operandOf(b), m.pa, m.pb, m.workers, m.sc)
 	m.tick++
 	m.lastAccess[idx] = m.tick
 	m.stats.Recomputes++

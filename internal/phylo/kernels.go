@@ -1,0 +1,595 @@
+package phylo
+
+// kernels.go is the kernel-dispatch layer: state-count-specialized
+// Felsenstein pruning and edge log-likelihood kernels, plus the reusable
+// Scratch buffers that make the hot loops allocation-free.
+//
+// Dispatch rules (see DESIGN.md "Kernel specialization"):
+//
+//   - 4 states, tip×tip:    per-rate 16×16 code-pair product LUT — one
+//     multiply-free table lookup per pattern (the libpll cherry-tip trick).
+//   - 4 states, tip×inner:  per-rate 16-code tip LUT for the tip side, fully
+//     unrolled 4×4 mat-vec for the inner side.
+//   - 4 states, inner×inner: fully unrolled 4×4 mat-vec on both sides.
+//   - 20 states:            constant-bound kernel with an unrolled 20-term
+//     dot product for inner operands (tips keep the bitmask walk).
+//   - anything else:        the generic childVector loop (UpdateCLVGeneric).
+//
+// Every specialized path performs the same floating-point operations in the
+// same order as the generic path, so results are bit-identical — the
+// "results independent of memory mode" invariant rests on this. The LUTs are
+// themselves computed in generic order (ascending state index), and tip×tip
+// pair entries are the identical single product the generic path would form
+// per pattern, just computed once per code pair.
+
+import (
+	"math"
+	"sync"
+)
+
+// Scratch holds the reusable per-goroutine buffers of the likelihood
+// kernels: DNA tip lookup tables, the tip×tip pair-product table, and
+// caller-visible P-matrix / CLV buffers for the placement hot loops.
+//
+// A Scratch may be used by one goroutine at a time, except that a prepared
+// Scratch is read-only during UpdateCLVParallelScratch worker fan-out. Zero
+// allocation after warm-up: every buffer is grown once and reused.
+type Scratch struct {
+	p *Partition
+
+	// DNA tip LUTs: lut[(r*16+code)*4+s] = Σ_{s'∈code} P^r[s][s'].
+	lutA, lutB []float64
+	// Pair LUT: pair[((r*16+ca)*16+cb)*4+s] = lutA[r,ca,s]·lutB[r,cb,s].
+	pair []float64
+	// Which tables the last prepareUpdate call filled.
+	haveLUTA, haveLUTB, havePair bool
+
+	// π-folded pendant matrices for QueryLogLikScratch.
+	piP []float64
+
+	// Caller-reusable buffers, grown on demand (see P and CLV).
+	pbufs    [][]float64
+	clvbufs  [][]float64
+	sclbufs  [][]int32
+}
+
+// NewScratch returns an empty Scratch for this partition's dimensions.
+func (p *Partition) NewScratch() *Scratch { return &Scratch{p: p} }
+
+// P returns the i'th reusable transition-matrix buffer (PLen values),
+// allocating it on first use. Distinct indices are distinct buffers.
+func (s *Scratch) P(i int) []float64 {
+	for len(s.pbufs) <= i {
+		s.pbufs = append(s.pbufs, make([]float64, s.p.PLen()))
+	}
+	return s.pbufs[i]
+}
+
+// CLV returns the i'th reusable CLV buffer and its scale counters,
+// allocating them on first use. Distinct indices are distinct buffers.
+func (s *Scratch) CLV(i int) ([]float64, []int32) {
+	for len(s.clvbufs) <= i {
+		s.clvbufs = append(s.clvbufs, make([]float64, s.p.CLVLen()))
+		s.sclbufs = append(s.sclbufs, make([]int32, s.p.ScaleLen()))
+	}
+	return s.clvbufs[i], s.sclbufs[i]
+}
+
+// getScratch takes a Scratch from the partition's pool (the allocation-free
+// path behind the scratch-less public kernels).
+func (p *Partition) getScratch() *Scratch {
+	if v := p.scratchPool.Get(); v != nil {
+		return v.(*Scratch)
+	}
+	return p.NewScratch()
+}
+
+func (p *Partition) putScratch(s *Scratch) { p.scratchPool.Put(s) }
+
+func grow(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// prepareUpdate builds the tables updateCLVRange's fast paths read: the DNA
+// tip LUT(s) for tip operands and, when both operands are tips, the 16×16
+// code-pair product table. Hoisting this out of the per-range kernel is what
+// lets UpdateCLVParallelScratch share one table set across workers.
+func (p *Partition) prepareUpdate(sc *Scratch, a, b Operand, pa, pb []float64) {
+	sc.haveLUTA, sc.haveLUTB, sc.havePair = false, false, false
+	if p.states != 4 {
+		return
+	}
+	R := p.nrates
+	if a.IsTip() {
+		sc.lutA = grow(sc.lutA, R*16*4)
+		p.dnaTipLUT(pa, sc.lutA)
+		sc.haveLUTA = true
+	}
+	if b.IsTip() {
+		sc.lutB = grow(sc.lutB, R*16*4)
+		p.dnaTipLUT(pb, sc.lutB)
+		sc.haveLUTB = true
+	}
+	if sc.haveLUTA && sc.haveLUTB {
+		sc.pair = grow(sc.pair, R*16*16*4)
+		for r := 0; r < R; r++ {
+			for ca := 0; ca < 16; ca++ {
+				va := sc.lutA[(r*16+ca)*4 : (r*16+ca)*4+4 : (r*16+ca)*4+4]
+				for cb := 0; cb < 16; cb++ {
+					vb := sc.lutB[(r*16+cb)*4 : (r*16+cb)*4+4 : (r*16+cb)*4+4]
+					out := sc.pair[((r*16+ca)*16+cb)*4 : ((r*16+ca)*16+cb)*4+4 : ((r*16+ca)*16+cb)*4+4]
+					out[0] = va[0] * vb[0]
+					out[1] = va[1] * vb[1]
+					out[2] = va[2] * vb[2]
+					out[3] = va[3] * vb[3]
+				}
+			}
+		}
+		sc.havePair = true
+	}
+}
+
+// UpdateCLVScratch is UpdateCLV with caller-provided scratch buffers — the
+// allocation-free entry point for hot loops that own a Scratch.
+func (p *Partition) UpdateCLVScratch(dst []float64, dstScale []int32, a, b Operand, pa, pb []float64, sc *Scratch) {
+	p.prepareUpdate(sc, a, b, pa, pb)
+	p.updateCLVRange(dst, dstScale, a, b, pa, pb, 0, p.patterns, sc)
+}
+
+// UpdateCLVParallelScratch is UpdateCLVParallel with caller-provided scratch.
+// The LUTs are built once here; the workers share them read-only.
+func (p *Partition) UpdateCLVParallelScratch(dst []float64, dstScale []int32, a, b Operand, pa, pb []float64, workers int, sc *Scratch) {
+	p.prepareUpdate(sc, a, b, pa, pb)
+	if workers <= 1 || p.patterns < 4*workers {
+		p.updateCLVRange(dst, dstScale, a, b, pa, pb, 0, p.patterns, sc)
+		return
+	}
+	chunk := (p.patterns + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > p.patterns {
+			hi = p.patterns
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			p.updateCLVRange(dst, dstScale, a, b, pa, pb, lo, hi, sc)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// updateCLVRange dispatches the pruning kernel over patterns [lo, hi). sc
+// must have been prepared for (a, b, pa, pb) by prepareUpdate.
+func (p *Partition) updateCLVRange(dst []float64, dstScale []int32, a, b Operand, pa, pb []float64, lo, hi int, sc *Scratch) {
+	switch {
+	case p.states == 4 && sc.havePair:
+		p.updateCLV4TipTip(dst, dstScale, a, b, lo, hi, sc.pair)
+	case p.states == 4 && sc.haveLUTA:
+		p.updateCLV4TipInner(dst, dstScale, a, b, pb, lo, hi, sc.lutA)
+	case p.states == 4 && sc.haveLUTB:
+		p.updateCLV4TipInner(dst, dstScale, b, a, pa, lo, hi, sc.lutB)
+	case p.states == 4:
+		p.updateCLV4InnerInner(dst, dstScale, a, b, pa, pb, lo, hi)
+	case p.states == 20:
+		p.updateCLV20(dst, dstScale, a, b, pa, pb, lo, hi)
+	default:
+		p.updateCLVGenericRange(dst, dstScale, a, b, pa, pb, lo, hi)
+	}
+}
+
+// finishPattern combines child scale counters, applies numerical rescaling
+// when every entry of the pattern block is small, and stores the counter.
+// Identical across all kernels — it is the generic path's epilogue verbatim.
+func finishPattern(dst []float64, dstScale []int32, aScale, bScale []int32, pat, base, blockLen int, allSmall bool) {
+	var count int32
+	if aScale != nil {
+		count += aScale[pat]
+	}
+	if bScale != nil {
+		count += bScale[pat]
+	}
+	if allSmall {
+		blk := dst[base : base+blockLen]
+		for i := range blk {
+			blk[i] *= scaleFactor
+		}
+		count++
+	}
+	dstScale[pat] = count
+}
+
+// updateCLV4TipTip is the DNA cherry kernel: both children are tips, so the
+// product (Pa·a)⊙(Pb·b) depends only on the 16×16 code pair and the rate —
+// one table lookup per pattern per rate, no multiplies in the pattern loop.
+func (p *Partition) updateCLV4TipTip(dst []float64, dstScale []int32, a, b Operand, lo, hi int, pair []float64) {
+	const S = 4
+	R := p.nrates
+	for pat := lo; pat < hi; pat++ {
+		base := pat * R * S
+		ca, cb := int(a.Tip[pat]), int(b.Tip[pat])
+		allSmall := true
+		for r := 0; r < R; r++ {
+			off := base + r*S
+			row := pair[((r*16+ca)*16+cb)*4 : ((r*16+ca)*16+cb)*4+4 : ((r*16+ca)*16+cb)*4+4]
+			d := dst[off : off+S : off+S]
+			v0, v1, v2, v3 := row[0], row[1], row[2], row[3]
+			d[0], d[1], d[2], d[3] = v0, v1, v2, v3
+			if v0 > scaleThreshold {
+				allSmall = false
+			}
+			if v1 > scaleThreshold {
+				allSmall = false
+			}
+			if v2 > scaleThreshold {
+				allSmall = false
+			}
+			if v3 > scaleThreshold {
+				allSmall = false
+			}
+		}
+		finishPattern(dst, dstScale, a.Scale, b.Scale, pat, base, R*S, allSmall)
+	}
+}
+
+// updateCLV4TipInner handles DNA tip×inner: the tip side (t, with its
+// precomputed LUT) and the inner side (o, with transition matrices po). The
+// elementwise product is commutative, so both operand orders funnel here;
+// the scale-counter combination is symmetric as well.
+func (p *Partition) updateCLV4TipInner(dst []float64, dstScale []int32, t, o Operand, po []float64, lo, hi int, lut []float64) {
+	const S = 4
+	R := p.nrates
+	for pat := lo; pat < hi; pat++ {
+		base := pat * R * S
+		code := int(t.Tip[pat])
+		allSmall := true
+		for r := 0; r < R; r++ {
+			off := base + r*S
+			xt := lut[(r*16+code)*4 : (r*16+code)*4+4 : (r*16+code)*4+4]
+			pr := po[r*S*S : (r+1)*S*S : (r+1)*S*S]
+			cv := o.CLV[off : off+S : off+S]
+			c0, c1, c2, c3 := cv[0], cv[1], cv[2], cv[3]
+			x0 := 0.0
+			x0 += pr[0] * c0
+			x0 += pr[1] * c1
+			x0 += pr[2] * c2
+			x0 += pr[3] * c3
+			x1 := 0.0
+			x1 += pr[4] * c0
+			x1 += pr[5] * c1
+			x1 += pr[6] * c2
+			x1 += pr[7] * c3
+			x2 := 0.0
+			x2 += pr[8] * c0
+			x2 += pr[9] * c1
+			x2 += pr[10] * c2
+			x2 += pr[11] * c3
+			x3 := 0.0
+			x3 += pr[12] * c0
+			x3 += pr[13] * c1
+			x3 += pr[14] * c2
+			x3 += pr[15] * c3
+			d := dst[off : off+S : off+S]
+			v0 := xt[0] * x0
+			v1 := xt[1] * x1
+			v2 := xt[2] * x2
+			v3 := xt[3] * x3
+			d[0], d[1], d[2], d[3] = v0, v1, v2, v3
+			if v0 > scaleThreshold {
+				allSmall = false
+			}
+			if v1 > scaleThreshold {
+				allSmall = false
+			}
+			if v2 > scaleThreshold {
+				allSmall = false
+			}
+			if v3 > scaleThreshold {
+				allSmall = false
+			}
+		}
+		finishPattern(dst, dstScale, t.Scale, o.Scale, pat, base, R*S, allSmall)
+	}
+}
+
+// updateCLV4InnerInner is the fully unrolled 4-state inner×inner kernel.
+func (p *Partition) updateCLV4InnerInner(dst []float64, dstScale []int32, a, b Operand, pa, pb []float64, lo, hi int) {
+	const S = 4
+	R := p.nrates
+	for pat := lo; pat < hi; pat++ {
+		base := pat * R * S
+		allSmall := true
+		for r := 0; r < R; r++ {
+			off := base + r*S
+			pra := pa[r*S*S : (r+1)*S*S : (r+1)*S*S]
+			prb := pb[r*S*S : (r+1)*S*S : (r+1)*S*S]
+			av := a.CLV[off : off+S : off+S]
+			bv := b.CLV[off : off+S : off+S]
+			a0, a1, a2, a3 := av[0], av[1], av[2], av[3]
+			b0, b1, b2, b3 := bv[0], bv[1], bv[2], bv[3]
+			xa0 := 0.0
+			xa0 += pra[0] * a0
+			xa0 += pra[1] * a1
+			xa0 += pra[2] * a2
+			xa0 += pra[3] * a3
+			xa1 := 0.0
+			xa1 += pra[4] * a0
+			xa1 += pra[5] * a1
+			xa1 += pra[6] * a2
+			xa1 += pra[7] * a3
+			xa2 := 0.0
+			xa2 += pra[8] * a0
+			xa2 += pra[9] * a1
+			xa2 += pra[10] * a2
+			xa2 += pra[11] * a3
+			xa3 := 0.0
+			xa3 += pra[12] * a0
+			xa3 += pra[13] * a1
+			xa3 += pra[14] * a2
+			xa3 += pra[15] * a3
+			xb0 := 0.0
+			xb0 += prb[0] * b0
+			xb0 += prb[1] * b1
+			xb0 += prb[2] * b2
+			xb0 += prb[3] * b3
+			xb1 := 0.0
+			xb1 += prb[4] * b0
+			xb1 += prb[5] * b1
+			xb1 += prb[6] * b2
+			xb1 += prb[7] * b3
+			xb2 := 0.0
+			xb2 += prb[8] * b0
+			xb2 += prb[9] * b1
+			xb2 += prb[10] * b2
+			xb2 += prb[11] * b3
+			xb3 := 0.0
+			xb3 += prb[12] * b0
+			xb3 += prb[13] * b1
+			xb3 += prb[14] * b2
+			xb3 += prb[15] * b3
+			d := dst[off : off+S : off+S]
+			v0 := xa0 * xb0
+			v1 := xa1 * xb1
+			v2 := xa2 * xb2
+			v3 := xa3 * xb3
+			d[0], d[1], d[2], d[3] = v0, v1, v2, v3
+			if v0 > scaleThreshold {
+				allSmall = false
+			}
+			if v1 > scaleThreshold {
+				allSmall = false
+			}
+			if v2 > scaleThreshold {
+				allSmall = false
+			}
+			if v3 > scaleThreshold {
+				allSmall = false
+			}
+		}
+		finishPattern(dst, dstScale, a.Scale, b.Scale, pat, base, R*S, allSmall)
+	}
+}
+
+// updateCLV20 is the 20-state (amino acid) kernel: constant bounds
+// throughout, with the inner-operand dot product fully unrolled
+// (childVector20). Tip operands keep the generic bitmask walk — a 2^20-entry
+// LUT is not worth building.
+func (p *Partition) updateCLV20(dst []float64, dstScale []int32, a, b Operand, pa, pb []float64, lo, hi int) {
+	const S = 20
+	R := p.nrates
+	var xa, xb [S]float64
+	for pat := lo; pat < hi; pat++ {
+		base := pat * R * S
+		allSmall := true
+		for r := 0; r < R; r++ {
+			off := base + r*S
+			childVector20(xa[:], pa[r*S*S:(r+1)*S*S], a, off, pat)
+			childVector20(xb[:], pb[r*S*S:(r+1)*S*S], b, off, pat)
+			d := dst[off : off+S : off+S]
+			for s := 0; s < S; s++ {
+				v := xa[s] * xb[s]
+				d[s] = v
+				if v > scaleThreshold {
+					allSmall = false
+				}
+			}
+		}
+		finishPattern(dst, dstScale, a.Scale, b.Scale, pat, base, R*S, allSmall)
+	}
+}
+
+// childVector20 computes x[s] = Σ_{s'} P[s][s']·child[s'] with constant
+// 20-state bounds and a fully unrolled dot product for inner operands. The
+// additions run in ascending s' order, exactly like the generic loop.
+func childVector20(x []float64, pr []float64, op Operand, clvOff, pat int) {
+	const S = 20
+	if op.Tip != nil {
+		code := normTipCode(op.Tip[pat], S)
+		for s := 0; s < S; s++ {
+			row := pr[s*S : s*S+S : s*S+S]
+			sum := 0.0
+			c := code
+			for c != 0 {
+				sp := trailingZeros32(c)
+				sum += row[sp]
+				c &= c - 1
+			}
+			x[s] = sum
+		}
+		return
+	}
+	cv := op.CLV[clvOff : clvOff+S : clvOff+S]
+	for s := 0; s < S; s++ {
+		row := pr[s*S : s*S+S : s*S+S]
+		sum := 0.0
+		sum += row[0] * cv[0]
+		sum += row[1] * cv[1]
+		sum += row[2] * cv[2]
+		sum += row[3] * cv[3]
+		sum += row[4] * cv[4]
+		sum += row[5] * cv[5]
+		sum += row[6] * cv[6]
+		sum += row[7] * cv[7]
+		sum += row[8] * cv[8]
+		sum += row[9] * cv[9]
+		sum += row[10] * cv[10]
+		sum += row[11] * cv[11]
+		sum += row[12] * cv[12]
+		sum += row[13] * cv[13]
+		sum += row[14] * cv[14]
+		sum += row[15] * cv[15]
+		sum += row[16] * cv[16]
+		sum += row[17] * cv[17]
+		sum += row[18] * cv[18]
+		sum += row[19] * cv[19]
+		x[s] = sum
+	}
+}
+
+// --- edge log-likelihood dispatch ---
+
+// EdgeLogLikScratch is EdgeLogLik with caller-provided scratch buffers.
+func (p *Partition) EdgeLogLikScratch(a, b Operand, pm []float64, sc *Scratch) float64 {
+	if p.states != 4 {
+		return p.EdgeLogLikGeneric(a, b, pm)
+	}
+	var lutB []float64
+	if b.IsTip() {
+		sc.lutB = grow(sc.lutB, p.nrates*16*4)
+		p.dnaTipLUT(pm, sc.lutB)
+		lutB = sc.lutB
+	}
+	return p.edgeLogLik4(a, b, pm, lutB)
+}
+
+// EdgeSiteLogLiksScratch is EdgeSiteLogLiks with caller-provided scratch.
+func (p *Partition) EdgeSiteLogLiksScratch(dst []float64, a, b Operand, pm []float64, sc *Scratch) {
+	if p.states != 4 {
+		p.edgeSiteLogLiksGeneric(dst, a, b, pm)
+		return
+	}
+	var lutB []float64
+	if b.IsTip() {
+		sc.lutB = grow(sc.lutB, p.nrates*16*4)
+		p.dnaTipLUT(pm, sc.lutB)
+		lutB = sc.lutB
+	}
+	p.edgeSiteLogLiks4(dst, a, b, pm, lutB)
+}
+
+// edgeSitePattern4 evaluates one pattern's site likelihood (before the log)
+// for the 4-state edge kernels: the B-side child vector via LUT (tip) or
+// unrolled mat-vec (inner), then π-premultiplied accumulation against A.
+// pi0..pi3 are the stationary frequencies hoisted by the caller.
+func (p *Partition) edgeSitePattern4(a, b Operand, pm, lutB []float64, pat, base int, pi0, pi1, pi2, pi3 float64) float64 {
+	const S = 4
+	R := p.nrates
+	site := 0.0
+	for r := 0; r < R; r++ {
+		off := base + r*S
+		var x0, x1, x2, x3 float64
+		if lutB != nil {
+			code := int(b.Tip[pat])
+			xv := lutB[(r*16+code)*4 : (r*16+code)*4+4 : (r*16+code)*4+4]
+			x0, x1, x2, x3 = xv[0], xv[1], xv[2], xv[3]
+		} else {
+			pr := pm[r*S*S : (r+1)*S*S : (r+1)*S*S]
+			cv := b.CLV[off : off+S : off+S]
+			c0, c1, c2, c3 := cv[0], cv[1], cv[2], cv[3]
+			x0 = 0.0
+			x0 += pr[0] * c0
+			x0 += pr[1] * c1
+			x0 += pr[2] * c2
+			x0 += pr[3] * c3
+			x1 = 0.0
+			x1 += pr[4] * c0
+			x1 += pr[5] * c1
+			x1 += pr[6] * c2
+			x1 += pr[7] * c3
+			x2 = 0.0
+			x2 += pr[8] * c0
+			x2 += pr[9] * c1
+			x2 += pr[10] * c2
+			x2 += pr[11] * c3
+			x3 = 0.0
+			x3 += pr[12] * c0
+			x3 += pr[13] * c1
+			x3 += pr[14] * c2
+			x3 += pr[15] * c3
+		}
+		sum := 0.0
+		if a.Tip != nil {
+			// Ascending set-bit order, exactly like the generic bitmask walk.
+			c := normTipCode(a.Tip[pat], S)
+			if c&1 != 0 {
+				sum += pi0 * x0
+			}
+			if c&2 != 0 {
+				sum += pi1 * x1
+			}
+			if c&4 != 0 {
+				sum += pi2 * x2
+			}
+			if c&8 != 0 {
+				sum += pi3 * x3
+			}
+		} else {
+			av := a.CLV[off : off+S : off+S]
+			sum += pi0 * av[0] * x0
+			sum += pi1 * av[1] * x1
+			sum += pi2 * av[2] * x2
+			sum += pi3 * av[3] * x3
+		}
+		site += p.Rates.Weights[r] * sum
+	}
+	return site
+}
+
+func edgeScaleCount(a, b Operand, pat int) int32 {
+	var count int32
+	if a.Scale != nil {
+		count += a.Scale[pat]
+	}
+	if b.Scale != nil {
+		count += b.Scale[pat]
+	}
+	return count
+}
+
+// edgeLogLik4 is the 4-state-specialized EdgeLogLik.
+func (p *Partition) edgeLogLik4(a, b Operand, pm, lutB []float64) float64 {
+	const S = 4
+	pi := p.Model.Freqs()
+	pi0, pi1, pi2, pi3 := pi[0], pi[1], pi[2], pi[3]
+	R := p.nrates
+	total := 0.0
+	for pat := 0; pat < p.patterns; pat++ {
+		base := pat * R * S
+		site := p.edgeSitePattern4(a, b, pm, lutB, pat, base, pi0, pi1, pi2, pi3)
+		count := edgeScaleCount(a, b, pat)
+		total += p.Comp.Weights[pat] * (math.Log(site) - float64(count)*logScaleFactor)
+	}
+	return total
+}
+
+// edgeSiteLogLiks4 is the 4-state-specialized EdgeSiteLogLiks.
+func (p *Partition) edgeSiteLogLiks4(dst []float64, a, b Operand, pm, lutB []float64) {
+	const S = 4
+	pi := p.Model.Freqs()
+	pi0, pi1, pi2, pi3 := pi[0], pi[1], pi[2], pi[3]
+	R := p.nrates
+	for pat := 0; pat < p.patterns; pat++ {
+		base := pat * R * S
+		site := p.edgeSitePattern4(a, b, pm, lutB, pat, base, pi0, pi1, pi2, pi3)
+		count := edgeScaleCount(a, b, pat)
+		dst[pat] = math.Log(site) - float64(count)*logScaleFactor
+	}
+}

@@ -1,0 +1,403 @@
+package phylo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"phylomem/internal/model"
+	"phylomem/internal/seq"
+	"phylomem/internal/tree"
+)
+
+// kernelCase is one partition configuration the equivalence properties run
+// over: alphabet, model, and rate-category count.
+type kernelCase struct {
+	name     string
+	alphabet *seq.Alphabet
+	model    *model.Model
+	rates    *model.RateHet
+}
+
+func kernelCases(t *testing.T) []kernelCase {
+	t.Helper()
+	gtr, err := model.GTR(
+		[]float64{0.3, 0.25, 0.2, 0.25},
+		[]float64{1.2, 3.1, 0.8, 1.0, 2.5, 1.0},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := model.GammaRates(0.7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g4, err := model.GammaRates(0.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g3, err := model.GammaRates(1.3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []kernelCase{
+		{"DNA-JC69-1rate", seq.DNA, model.JC69(), model.UniformRates()},
+		{"DNA-GTR-2rates", seq.DNA, gtr, g2},
+		{"DNA-GTR-4rates", seq.DNA, gtr, g4},
+		{"AA-SYN-1rate", seq.AA, model.SyntheticAA(), model.UniformRates()},
+		{"AA-SYN-3rates", seq.AA, model.SyntheticAA(), g3},
+	}
+}
+
+// kernelPartition builds a small partition for a case; the tree/MSA only
+// matter for pattern compression — operands are fabricated per test.
+func kernelPartition(t *testing.T, kc kernelCase, rng *rand.Rand) *Partition {
+	t.Helper()
+	tr, err := tree.ParseNewick("((A:0.1,B:0.2):0.15,(C:0.3,D:0.05):0.2,E:0.1);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	msa := randomMSA(t, tr, kc.alphabet, 70, rng)
+	return buildPartition(t, tr, msa, kc.model, kc.rates)
+}
+
+// randTipOperand fabricates per-pattern tip codes covering the whole code
+// space, including the invalid 0 (exercised by the normTipCode fix) and the
+// full-ambiguity mask.
+func randTipOperand(p *Partition, rng *rand.Rand) Operand {
+	full := uint32(1)<<uint(p.States()) - 1
+	codes := make([]uint32, p.NumPatterns())
+	for i := range codes {
+		switch rng.Intn(8) {
+		case 0:
+			codes[i] = 0 // invalid code: must behave as full ambiguity
+		case 1:
+			codes[i] = full // gap
+		default:
+			codes[i] = uint32(rng.Intn(int(full))) + 1
+		}
+	}
+	return TipOperand(codes)
+}
+
+// randCLVOperand fabricates an inner-CLV operand with nonzero scale counters;
+// tiny=true shrinks the values so the next UpdateCLV triggers scaling.
+func randCLVOperand(p *Partition, rng *rand.Rand, tiny bool) Operand {
+	clv := make([]float64, p.CLVLen())
+	for i := range clv {
+		v := rng.Float64() + 1e-3
+		if tiny {
+			v = math.Ldexp(v, -300)
+		}
+		clv[i] = v
+	}
+	scale := make([]int32, p.ScaleLen())
+	for i := range scale {
+		scale[i] = int32(rng.Intn(3))
+	}
+	return CLVOperand(clv, scale)
+}
+
+// operandKinds enumerates the four child-kind combinations of UpdateCLV.
+var operandKinds = [][2]string{{"tip", "tip"}, {"tip", "inner"}, {"inner", "tip"}, {"inner", "inner"}}
+
+func makeOperand(p *Partition, kind string, rng *rand.Rand, tiny bool) Operand {
+	if kind == "tip" {
+		return randTipOperand(p, rng)
+	}
+	return randCLVOperand(p, rng, tiny)
+}
+
+func diffCLVs(t *testing.T, label string, want, got []float64, wantScale, gotScale []int32) {
+	t.Helper()
+	for i := range want {
+		if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+			t.Fatalf("%s: CLV[%d] differs: generic %v (%#x) vs specialized %v (%#x)",
+				label, i, want[i], math.Float64bits(want[i]), got[i], math.Float64bits(got[i]))
+		}
+	}
+	for i := range wantScale {
+		if wantScale[i] != gotScale[i] {
+			t.Fatalf("%s: scale[%d] differs: generic %d vs specialized %d", label, i, wantScale[i], gotScale[i])
+		}
+	}
+}
+
+// TestUpdateCLVMatchesGenericBitwise is the central equivalence property of
+// the dispatch layer: for every alphabet, rate count, and operand-kind
+// combination, the specialized kernels must reproduce the generic kernel's
+// CLVs and scale counters bit for bit.
+func TestUpdateCLVMatchesGenericBitwise(t *testing.T) {
+	for _, kc := range kernelCases(t) {
+		t.Run(kc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			p := kernelPartition(t, kc, rng)
+			pa := make([]float64, p.PLen())
+			pb := make([]float64, p.PLen())
+			for _, kinds := range operandKinds {
+				for trial := 0; trial < 4; trial++ {
+					label := fmt.Sprintf("%sx%s/trial%d", kinds[0], kinds[1], trial)
+					a := makeOperand(p, kinds[0], rng, false)
+					b := makeOperand(p, kinds[1], rng, false)
+					p.FillP(pa, 0.01+rng.Float64())
+					p.FillP(pb, 0.01+rng.Float64())
+
+					want := make([]float64, p.CLVLen())
+					wantScale := make([]int32, p.ScaleLen())
+					p.UpdateCLVGeneric(want, wantScale, a, b, pa, pb)
+
+					got := make([]float64, p.CLVLen())
+					gotScale := make([]int32, p.ScaleLen())
+					p.UpdateCLV(got, gotScale, a, b, pa, pb)
+					diffCLVs(t, label, want, got, wantScale, gotScale)
+
+					for i := range got {
+						got[i] = -1
+					}
+					p.UpdateCLVParallel(got, gotScale, a, b, pa, pb, 3)
+					diffCLVs(t, label+"/parallel", want, got, wantScale, gotScale)
+				}
+			}
+		})
+	}
+}
+
+// TestUpdateCLVScalingMatchesGeneric drives the kernels through the scaling
+// branch (tiny inner CLVs) and checks both that scaling actually triggered
+// and that the specialized path still matches the generic one exactly.
+func TestUpdateCLVScalingMatchesGeneric(t *testing.T) {
+	for _, kc := range kernelCases(t) {
+		t.Run(kc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(23))
+			p := kernelPartition(t, kc, rng)
+			pa := make([]float64, p.PLen())
+			pb := make([]float64, p.PLen())
+			p.FillP(pa, 0.1)
+			p.FillP(pb, 0.2)
+			for _, bKind := range []string{"tip", "inner"} {
+				a := randCLVOperand(p, rng, true) // tiny: forces per-pattern rescale
+				b := makeOperand(p, bKind, rng, false)
+
+				want := make([]float64, p.CLVLen())
+				wantScale := make([]int32, p.ScaleLen())
+				p.UpdateCLVGeneric(want, wantScale, a, b, pa, pb)
+
+				bumped := false
+				for pat := 0; pat < p.ScaleLen(); pat++ {
+					base := a.Scale[pat]
+					if !b.IsTip() {
+						base += b.Scale[pat]
+					}
+					if wantScale[pat] > base {
+						bumped = true
+					}
+				}
+				if !bumped {
+					t.Fatalf("innerx%s: tiny operand did not trigger scaling; test is vacuous", bKind)
+				}
+
+				got := make([]float64, p.CLVLen())
+				gotScale := make([]int32, p.ScaleLen())
+				p.UpdateCLV(got, gotScale, a, b, pa, pb)
+				diffCLVs(t, "innerx"+bKind, want, got, wantScale, gotScale)
+			}
+		})
+	}
+}
+
+// TestEdgeLogLikMatchesGenericBitwise covers the specialized edge evaluation:
+// total and per-pattern log-likelihoods must equal the generic reference bit
+// for bit across operand kinds.
+func TestEdgeLogLikMatchesGenericBitwise(t *testing.T) {
+	for _, kc := range kernelCases(t) {
+		t.Run(kc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(37))
+			p := kernelPartition(t, kc, rng)
+			pm := make([]float64, p.PLen())
+			for _, kinds := range operandKinds {
+				for trial := 0; trial < 3; trial++ {
+					label := fmt.Sprintf("%sx%s/trial%d", kinds[0], kinds[1], trial)
+					a := makeOperand(p, kinds[0], rng, false)
+					b := makeOperand(p, kinds[1], rng, false)
+					p.FillP(pm, 0.01+rng.Float64())
+
+					want := p.EdgeLogLikGeneric(a, b, pm)
+					got := p.EdgeLogLik(a, b, pm)
+					if math.Float64bits(want) != math.Float64bits(got) {
+						t.Fatalf("%s: EdgeLogLik differs: generic %v vs specialized %v", label, want, got)
+					}
+
+					wantSites := make([]float64, p.NumPatterns())
+					gotSites := make([]float64, p.NumPatterns())
+					p.edgeSiteLogLiksGeneric(wantSites, a, b, pm)
+					p.EdgeSiteLogLiks(gotSites, a, b, pm)
+					for i := range wantSites {
+						if math.Float64bits(wantSites[i]) != math.Float64bits(gotSites[i]) {
+							t.Fatalf("%s: site loglik[%d] differs: generic %v vs specialized %v",
+								label, i, wantSites[i], gotSites[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTipCodeZeroEqualsFullAmbiguity pins the normTipCode fix: a pattern
+// whose tip code is the invalid 0 must produce exactly the same CLV column
+// and scale counter as a pattern with the explicit full-ambiguity mask, given
+// identical data on the other child.
+func TestTipCodeZeroEqualsFullAmbiguity(t *testing.T) {
+	for _, kc := range kernelCases(t) {
+		t.Run(kc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(41))
+			p := kernelPartition(t, kc, rng)
+			if p.NumPatterns() < 2 {
+				t.Skip("need at least two patterns")
+			}
+			full := uint32(1)<<uint(p.States()) - 1
+			R, S := p.NumRates(), p.States()
+
+			codes := make([]uint32, p.NumPatterns())
+			for i := range codes {
+				codes[i] = uint32(rng.Intn(int(full))) + 1
+			}
+			codes[0] = 0
+			codes[1] = full
+			a := TipOperand(codes)
+
+			// The other child carries identical data at patterns 0 and 1.
+			for _, bKind := range []string{"tip", "inner"} {
+				b := makeOperand(p, bKind, rng, false)
+				if b.IsTip() {
+					b.Tip[1] = b.Tip[0]
+				} else {
+					copy(b.CLV[1*R*S:2*R*S], b.CLV[0:R*S])
+					b.Scale[1] = b.Scale[0]
+				}
+				pa := make([]float64, p.PLen())
+				pb := make([]float64, p.PLen())
+				p.FillP(pa, 0.17)
+				p.FillP(pb, 0.42)
+
+				for _, path := range []struct {
+					name   string
+					update func(dst []float64, dstScale []int32)
+				}{
+					{"specialized", func(d []float64, ds []int32) { p.UpdateCLV(d, ds, a, b, pa, pb) }},
+					{"generic", func(d []float64, ds []int32) { p.UpdateCLVGeneric(d, ds, a, b, pa, pb) }},
+				} {
+					dst := make([]float64, p.CLVLen())
+					dstScale := make([]int32, p.ScaleLen())
+					path.update(dst, dstScale)
+					col0 := dst[0 : R*S]
+					col1 := dst[1*R*S : 2*R*S]
+					for i := range col0 {
+						if math.Float64bits(col0[i]) != math.Float64bits(col1[i]) {
+							t.Fatalf("%s/tipx%s: code-0 column differs from code-%d column at %d: %v vs %v",
+								path.name, bKind, full, i, col0[i], col1[i])
+						}
+					}
+					if dstScale[0] != dstScale[1] {
+						t.Fatalf("%s/tipx%s: scale counters differ: %d vs %d", path.name, bKind, dstScale[0], dstScale[1])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestScratchReuseAcrossOperandKinds reuses one Scratch for every operand
+// combination in sequence, ensuring stale LUT/pair flags from a previous call
+// can never leak into the next dispatch.
+func TestScratchReuseAcrossOperandKinds(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	kc := kernelCases(t)[2] // DNA, GTR, 4 rates: exercises all fast paths
+	p := kernelPartition(t, kc, rng)
+	sc := p.NewScratch()
+	pa := make([]float64, p.PLen())
+	pb := make([]float64, p.PLen())
+
+	// Cycle through kinds twice so every transition tip-tip -> inner-inner
+	// etc. happens with a warm scratch.
+	seqKinds := append(append([][2]string{}, operandKinds...), operandKinds...)
+	for i, kinds := range seqKinds {
+		label := fmt.Sprintf("step%d-%sx%s", i, kinds[0], kinds[1])
+		a := makeOperand(p, kinds[0], rng, false)
+		b := makeOperand(p, kinds[1], rng, false)
+		p.FillP(pa, 0.01+rng.Float64())
+		p.FillP(pb, 0.01+rng.Float64())
+
+		want := make([]float64, p.CLVLen())
+		wantScale := make([]int32, p.ScaleLen())
+		p.UpdateCLVGeneric(want, wantScale, a, b, pa, pb)
+
+		got := make([]float64, p.CLVLen())
+		gotScale := make([]int32, p.ScaleLen())
+		p.UpdateCLVScratch(got, gotScale, a, b, pa, pb, sc)
+		diffCLVs(t, label, want, got, wantScale, gotScale)
+
+		// Edge kernels share the same scratch.
+		wantLL := p.EdgeLogLikGeneric(a, b, pa)
+		gotLL := p.EdgeLogLikScratch(a, b, pa, sc)
+		if math.Float64bits(wantLL) != math.Float64bits(gotLL) {
+			t.Fatalf("%s: EdgeLogLik with reused scratch differs: %v vs %v", label, wantLL, gotLL)
+		}
+	}
+}
+
+// TestRealTreeCLVsMatchGeneric runs the property on CLVs arising from a real
+// traversal (encoder-produced tip codes, accumulated scaling on a deep
+// caterpillar tree) rather than fabricated operands.
+func TestRealTreeCLVsMatchGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	// Deep caterpillar with short branches: accumulates scaling events.
+	inner := "(L14:0.01,L15:0.01)"
+	for i := 13; i >= 1; i-- {
+		inner = fmt.Sprintf("(L%d:0.01,%s:0.01)", i, inner)
+	}
+	newick := fmt.Sprintf("(A:0.01,%s:0.01,Q:0.01);", inner)
+	tr, err := tree.ParseNewick(newick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g4, err := model.GammaRates(0.8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msa := randomMSA(t, tr, seq.DNA, 40, rng)
+	p := buildPartition(t, tr, msa, model.JC69(), g4)
+
+	full, err := ComputeFullCLVSet(p, tr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa := make([]float64, p.PLen())
+	pb := make([]float64, p.PLen())
+	for _, edge := range tr.Edges {
+		na, nb := edge.Nodes()
+		a := full.Operand(tr.DirOf(edge, na))
+		b := full.Operand(tr.DirOf(edge, nb))
+		p.FillP(pa, edge.Length/2)
+		p.FillP(pb, edge.Length/2)
+
+		want := make([]float64, p.CLVLen())
+		wantScale := make([]int32, p.ScaleLen())
+		p.UpdateCLVGeneric(want, wantScale, a, b, pa, pb)
+		got := make([]float64, p.CLVLen())
+		gotScale := make([]int32, p.ScaleLen())
+		p.UpdateCLV(got, gotScale, a, b, pa, pb)
+		diffCLVs(t, fmt.Sprintf("edge%d", edge.ID), want, got, wantScale, gotScale)
+
+		p.FillP(pm4(pa, p), edge.Length) // reuse pa storage for the edge matrix
+		wantLL := p.EdgeLogLikGeneric(a, b, pa)
+		gotLL := p.EdgeLogLik(a, b, pa)
+		if math.Float64bits(wantLL) != math.Float64bits(gotLL) {
+			t.Fatalf("edge%d: EdgeLogLik differs: %v vs %v", edge.ID, wantLL, gotLL)
+		}
+	}
+}
+
+// pm4 is a tiny identity helper keeping the FillP reuse above readable.
+func pm4(buf []float64, p *Partition) []float64 { return buf[:p.PLen()] }

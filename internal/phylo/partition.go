@@ -9,11 +9,18 @@
 // matrices are [rate][from][to]. Per-pattern scaling counters accompany every
 // CLV and propagate additively from children to parents, exactly as in
 // libpll-2.
+//
+// The kernels come in two implementations: the generic reference path in
+// this file (UpdateCLVGeneric, EdgeLogLikGeneric) and the state-count
+// specialized dispatch layer in kernels.go, which produces bit-identical
+// results (property-tested) while running substantially faster.
 package phylo
 
 import (
 	"fmt"
 	"math"
+	"math/bits"
+	"sync"
 
 	"phylomem/internal/model"
 	"phylomem/internal/seq"
@@ -43,6 +50,10 @@ type Partition struct {
 	patterns int
 	states   int
 	nrates   int
+
+	// scratchPool backs the scratch-less public kernels (UpdateCLV,
+	// EdgeLogLik, ...) so they stay allocation-free after warm-up.
+	scratchPool sync.Pool
 }
 
 // NewPartition matches the tree's leaf names against the compressed
@@ -128,8 +139,22 @@ func CLVOperand(clv []float64, scale []int32) Operand { return Operand{CLV: clv,
 // IsTip reports whether the operand is a leaf.
 func (o Operand) IsTip() bool { return o.Tip != nil }
 
+// normTipCode maps the invalid all-zero tip code to the full-ambiguity mask.
+// The alphabet encoders never emit 0 (every valid character has at least one
+// compatible state), but a zero code used to read a zeroed LUT row — or skip
+// the bitmask walk entirely — silently producing a zero likelihood. Treating
+// it as fully ambiguous makes every kernel total and keeps the generic and
+// specialized paths in exact agreement.
+func normTipCode(code uint32, states int) uint32 {
+	if code == 0 {
+		return (1 << uint(states)) - 1
+	}
+	return code
+}
+
 // dnaTipLUT precomputes, for 4-state data, the vector (P·tip)[s] for all 16
-// possible tip codes under every rate category: lut[(r*16+code)*4+s].
+// possible tip codes under every rate category: lut[(r*16+code)*4+s]. Code 0
+// gets the full-ambiguity row (see normTipCode).
 func (p *Partition) dnaTipLUT(pm []float64, lut []float64) {
 	const S = 4
 	for r := 0; r < p.nrates; r++ {
@@ -147,6 +172,7 @@ func (p *Partition) dnaTipLUT(pm []float64, lut []float64) {
 				out[s] = sum
 			}
 		}
+		copy(lut[(r*16+0)*S:(r*16+0)*S+S], lut[(r*16+15)*S:(r*16+15)*S+S])
 	}
 }
 
@@ -155,6 +181,7 @@ func (p *Partition) dnaTipLUT(pm []float64, lut []float64) {
 func childVector(x []float64, states int, pr []float64, op Operand, clvOff int, code uint32) {
 	if op.Tip != nil {
 		// Tip: sum P rows over the states compatible with the observed code.
+		code = normTipCode(code, states)
 		for s := 0; s < states; s++ {
 			row := pr[s*states : s*states+states]
 			sum := 0.0
@@ -179,16 +206,9 @@ func childVector(x []float64, states int, pr []float64, op Operand, clvOff int, 
 	}
 }
 
-// trailingZeros32 is a tiny local copy of bits.TrailingZeros32 kept inline-
-// able in the hot loop.
-func trailingZeros32(v uint32) int {
-	n := 0
-	for v&1 == 0 {
-		v >>= 1
-		n++
-	}
-	return n
-}
+// trailingZeros32 delegates to math/bits (which inlines to a single
+// instruction); the previous hand-rolled loop never terminated on 0.
+func trailingZeros32(v uint32) int { return bits.TrailingZeros32(v) }
 
 // UpdateCLV computes dst = (Pa·a) ⊙ (Pb·b) across all patterns and rate
 // categories, with per-pattern scaling. dstScale receives the combined scale
@@ -197,9 +217,13 @@ func trailingZeros32(v uint32) int {
 //
 // UpdateCLV is the Felsenstein pruning step and the dominant cost of
 // placement preprocessing; the CLV recomputations that the AMC memory/runtime
-// trade-off is about are exactly repeated calls of this kernel.
+// trade-off is about are exactly repeated calls of this kernel. It runs the
+// specialized dispatch layer (kernels.go) with pooled scratch buffers; hot
+// loops that own a Scratch should call UpdateCLVScratch directly.
 func (p *Partition) UpdateCLV(dst []float64, dstScale []int32, a, b Operand, pa, pb []float64) {
-	p.updateCLVRange(dst, dstScale, a, b, pa, pb, 0, p.patterns, nil, nil)
+	sc := p.getScratch()
+	p.UpdateCLVScratch(dst, dstScale, a, b, pa, pb, sc)
+	p.putScratch(sc)
 }
 
 // UpdateCLVParallel is UpdateCLV with the pattern range split across
@@ -207,71 +231,30 @@ func (p *Partition) UpdateCLV(dst []float64, dstScale []int32, a, b Operand, pa,
 // parallelization of branch-block precomputation (Fig. 7). With workers <= 1
 // it is identical to UpdateCLV.
 func (p *Partition) UpdateCLVParallel(dst []float64, dstScale []int32, a, b Operand, pa, pb []float64, workers int) {
-	if workers <= 1 || p.patterns < 4*workers {
-		p.UpdateCLV(dst, dstScale, a, b, pa, pb)
-		return
-	}
-	var lutA, lutB []float64
-	if p.states == 4 {
-		if a.IsTip() {
-			lutA = make([]float64, p.nrates*16*4)
-			p.dnaTipLUT(pa, lutA)
-		}
-		if b.IsTip() {
-			lutB = make([]float64, p.nrates*16*4)
-			p.dnaTipLUT(pb, lutB)
-		}
-	}
-	done := make(chan struct{}, workers)
-	chunk := (p.patterns + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > p.patterns {
-			hi = p.patterns
-		}
-		go func(lo, hi int) {
-			if lo < hi {
-				p.updateCLVRange(dst, dstScale, a, b, pa, pb, lo, hi, lutA, lutB)
-			}
-			done <- struct{}{}
-		}(lo, hi)
-	}
-	for w := 0; w < workers; w++ {
-		<-done
-	}
+	sc := p.getScratch()
+	p.UpdateCLVParallelScratch(dst, dstScale, a, b, pa, pb, workers, sc)
+	p.putScratch(sc)
 }
 
-// updateCLVRange is the kernel over patterns [lo, hi). lutA/lutB are
-// optional precomputed DNA tip lookups.
-func (p *Partition) updateCLVRange(dst []float64, dstScale []int32, a, b Operand, pa, pb []float64, lo, hi int, lutA, lutB []float64) {
+// UpdateCLVGeneric is the unspecialized reference kernel: one childVector
+// loop for every state count and operand kind. The dispatch layer in
+// kernels.go is property-tested to reproduce its results bit-for-bit; it is
+// exported so benchmarks and tests can compare against it.
+func (p *Partition) UpdateCLVGeneric(dst []float64, dstScale []int32, a, b Operand, pa, pb []float64) {
+	p.updateCLVGenericRange(dst, dstScale, a, b, pa, pb, 0, p.patterns)
+}
+
+// updateCLVGenericRange is the generic kernel over patterns [lo, hi).
+func (p *Partition) updateCLVGenericRange(dst []float64, dstScale []int32, a, b Operand, pa, pb []float64, lo, hi int) {
 	S, R := p.states, p.nrates
-	if p.states == 4 && lutA == nil && a.IsTip() && hi-lo >= 8 {
-		lutA = make([]float64, R*16*4)
-		p.dnaTipLUT(pa, lutA)
-	}
-	if p.states == 4 && lutB == nil && b.IsTip() && hi-lo >= 8 {
-		lutB = make([]float64, R*16*4)
-		p.dnaTipLUT(pb, lutB)
-	}
 	var xa, xb [20]float64
 	for pat := lo; pat < hi; pat++ {
 		base := pat * R * S
 		allSmall := true
 		for r := 0; r < R; r++ {
 			off := base + r*S
-			if lutA != nil {
-				code := a.Tip[pat]
-				copy(xa[:S], lutA[(r*16+int(code))*4:(r*16+int(code))*4+S])
-			} else {
-				childVector(xa[:S], S, pa[r*S*S:(r+1)*S*S], a, off, tipCodeAt(a, pat))
-			}
-			if lutB != nil {
-				code := b.Tip[pat]
-				copy(xb[:S], lutB[(r*16+int(code))*4:(r*16+int(code))*4+S])
-			} else {
-				childVector(xb[:S], S, pb[r*S*S:(r+1)*S*S], b, off, tipCodeAt(b, pat))
-			}
+			childVector(xa[:S], S, pa[r*S*S:(r+1)*S*S], a, off, tipCodeAt(a, pat))
+			childVector(xb[:S], S, pb[r*S*S:(r+1)*S*S], b, off, tipCodeAt(b, pat))
 			d := dst[off : off+S]
 			for s := 0; s < S; s++ {
 				v := xa[s] * xb[s]
@@ -281,21 +264,7 @@ func (p *Partition) updateCLVRange(dst []float64, dstScale []int32, a, b Operand
 				}
 			}
 		}
-		var count int32
-		if a.Scale != nil {
-			count += a.Scale[pat]
-		}
-		if b.Scale != nil {
-			count += b.Scale[pat]
-		}
-		if allSmall {
-			blk := dst[base : base+R*S]
-			for i := range blk {
-				blk[i] *= scaleFactor
-			}
-			count++
-		}
-		dstScale[pat] = count
+		finishPattern(dst, dstScale, a.Scale, b.Scale, pat, base, R*S, allSmall)
 	}
 }
 
@@ -314,6 +283,13 @@ func (p *Partition) EdgeSiteLogLiks(dst []float64, a, b Operand, pm []float64) {
 	if len(dst) != p.patterns {
 		panic(fmt.Sprintf("phylo: EdgeSiteLogLiks dst has %d entries, want %d", len(dst), p.patterns))
 	}
+	sc := p.getScratch()
+	p.EdgeSiteLogLiksScratch(dst, a, b, pm, sc)
+	p.putScratch(sc)
+}
+
+// edgeSiteLogLiksGeneric is the generic reference for EdgeSiteLogLiks.
+func (p *Partition) edgeSiteLogLiksGeneric(dst []float64, a, b Operand, pm []float64) {
 	S, R := p.states, p.nrates
 	pi := p.Model.Freqs()
 	var xb [20]float64
@@ -325,7 +301,7 @@ func (p *Partition) EdgeSiteLogLiks(dst []float64, a, b Operand, pm []float64) {
 			childVector(xb[:S], S, pm[r*S*S:(r+1)*S*S], b, off, tipCodeAt(b, pat))
 			sum := 0.0
 			if a.Tip != nil {
-				c := a.Tip[pat]
+				c := normTipCode(a.Tip[pat], S)
 				for c != 0 {
 					s := trailingZeros32(c)
 					sum += pi[s] * xb[s]
@@ -339,13 +315,7 @@ func (p *Partition) EdgeSiteLogLiks(dst []float64, a, b Operand, pm []float64) {
 			}
 			site += p.Rates.Weights[r] * sum
 		}
-		var count int32
-		if a.Scale != nil {
-			count += a.Scale[pat]
-		}
-		if b.Scale != nil {
-			count += b.Scale[pat]
-		}
+		count := edgeScaleCount(a, b, pat)
 		dst[pat] = math.Log(site) - float64(count)*logScaleFactor
 	}
 }
@@ -356,6 +326,15 @@ func (p *Partition) EdgeSiteLogLiks(dst []float64, a, b Operand, pm []float64) {
 //
 //	ℓ = Σ_pat w_pat · [ log Σ_r f_r Σ_s π_s a_s (Σ_s' P^r_ss' b_s') − scale·log 2^256 ]
 func (p *Partition) EdgeLogLik(a, b Operand, pm []float64) float64 {
+	sc := p.getScratch()
+	ll := p.EdgeLogLikScratch(a, b, pm, sc)
+	p.putScratch(sc)
+	return ll
+}
+
+// EdgeLogLikGeneric is the generic reference for EdgeLogLik, exported for
+// the equivalence property tests and benchmarks (see UpdateCLVGeneric).
+func (p *Partition) EdgeLogLikGeneric(a, b Operand, pm []float64) float64 {
 	S, R := p.states, p.nrates
 	pi := p.Model.Freqs()
 	var xb [20]float64
@@ -368,8 +347,7 @@ func (p *Partition) EdgeLogLik(a, b Operand, pm []float64) float64 {
 			childVector(xb[:S], S, pm[r*S*S:(r+1)*S*S], b, off, tipCodeAt(b, pat))
 			sum := 0.0
 			if a.Tip != nil {
-				code := a.Tip[pat]
-				c := code
+				c := normTipCode(a.Tip[pat], S)
 				for c != 0 {
 					s := trailingZeros32(c)
 					sum += pi[s] * xb[s]
@@ -383,13 +361,7 @@ func (p *Partition) EdgeLogLik(a, b Operand, pm []float64) float64 {
 			}
 			site += p.Rates.Weights[r] * sum
 		}
-		var count int32
-		if a.Scale != nil {
-			count += a.Scale[pat]
-		}
-		if b.Scale != nil {
-			count += b.Scale[pat]
-		}
+		count := edgeScaleCount(a, b, pat)
 		total += p.Comp.Weights[pat] * (math.Log(site) - float64(count)*logScaleFactor)
 	}
 	return total

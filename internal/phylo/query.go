@@ -23,6 +23,15 @@ import (
 // likelihood, which shifts all branches' scores equally and therefore does
 // not affect placement ranking.
 func (p *Partition) QueryLogLik(bclv []float64, bscale []int32, query []uint32, ppend []float64, skipGaps bool) float64 {
+	sc := p.getScratch()
+	ll := p.QueryLogLikScratch(bclv, bscale, query, ppend, skipGaps, sc)
+	p.putScratch(sc)
+	return ll
+}
+
+// QueryLogLikScratch is QueryLogLik with caller-provided scratch buffers —
+// the allocation-free entry point for the branch-length optimization loops.
+func (p *Partition) QueryLogLikScratch(bclv []float64, bscale []int32, query []uint32, ppend []float64, skipGaps bool, sc *Scratch) float64 {
 	if len(query) != p.Comp.OriginalWidth() {
 		panic(fmt.Sprintf("phylo: query has %d sites, alignment has %d", len(query), p.Comp.OriginalWidth()))
 	}
@@ -33,7 +42,8 @@ func (p *Partition) QueryLogLik(bclv []float64, bscale []int32, query []uint32, 
 	// piP[r][s'][s] = π_s · P^r_ss': with this transposed, π-folded view the
 	// per-site work becomes Σ_r f_r Σ_{s'∈code} Σ_s piP[r][s'][s]·bclv[s],
 	// and the inner Σ_s is a dense dot product regardless of ambiguity.
-	piP := make([]float64, R*S*S)
+	sc.piP = grow(sc.piP, R*S*S)
+	piP := sc.piP
 	for r := 0; r < R; r++ {
 		for s := 0; s < S; s++ {
 			for sp := 0; sp < S; sp++ {

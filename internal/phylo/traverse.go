@@ -34,8 +34,9 @@ func ComputeFullCLVSet(p *Partition, tr *tree.Tree, workers int) (*FullCLVSet, e
 		scales: make([]int32, tr.NumInnerCLVs()*p.ScaleLen()),
 	}
 	computed := make([]bool, tr.NumInnerCLVs())
-	pa := make([]float64, p.PLen())
-	pb := make([]float64, p.PLen())
+	sc := p.NewScratch()
+	pa := sc.P(0)
+	pb := sc.P(1)
 	for i := 0; i < tr.NumInnerCLVs(); i++ {
 		if computed[i] {
 			continue
@@ -48,7 +49,7 @@ func ComputeFullCLVSet(p *Partition, tr *tree.Tree, workers int) (*FullCLVSet, e
 			p.FillP(pa, tr.EdgeOf(op.ChildA).Length)
 			p.FillP(pb, tr.EdgeOf(op.ChildB).Length)
 			dst, dstScale := f.view(idx)
-			p.UpdateCLVParallel(dst, dstScale, f.Operand(op.ChildA), f.Operand(op.ChildB), pa, pb, workers)
+			p.UpdateCLVParallelScratch(dst, dstScale, f.Operand(op.ChildA), f.Operand(op.ChildB), pa, pb, workers, sc)
 			computed[idx] = true
 		}
 	}

@@ -38,15 +38,25 @@ type branchBlock struct {
 	// Backing storage, reused across refills.
 	clvBuf   []float64
 	scaleBuf []int32
+
+	// Per-block kernel scratch and transition-matrix buffers, reused across
+	// refills so fillBlock is allocation-free. Owned by whichever goroutine
+	// currently holds the block (the precompute pipeline never shares one).
+	sc     *phylo.Scratch
+	pu, pv []float64
 }
 
 // newBlockBuf allocates backing storage for up to blockSize branches.
 func (e *Engine) newBlockBuf() *branchBlock {
 	bs := e.plan.BlockSize
 	per := memacct.CLVsPerBufferedBranch
+	sc := e.part.NewScratch()
 	return &branchBlock{
 		clvBuf:   make([]float64, bs*per*e.part.CLVLen()),
 		scaleBuf: make([]int32, bs*per*e.part.ScaleLen()),
+		sc:       sc,
+		pu:       sc.P(0),
+		pv:       sc.P(1),
 	}
 }
 
@@ -64,8 +74,7 @@ func (e *Engine) fillBlock(blk *branchBlock, edges []*tree.Edge) {
 		defer release()
 	}
 	cl, sl := e.part.CLVLen(), e.part.ScaleLen()
-	pu := make([]float64, e.part.PLen())
-	pv := make([]float64, e.part.PLen())
+	pu, pv := blk.pu, blk.pv
 	for i, edge := range edges {
 		opA, opB, release, err := e.acquireBranchEnds(edge)
 		if err != nil {
@@ -80,7 +89,7 @@ func (e *Engine) fillBlock(blk *branchBlock, edges []*tree.Edge) {
 		entry.ms = blk.scaleBuf[(base+2)*sl : (base+3)*sl]
 		e.part.FillP(pu, edge.Length/2)
 		e.part.FillP(pv, edge.Length/2)
-		e.part.UpdateCLVParallel(entry.m, entry.ms, opA, opB, pu, pv, e.precomputeSiteWorkers())
+		e.part.UpdateCLVParallelScratch(entry.m, entry.ms, opA, opB, pu, pv, e.precomputeSiteWorkers(), blk.sc)
 		release()
 		blk.entries = append(blk.entries, entry)
 	}

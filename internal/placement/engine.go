@@ -2,6 +2,7 @@ package placement
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"phylomem/internal/core"
@@ -102,6 +103,10 @@ type Engine struct {
 	pendant0    float64 // default pendant length for prescoring
 	avgBranch   float64
 
+	// scratch pools per-worker kernel scratch (tip LUTs, P-matrix and CLV
+	// buffers) so the placement hot loops are allocation-free.
+	scratch sync.Pool
+
 	stats RunStats
 }
 
@@ -190,6 +195,7 @@ func New(part *phylo.Partition, tr *tree.Tree, cfg Config) (*Engine, error) {
 		acct:        memacct.NewAccountant(),
 		branchOrder: tr.BranchOrderDFS(),
 	}
+	e.scratch.New = func() any { return part.NewScratch() }
 	e.avgBranch = tr.TotalBranchLength() / float64(tr.NumBranches())
 	e.pendant0 = e.avgBranch / 2
 	if e.pendant0 <= 0 {
@@ -277,11 +283,11 @@ func (e *Engine) buildLookup() error {
 	e.lookupScale = make([]int32, e.tr.NumBranches()*e.part.ScaleLen())
 	e.acct.Alloc("lookup-table", e.plan.LookupBytes)
 
-	bclv := make([]float64, e.part.CLVLen())
-	bscale := make([]int32, e.part.ScaleLen())
-	pu := make([]float64, e.part.PLen())
-	pv := make([]float64, e.part.PLen())
-	ppend := make([]float64, e.part.PLen())
+	sc := e.part.NewScratch()
+	bclv, bscale := sc.CLV(0)
+	pu := sc.P(0)
+	pv := sc.P(1)
+	ppend := sc.P(2)
 	e.part.FillP(ppend, e.pendant0)
 
 	for _, edge := range e.branchOrder {
@@ -291,7 +297,7 @@ func (e *Engine) buildLookup() error {
 		}
 		e.part.FillP(pu, edge.Length/2)
 		e.part.FillP(pv, edge.Length/2)
-		e.part.UpdateCLVParallel(bclv, bscale, opA, opB, pu, pv, e.precomputeSiteWorkers())
+		e.part.UpdateCLVParallelScratch(bclv, bscale, opA, opB, pu, pv, e.precomputeSiteWorkers(), sc)
 		release()
 		e.part.BuildPrescoreRow(e.lookup[edge.ID*rowLen:(edge.ID+1)*rowLen], bclv, ppend)
 		copy(e.lookupScale[edge.ID*e.part.ScaleLen():(edge.ID+1)*e.part.ScaleLen()], bscale)

@@ -79,9 +79,11 @@ func (e *Engine) placeChunk(chunk []Query) ([]jplace.Placements, error) {
 		err := e.runBlocks(e.branchOrder, func(blk *branchBlock) error {
 			e.parallelFor(len(chunk), func(qi int) {
 				q := chunk[qi]
+				sc := e.scratch.Get().(*phylo.Scratch)
 				for _, ent := range blk.entries {
-					scores[qi*nb+ent.edge.ID] = e.part.QueryLogLik(ent.m, ent.ms, q.Codes, ppend, e.cfg.SkipGaps)
+					scores[qi*nb+ent.edge.ID] = e.part.QueryLogLikScratch(ent.m, ent.ms, q.Codes, ppend, e.cfg.SkipGaps, sc)
 				}
+				e.scratch.Put(sc)
 			})
 			return nil
 		})
@@ -189,10 +191,14 @@ func (e *Engine) placeChunk(chunk []Query) ([]jplace.Placements, error) {
 // scoreCandidate optimizes the placement of one query on one branch. The
 // pendant length is always optimized (Brent); in thorough mode the distal
 // (insertion) position along the branch is optimized as well, re-deriving
-// the insertion CLV from the block's directional snapshots.
+// the insertion CLV from the block's directional snapshots. All buffers come
+// from the engine's scratch pool, so the per-candidate work is
+// allocation-free after warm-up.
 func (e *Engine) scoreCandidate(ent *branchEntry, codes []uint32, c *candidate) {
 	part := e.part
-	ppend := make([]float64, part.PLen())
+	sc := e.scratch.Get().(*phylo.Scratch)
+	defer e.scratch.Put(sc)
+	ppend := sc.P(0)
 	blen := ent.edge.Length
 
 	maxPend := 4 * e.avgBranch
@@ -202,7 +208,7 @@ func (e *Engine) scoreCandidate(ent *branchEntry, codes []uint32, c *candidate) 
 	optimizePendant := func(bclv []float64, bscale []int32) (float64, float64) {
 		obj := func(p float64) float64 {
 			part.FillP(ppend, p)
-			return -part.QueryLogLik(bclv, bscale, codes, ppend, e.cfg.SkipGaps)
+			return -part.QueryLogLikScratch(bclv, bscale, codes, ppend, e.cfg.SkipGaps, sc)
 		}
 		r := numeric.BrentMin(obj, 1e-8, maxPend, 1e-4, 24)
 		return r.X, -r.F
@@ -214,25 +220,24 @@ func (e *Engine) scoreCandidate(ent *branchEntry, codes []uint32, c *candidate) 
 	if e.cfg.Thorough && blen > 1e-9 {
 		// Optimize the insertion point with the pendant fixed, then refine
 		// the pendant once more at the optimal position.
-		scratch := make([]float64, part.CLVLen())
-		scratchScale := make([]int32, part.ScaleLen())
-		pu := make([]float64, part.PLen())
-		pv := make([]float64, part.PLen())
+		scratch, scratchScale := sc.CLV(0)
+		pu := sc.P(1)
+		pv := sc.P(2)
 		part.FillP(ppend, pend)
 		uop := operandOf(ent.u)
 		vop := operandOf(ent.v)
 		objDistal := func(x float64) float64 {
 			part.FillP(pu, x)
 			part.FillP(pv, blen-x)
-			part.UpdateCLV(scratch, scratchScale, uop, vop, pu, pv)
-			return -part.QueryLogLik(scratch, scratchScale, codes, ppend, e.cfg.SkipGaps)
+			part.UpdateCLVScratch(scratch, scratchScale, uop, vop, pu, pv, sc)
+			return -part.QueryLogLikScratch(scratch, scratchScale, codes, ppend, e.cfg.SkipGaps, sc)
 		}
 		r := numeric.BrentMin(objDistal, 1e-9*blen, blen*(1-1e-9), 0.02*blen, 10)
 		if -r.F > ll {
 			distal = r.X
 			part.FillP(pu, distal)
 			part.FillP(pv, blen-distal)
-			part.UpdateCLV(scratch, scratchScale, uop, vop, pu, pv)
+			part.UpdateCLVScratch(scratch, scratchScale, uop, vop, pu, pv, sc)
 			pend2, ll2 := optimizePendant(scratch, scratchScale)
 			if ll2 > -r.F {
 				pend, ll = pend2, ll2

@@ -45,6 +45,10 @@ type Engine struct {
 	// storeMu serializes store access from concurrent optimization workers.
 	storeMu sync.Mutex
 
+	// scratch pools per-worker kernel scratch and CLV/P-matrix buffers so
+	// the scoring and optimization loops are allocation-free after warm-up.
+	scratch sync.Pool
+
 	stats Stats
 }
 
@@ -71,6 +75,7 @@ func New(part *phylo.Partition, tr *tree.Tree, cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{cfg: cfg, tr: tr, part: part, acct: memacct.NewAccountant()}
+	e.scratch.New = func() any { return part.NewScratch() }
 	e.avgBranch = tr.TotalBranchLength() / float64(tr.NumBranches())
 	e.pendant0 = e.avgBranch / 2
 	if e.pendant0 <= 0 {
@@ -169,14 +174,12 @@ func (e *Engine) Place(queries []placement.Query) ([]jplace.Placements, error) {
 
 	// Branch-major full scan: one insertion CLV per branch, scored by all
 	// queries (parallelized over queries).
-	uclv := make([]float64, e.part.CLVLen())
-	uscale := make([]int32, e.part.ScaleLen())
-	vclv := make([]float64, e.part.CLVLen())
-	vscale := make([]int32, e.part.ScaleLen())
-	bclv := make([]float64, e.part.CLVLen())
-	bscale := make([]int32, e.part.ScaleLen())
-	pu := make([]float64, e.part.PLen())
-	pv := make([]float64, e.part.PLen())
+	sc := e.part.NewScratch()
+	uclv, uscale := sc.CLV(0)
+	vclv, vscale := sc.CLV(1)
+	bclv, bscale := sc.CLV(2)
+	pu := sc.P(1)
+	pv := sc.P(2)
 	insBytes := 3 * e.part.CLVBytes()
 	e.acct.Alloc("branch-scratch", insBytes)
 	defer e.acct.Free("branch-scratch", insBytes)
@@ -193,9 +196,11 @@ func (e *Engine) Place(queries []placement.Query) ([]jplace.Placements, error) {
 		}
 		e.part.FillP(pu, edge.Length/2)
 		e.part.FillP(pv, edge.Length/2)
-		e.part.UpdateCLV(bclv, bscale, opU, opV, pu, pv)
+		e.part.UpdateCLVScratch(bclv, bscale, opU, opV, pu, pv, sc)
 		e.parallelFor(nq, func(qi int) {
-			scores[qi*nb+edge.ID] = e.part.QueryLogLik(bclv, bscale, queries[qi].Codes, ppend, true)
+			wsc := e.scratch.Get().(*phylo.Scratch)
+			scores[qi*nb+edge.ID] = e.part.QueryLogLikScratch(bclv, bscale, queries[qi].Codes, ppend, true, wsc)
+			e.scratch.Put(wsc)
 		})
 	}
 
@@ -258,14 +263,13 @@ func (e *Engine) Place(queries []placement.Query) ([]jplace.Placements, error) {
 // length on it. Serialized store access keeps the file-backed mode simple;
 // the extra reads are exactly the I/O cost the memory saving pays for.
 func (e *Engine) optimizeOn(edge *tree.Edge, codes []uint32) (loglik, pendant float64) {
-	uclv := make([]float64, e.part.CLVLen())
-	uscale := make([]int32, e.part.ScaleLen())
-	vclv := make([]float64, e.part.CLVLen())
-	vscale := make([]int32, e.part.ScaleLen())
-	bclv := make([]float64, e.part.CLVLen())
-	bscale := make([]int32, e.part.ScaleLen())
-	pu := make([]float64, e.part.PLen())
-	pv := make([]float64, e.part.PLen())
+	sc := e.scratch.Get().(*phylo.Scratch)
+	defer e.scratch.Put(sc)
+	uclv, uscale := sc.CLV(0)
+	vclv, vscale := sc.CLV(1)
+	bclv, bscale := sc.CLV(2)
+	pu := sc.P(1)
+	pv := sc.P(2)
 
 	a, b := edge.Nodes()
 	e.storeMu.Lock()
@@ -277,16 +281,16 @@ func (e *Engine) optimizeOn(edge *tree.Edge, codes []uint32) (loglik, pendant fl
 	}
 	e.part.FillP(pu, edge.Length/2)
 	e.part.FillP(pv, edge.Length/2)
-	e.part.UpdateCLV(bclv, bscale, opU, opV, pu, pv)
+	e.part.UpdateCLVScratch(bclv, bscale, opU, opV, pu, pv, sc)
 
-	ppend := make([]float64, e.part.PLen())
+	ppend := sc.P(0)
 	maxPend := 4 * e.avgBranch
 	if maxPend < 1e-4 {
 		maxPend = 1e-4
 	}
 	r := numeric.BrentMin(func(p float64) float64 {
 		e.part.FillP(ppend, p)
-		return -e.part.QueryLogLik(bclv, bscale, codes, ppend, true)
+		return -e.part.QueryLogLikScratch(bclv, bscale, codes, ppend, true, sc)
 	}, 1e-8, maxPend, 1e-4, 24)
 	return -r.F, r.X
 }

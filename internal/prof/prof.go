@@ -1,0 +1,60 @@
+// Package prof wires the standard CPU and heap profilers into the CLIs
+// (-cpuprofile / -memprofile), so kernel-level optimizations are observable
+// with `go tool pprof` against real placement runs.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuPath (when non-empty) and returns a
+// stop function that finishes the CPU profile and, when memPath is
+// non-empty, writes a heap profile. Both files are created eagerly so a bad
+// path fails before the workload runs, not after. The stop function must be
+// called exactly once, after the workload; it reports any profile-writing
+// error.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile, memFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: start CPU profile: %w", err)
+		}
+	}
+	if memPath != "" {
+		memFile, err = os.Create(memPath)
+		if err != nil {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("prof: close CPU profile: %w", err)
+			}
+		}
+		if memFile != nil {
+			runtime.GC() // settle the heap so the profile reflects live data
+			if err := pprof.WriteHeapProfile(memFile); err != nil {
+				memFile.Close()
+				return fmt.Errorf("prof: write heap profile: %w", err)
+			}
+			if err := memFile.Close(); err != nil {
+				return fmt.Errorf("prof: close heap profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}
