@@ -11,8 +11,10 @@
 package phylomem_test
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"phylomem/internal/core"
 	"phylomem/internal/experiments"
@@ -165,7 +167,7 @@ func newKernelFixture(b *testing.B, states, leaves, sites int) *kernelFixture {
 	if err != nil {
 		b.Fatal(err)
 	}
-	full, err := phylo.ComputeFullCLVSet(part, tr, 1)
+	full, err := phylo.ComputeFullCLVSet(part, tr, nil)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -382,6 +384,87 @@ func BenchmarkManagerAcquire(b *testing.B) {
 	}
 }
 
+// BenchmarkPlace measures placement throughput at 1 and 4 worker threads
+// (pipelined and synchronous), with the engine — including its lookup-table
+// build — constructed outside the timed region. Reports queries/s.
+func BenchmarkPlace(b *testing.B) {
+	ds, err := workload.Neotrop(64, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prep, err := experiments.Prepare(ds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prep.Queries = prep.Queries[:80]
+	for _, tc := range []struct {
+		name    string
+		threads int
+		noPipe  bool
+	}{
+		{"threads-1", 1, false},
+		{"threads-4", 4, false},
+		{"threads-4-no-pipeline", 4, true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := placement.DefaultConfig()
+			cfg.ChunkSize = 20
+			cfg.Threads = tc.threads
+			cfg.NoPipeline = tc.noPipe
+			eng, err := placement.New(prep.Part, prep.Tree, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Place(prep.Queries); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			qps := float64(len(prep.Queries)) * float64(b.N) / b.Elapsed().Seconds()
+			b.ReportMetric(qps, "queries/s")
+		})
+	}
+}
+
+// BenchmarkLookupBuild measures the parallel pre-placement lookup-table
+// construction at 1 and 4 pool workers (the table is built inside
+// placement.New; its wall time is reported from the engine's statistics).
+func BenchmarkLookupBuild(b *testing.B) {
+	ds, err := workload.Neotrop(64, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prep, err := experiments.Prepare(ds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, threads := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers-%d", threads), func(b *testing.B) {
+			cfg := placement.DefaultConfig()
+			cfg.Threads = threads
+			var build time.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng, err := placement.New(prep.Part, prep.Tree, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				st := eng.Stats()
+				if !st.LookupEnabled || st.LookupWorkers != threads {
+					b.Fatalf("lookup enabled=%v workers=%d, want enabled at %d", st.LookupEnabled, st.LookupWorkers, threads)
+				}
+				build += st.LookupBuild
+				eng.Close()
+			}
+			b.StopTimer()
+			b.ReportMetric(build.Seconds()/float64(b.N), "lookup-s/op")
+		})
+	}
+}
+
 // BenchmarkEndToEndPlacement measures a whole miniature placement run in the
 // reference mode and at the memory floor.
 func BenchmarkEndToEndPlacement(b *testing.B) {
@@ -410,6 +493,7 @@ func BenchmarkEndToEndPlacement(b *testing.B) {
 				if _, err := eng.Place(prep.Queries); err != nil {
 					b.Fatal(err)
 				}
+				eng.Close()
 			}
 		})
 	}

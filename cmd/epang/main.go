@@ -19,6 +19,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"phylomem/internal/core"
 	"phylomem/internal/jplace"
@@ -61,6 +62,8 @@ func run(args []string, stdout io.Writer) error {
 		strategy  = fs.String("memsave-strategy", "costage", "CLV replacement strategy: cost, costage, lru, fifo, random")
 		dataType  = fs.String("type", "NT", "data type: NT or AA")
 		syncPre   = fs.Bool("sync-precompute", false, "synchronous across-site branch-block precompute (experimental)")
+		noPipe    = fs.Bool("no-pipeline", false, "disable overlapped chunk reading (decode chunk N+1 while placing chunk N)")
+		showStats = fs.Bool("stats", false, "print pipeline and worker-pool statistics")
 		verbose   = fs.Bool("verbose", false, "print plan and statistics")
 		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -231,6 +234,7 @@ func run(args []string, stdout io.Writer) error {
 	cfg.Threads = *threads
 	cfg.DisableLookup = *noHeur
 	cfg.SyncPrecompute = *syncPre
+	cfg.NoPipeline = *noPipe
 	if *syncPre {
 		cfg.SiteWorkers = *threads
 	}
@@ -251,6 +255,7 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	defer eng.Close()
 	if *verbose {
 		plan := eng.Plan()
 		fmt.Fprintf(stdout, "model: %s; mode: AMC=%v lookup=%v slots=%d block=%d planned=%s\n",
@@ -309,6 +314,19 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "CLV recomputes %d, hits %d, evictions %d\n",
 			st.CLVStats.Recomputes, st.CLVStats.Hits, st.CLVStats.Evictions)
 		fmt.Fprintf(stdout, "memory: %s\n", eng.Accountant())
+	}
+	if *showStats || *verbose {
+		mode := "pipelined"
+		if !st.Pipelined {
+			mode = "synchronous"
+		}
+		fmt.Fprintf(stdout, "chunks: %d processed (%s); read %v, wait %v\n",
+			st.ChunksProcessed, mode, st.ChunkRead.Round(time.Microsecond), st.ChunkWait.Round(time.Microsecond))
+		fmt.Fprintf(stdout, "pool: %d workers, busy %v over %v wall (utilization %.0f%%)\n",
+			st.ThreadsUsed, st.PoolBusy.Round(time.Microsecond), st.PlaceWall.Round(time.Microsecond),
+			100*st.PoolUtilization())
+		fmt.Fprintf(stdout, "lookup build: %v at %d workers\n",
+			st.LookupBuild.Round(time.Microsecond), st.LookupWorkers)
 	}
 	return nil
 }

@@ -37,6 +37,7 @@ func run(args []string) error {
 		threads  = fs.String("threads", "1,2,4,8,16,32", "thread sweep for fig6/fig7")
 		datasets = fs.String("datasets", "", "comma-separated dataset subset (default all)")
 		maxq     = fs.Int("max-queries", 0, "truncate query sets (0 = all)")
+		noPipe   = fs.Bool("no-pipeline", false, "disable overlapped chunk reading in the measured engines")
 		csv      = fs.Bool("csv", false, "emit CSV instead of an aligned table")
 		plot     = fs.Bool("plot", false, "also render figure experiments as terminal plots")
 		list     = fs.Bool("list", false, "list available experiments")
@@ -69,6 +70,7 @@ func run(args []string) error {
 	o.Reps = *reps
 	o.Seed = *seed
 	o.MaxQueries = *maxq
+	o.NoPipeline = *noPipe
 	if *datasets != "" {
 		o.Datasets = strings.Split(*datasets, ",")
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"phylomem/internal/parallel"
 	"phylomem/internal/phylo"
 	"phylomem/internal/tree"
 )
@@ -63,9 +64,9 @@ type Manager struct {
 
 	stats Stats
 
-	// workers > 1 enables the across-site parallel update kernel during
+	// pool, when non-nil, runs the across-site parallel update kernel during
 	// recomputation (the paper's Fig. 7 experiment).
-	workers int
+	pool *parallel.Pool
 }
 
 // Config parameterizes a Manager.
@@ -77,8 +78,9 @@ type Config struct {
 	// Strategy chooses eviction victims; nil selects CostBased (the paper's
 	// default).
 	Strategy Strategy
-	// Workers enables across-site parallel CLV updates when > 1.
-	Workers int
+	// Pool enables across-site parallel CLV updates when non-nil with more
+	// than one worker. The manager only submits to it; it does not own it.
+	Pool *parallel.Pool
 }
 
 // NewManager creates a slot manager for the given partition and tree.
@@ -114,7 +116,7 @@ func NewManager(part *phylo.Partition, tr *tree.Tree, cfg Config) (*Manager, err
 		slottedAt:  make([]uint64, nclv),
 		cost:       make([]int, nclv),
 		sc:         part.NewScratch(),
-		workers:    cfg.Workers,
+		pool:       cfg.Pool,
 	}
 	m.pa = m.sc.P(0)
 	m.pb = m.sc.P(1)
@@ -294,7 +296,7 @@ func (m *Manager) materialize(d tree.Dir) error {
 	dst, dstScale := m.view(slot)
 	m.part.FillP(m.pa, m.tr.EdgeOf(a).Length)
 	m.part.FillP(m.pb, m.tr.EdgeOf(b).Length)
-	m.part.UpdateCLVParallelScratch(dst, dstScale, m.operandOf(a), m.operandOf(b), m.pa, m.pb, m.workers, m.sc)
+	m.part.UpdateCLVPooled(dst, dstScale, m.operandOf(a), m.operandOf(b), m.pa, m.pb, m.pool, m.sc)
 	m.tick++
 	m.lastAccess[idx] = m.tick
 	m.stats.Recomputes++

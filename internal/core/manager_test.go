@@ -8,6 +8,7 @@ import (
 	"testing/quick"
 
 	"phylomem/internal/model"
+	"phylomem/internal/parallel"
 	"phylomem/internal/phylo"
 	"phylomem/internal/seq"
 	"phylomem/internal/tree"
@@ -58,7 +59,7 @@ func tryFixture(seed int64, n, width int) (*fixture, error) {
 	if err != nil {
 		return nil, err
 	}
-	full, err := phylo.ComputeFullCLVSet(part, tr, 1)
+	full, err := phylo.ComputeFullCLVSet(part, tr, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -528,11 +529,13 @@ func TestCostBasedRetainsExpensiveCLVs(t *testing.T) {
 
 func TestWorkersProduceIdenticalCLVs(t *testing.T) {
 	fx := buildFixture(t, 12, 16, 200)
-	m1, err := NewManager(fx.part, fx.tr, Config{Slots: fx.tr.MinSlots() + 2, Workers: 1})
+	m1, err := NewManager(fx.part, fx.tr, Config{Slots: fx.tr.MinSlots() + 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	m4, err := NewManager(fx.part, fx.tr, Config{Slots: fx.tr.MinSlots() + 2, Workers: 4})
+	pool := parallel.New(4)
+	defer pool.Close()
+	m4, err := NewManager(fx.part, fx.tr, Config{Slots: fx.tr.MinSlots() + 2, Pool: pool})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -698,7 +701,7 @@ func TestInvalidateEdgeAfterBranchChange(t *testing.T) {
 	if err := m.InvalidateEdge(target); err != nil {
 		t.Fatal(err)
 	}
-	fresh, err := phylo.ComputeFullCLVSet(fx.part, fx.tr, 1)
+	fresh, err := phylo.ComputeFullCLVSet(fx.part, fx.tr, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -35,6 +35,17 @@ type Options struct {
 	// MaxQueries truncates each dataset's query set (0 = all). Used by fast
 	// test configurations; full experiment runs leave it at 0.
 	MaxQueries int
+	// NoPipeline disables the placement engines' overlapped chunk reader,
+	// so every run uses the synchronous read-place-emit loop.
+	NoPipeline bool
+}
+
+// engineConfig returns the placement configuration every experiment starts
+// from, with the option-level engine switches applied.
+func (o Options) engineConfig() placement.Config {
+	cfg := placement.DefaultConfig()
+	cfg.NoPipeline = o.NoPipeline
+	return cfg
 }
 
 // DefaultOptions returns an Options with the paper's protocol scaled by the
@@ -121,7 +132,7 @@ func memorySweep(o Options, chunk int, title string) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		base := placement.DefaultConfig()
+		base := o.engineConfig()
 		base.ChunkSize = chunk
 		ref, err := RunEPA(p, base, "reference", o.Reps)
 		if err != nil {
@@ -209,7 +220,7 @@ func Table2(o Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		base := placement.DefaultConfig()
+		base := o.engineConfig()
 		base.ChunkSize = o.ChunkLarge
 
 		refM, err := RunEPA(p, base, "O", o.Reps)
@@ -260,7 +271,7 @@ func Fig5(o Options) (*Table, error) {
 			return nil, err
 		}
 		// EPA-NG, chunk 500 (scaled) as in the paper's Fig. 5 protocol.
-		cfg := placement.DefaultConfig()
+		cfg := o.engineConfig()
 		cfg.ChunkSize = o.ChunkSmall
 		off, err := RunEPA(p, cfg, "epa-off", o.Reps)
 		if err != nil {
@@ -326,7 +337,7 @@ func parallelEfficiency(o Options, title string, experimental bool, datasets []s
 		if err != nil {
 			return nil, err
 		}
-		base := placement.DefaultConfig()
+		base := o.engineConfig()
 		base.ChunkSize = o.ChunkLarge
 		for _, mode := range peModes(p, base) {
 			// Serial baseline: one worker, no async precompute thread.
@@ -394,7 +405,7 @@ func LookupSpeedup(o Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		base := placement.DefaultConfig()
+		base := o.engineConfig()
 		base.ChunkSize = o.ChunkSmall
 		for _, mode := range []struct {
 			name   string
@@ -444,7 +455,7 @@ func AblationStrategies(o Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		base := placement.DefaultConfig()
+		base := o.engineConfig()
 		base.ChunkSize = o.ChunkSmall
 		base.DisableLookup = true // maximize CLV traffic so strategies matter
 		min := p.MinFeasibleBytes(base)
@@ -480,7 +491,7 @@ func AblationBlockSize(o Options) (*Table, error) {
 			return nil, err
 		}
 		for _, block := range []int{2, 8, 32, 128} {
-			cfg := placement.DefaultConfig()
+			cfg := o.engineConfig()
 			cfg.ChunkSize = o.ChunkSmall
 			cfg.BlockSize = block
 			cfg.DisableLookup = true
@@ -518,7 +529,7 @@ func AccuracyTable(o Options) (*Table, error) {
 		}
 		origins := p.Dataset.QueryOrigins[:len(p.Queries)]
 
-		epaM, err := RunEPA(p, placement.DefaultConfig(), "accuracy-epa", 1)
+		epaM, err := RunEPA(p, o.engineConfig(), "accuracy-epa", 1)
 		if err != nil {
 			return nil, err
 		}

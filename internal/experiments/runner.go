@@ -105,6 +105,7 @@ func RunEPA(p *Prepared, cfg placement.Config, label string, reps int) (*Measure
 		}
 		res, err := eng.Place(p.Queries)
 		if err != nil {
+			eng.Close()
 			return nil, fmt.Errorf("experiments: %s/%s: %w", p.Dataset.Name, label, err)
 		}
 		elapsed := time.Since(start)
@@ -115,6 +116,7 @@ func RunEPA(p *Prepared, cfg placement.Config, label string, reps int) (*Measure
 		m.PeakBytes = eng.Stats().PeakBytes
 		m.Stats = eng.Stats()
 		m.Result = res
+		eng.Close()
 	}
 	m.Wall = total / time.Duration(reps)
 	return m, nil

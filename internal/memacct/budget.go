@@ -58,9 +58,12 @@ func fixedBytes(c PlanConfig) int64 {
 // chunkBytes estimates the per-chunk intermediate structures: the query
 // encodings and the per-(query, branch) score matrix that phase-1
 // pre-placement fills ("internal intermediate datastructures that save
-// results for each combination of RT branch and QS", Section II).
+// results for each combination of RT branch and QS", Section II). The query
+// term is doubled because the pipelined chunk reader holds at most one
+// decoded chunk in addition to the one being placed (the bounded-buffer
+// contract of placement.PlaceStream).
 func chunkBytes(c PlanConfig, chunk int) int64 {
-	queries := int64(chunk) * int64(c.Sites) * 4
+	queries := 2 * int64(chunk) * int64(c.Sites) * 4
 	scores := int64(chunk) * int64(c.Branches) * 8
 	candidates := int64(chunk) * 128
 	return queries + scores + candidates

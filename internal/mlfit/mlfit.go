@@ -77,7 +77,7 @@ func (s *fitState) loglik() (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	full, err := phylo.ComputeFullCLVSet(part, s.tr, 1)
+	full, err := phylo.ComputeFullCLVSet(part, s.tr, nil)
 	if err != nil {
 		return 0, err
 	}
@@ -248,7 +248,7 @@ func (s *fitState) optimizeBranches(cur float64) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	full, err := phylo.ComputeFullCLVSet(part, s.tr, 1)
+	full, err := phylo.ComputeFullCLVSet(part, s.tr, nil)
 	if err != nil {
 		return 0, err
 	}

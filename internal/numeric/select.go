@@ -1,0 +1,69 @@
+package numeric
+
+// TopKIndices returns the indices of the k largest values of row, ordered
+// best-first with ties broken by ascending index — the same total order a
+// full descending sort with an index tie-break would produce, but in
+// O(len(row)·log k) via a bounded min-heap instead of O(n·log n). The
+// returned slice reuses buf's backing array when it is large enough, so hot
+// loops can call this allocation-free. The selection is deterministic: for a
+// given row and k the result is always identical.
+func TopKIndices(row []float64, k int, buf []int) []int {
+	if k > len(row) {
+		k = len(row)
+	}
+	if k <= 0 {
+		return buf[:0]
+	}
+	if cap(buf) < k {
+		buf = make([]int, k)
+	}
+	h := buf[:0]
+
+	// worse(a, b) reports whether index a ranks strictly below index b.
+	worse := func(a, b int) bool {
+		if row[a] != row[b] {
+			return row[a] < row[b]
+		}
+		return a > b
+	}
+	siftDown := func(root, size int) {
+		for {
+			child := 2*root + 1
+			if child >= size {
+				return
+			}
+			if child+1 < size && worse(h[child+1], h[child]) {
+				child++
+			}
+			if !worse(h[child], h[root]) {
+				return
+			}
+			h[root], h[child] = h[child], h[root]
+			root = child
+		}
+	}
+
+	// Min-heap (root = worst of the kept set) over the first k indices, then
+	// stream the rest through the root.
+	h = buf[:k]
+	for i := 0; i < k; i++ {
+		h[i] = i
+	}
+	for i := k/2 - 1; i >= 0; i-- {
+		siftDown(i, k)
+	}
+	for i := k; i < len(row); i++ {
+		if worse(h[0], i) {
+			h[0] = i
+			siftDown(0, k)
+		}
+	}
+
+	// Heap-sort: repeatedly move the worst remaining element to the end,
+	// leaving h ordered best-first.
+	for size := k - 1; size > 0; size-- {
+		h[0], h[size] = h[size], h[0]
+		siftDown(0, size)
+	}
+	return h
+}

@@ -1,0 +1,76 @@
+package numeric
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// referenceTopK is the behaviour TopKIndices replaces: a full sort of all
+// indices by (value desc, index asc), truncated to k.
+func referenceTopK(row []float64, k int) []int {
+	order := make([]int, len(row))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if row[order[a]] != row[order[b]] {
+			return row[order[a]] > row[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	if k > len(order) {
+		k = len(order)
+	}
+	return order[:k]
+}
+
+func TestTopKIndicesMatchesFullSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(300)
+		row := make([]float64, n)
+		for i := range row {
+			switch rng.Intn(10) {
+			case 0:
+				row[i] = math.Inf(-1) // prescore of an impossible branch
+			case 1:
+				row[i] = row[rng.Intn(n)] // force ties (often 0 early on)
+			default:
+				row[i] = -1000 + 2000*rng.Float64()
+			}
+		}
+		k := rng.Intn(n + 3) // occasionally k > n and k == 0
+		var buf []int
+		if rng.Intn(2) == 0 {
+			buf = make([]int, 0, k+rng.Intn(5))
+		}
+		got := TopKIndices(row, k, buf)
+		want := referenceTopK(row, k)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: len=%d, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d (n=%d k=%d): rank %d index %d, want %d",
+					trial, n, k, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestTopKIndicesReusesBuffer(t *testing.T) {
+	row := []float64{3, 1, 4, 1, 5}
+	buf := make([]int, 8)
+	got := TopKIndices(row, 3, buf)
+	if &got[0] != &buf[0] {
+		t.Error("result did not reuse the provided buffer")
+	}
+	want := []int{4, 2, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+// Package parallel is the shared execution layer: a persistent,
+// engine-lifetime worker pool that replaces the per-call goroutine spawning
+// the placement and baseline engines used to do.
+//
+// Design notes:
+//
+//   - Work is distributed by an atomic chunk counter over contiguous index
+//     ranges. Chunked ranges amortize the dispatch cost over many items and
+//     keep adjacent items on one worker (no false sharing on dense outputs).
+//   - The submitting goroutine always participates in its own job under the
+//     dedicated helper id Workers(), so a job finishes even if every pool
+//     worker is busy elsewhere and nested submission cannot deadlock.
+//   - Worker ids are stable and dense in [0, Size()), which is what makes
+//     per-worker scratch affinity possible: callers keep a slice of Size()
+//     scratch states and index it with the id they are handed, eliminating
+//     sync.Pool churn from hot loops.
+//   - A panic in the task function aborts the job's remaining chunks and is
+//     re-raised on the submitting goroutine; the pool itself survives.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Pool is a fixed-size set of persistent worker goroutines. The zero value
+// is not usable; construct with New. A Pool is safe for concurrent use by
+// multiple submitters, but Close must not race with Run.
+type Pool struct {
+	workers int
+	jobs    chan *job
+	busy    *atomic.Int64
+	closed  atomic.Bool
+	once    sync.Once
+}
+
+// New starts a pool with the given number of workers (minimum 1). With one
+// worker no goroutines are started and Run executes inline. Pools hold OS
+// resources (goroutines); call Close when done — as a safety net a finalizer
+// reaps pools that become unreachable without being closed.
+func New(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{workers: workers, busy: new(atomic.Int64)}
+	if workers > 1 {
+		// Invites are dropped (not queued) when the channel is full, so a
+		// small buffer per worker is plenty even with concurrent jobs.
+		p.jobs = make(chan *job, 4*workers)
+		for i := 0; i < workers; i++ {
+			// The goroutine captures the channel, its id, and the shared busy
+			// counter — never p itself — so an unreachable Pool can be
+			// finalized while its workers are still parked on the channel.
+			go workerLoop(p.jobs, i, p.busy)
+		}
+		runtime.SetFinalizer(p, (*Pool).Close)
+	}
+	return p
+}
+
+// Workers returns the number of pool worker goroutines.
+func (p *Pool) Workers() int { return p.workers }
+
+// Size returns the number of distinct worker ids Run can hand to fn:
+// Workers() pool goroutines plus the submitting goroutine's helper id.
+// Callers keeping per-worker state should size it to Size().
+func (p *Pool) Size() int { return p.workers + 1 }
+
+// Close shuts the worker goroutines down. Idempotent; a closed pool remains
+// usable, with Run degrading to inline execution on the caller.
+func (p *Pool) Close() {
+	p.once.Do(func() {
+		p.closed.Store(true)
+		if p.jobs != nil {
+			close(p.jobs)
+		}
+	})
+}
+
+// BusyTime returns the cumulative wall time participants (workers and
+// submitters) have spent executing job chunks. Utilization over an interval
+// is the BusyTime delta divided by (wall time × Workers()).
+func (p *Pool) BusyTime() time.Duration { return time.Duration(p.busy.Load()) }
+
+// Run executes fn over the index range [0, n) split into chunks of grain
+// indices (grain <= 0 picks a default that yields several chunks per
+// worker). fn is called as fn(lo, hi, worker) with 0 <= lo < hi <= n and a
+// worker id in [0, Size()); the ranges partition [0, n) exactly. Run returns
+// when every index has been processed. If fn panics, the job's remaining
+// chunks are abandoned and the first panic value is re-raised here.
+func (p *Pool) Run(n, grain int, fn func(lo, hi, worker int)) {
+	if n <= 0 {
+		return
+	}
+	if grain <= 0 {
+		grain = n / (8 * p.workers)
+		if grain < 1 {
+			grain = 1
+		}
+	}
+	if p.workers == 1 || n <= grain || p.closed.Load() {
+		start := time.Now()
+		defer func() { p.busy.Add(int64(time.Since(start))) }()
+		fn(0, n, p.workers)
+		return
+	}
+	chunks := (n + grain - 1) / grain
+	j := &job{n: n, grain: grain, chunks: int64(chunks), fn: fn, finished: make(chan struct{})}
+	invites := p.workers
+	if invites > chunks-1 {
+		invites = chunks - 1 // the submitter takes at least one chunk
+	}
+	for i := 0; i < invites; i++ {
+		select {
+		case p.jobs <- j:
+		default: // every worker already has an invite queued
+		}
+	}
+	j.work(p.workers, p.busy)
+	<-j.finished
+	if pv := j.panicVal.Load(); pv != nil {
+		panic(*pv)
+	}
+}
+
+// ForEach runs fn(i, worker) for every i in [0, n) through Run with the
+// default grain.
+func (p *Pool) ForEach(n int, fn func(i, worker int)) {
+	p.Run(n, 0, func(lo, hi, worker int) {
+		for i := lo; i < hi; i++ {
+			fn(i, worker)
+		}
+	})
+}
+
+// job is one Run invocation's shared state. Chunks are claimed through the
+// atomic next counter; the job is finished when the done counter has
+// accounted for every chunk, at which point the claimer of the last chunk
+// closes finished.
+type job struct {
+	n, grain int
+	chunks   int64
+	next     atomic.Int64
+	done     atomic.Int64
+	aborted  atomic.Bool
+	panicVal atomic.Pointer[any]
+	fn       func(lo, hi, worker int)
+	finished chan struct{}
+}
+
+func workerLoop(jobs <-chan *job, id int, busy *atomic.Int64) {
+	for j := range jobs {
+		j.work(id, busy)
+	}
+}
+
+// work claims and executes chunks until the job runs dry. Both pool workers
+// and the submitting goroutine drive jobs through it. After a panic the
+// remaining chunks are still claimed (so done reaches chunks and the
+// submitter is released) but fn is no longer called.
+func (j *job) work(worker int, busy *atomic.Int64) {
+	var start time.Time
+	for {
+		c := j.next.Add(1) - 1
+		if c >= j.chunks {
+			break
+		}
+		if start.IsZero() {
+			start = time.Now()
+		}
+		if !j.aborted.Load() {
+			j.runChunk(c, worker)
+		}
+		if j.done.Add(1) == j.chunks {
+			close(j.finished)
+		}
+	}
+	if busy != nil && !start.IsZero() {
+		busy.Add(int64(time.Since(start)))
+	}
+}
+
+// runChunk executes one chunk, converting a panic into job abortion: the
+// first panic value is recorded for the submitter to re-raise.
+func (j *job) runChunk(c int64, worker int) {
+	defer func() {
+		if r := recover(); r != nil {
+			j.panicVal.CompareAndSwap(nil, &r)
+			j.aborted.Store(true)
+		}
+	}()
+	lo := int(c) * j.grain
+	hi := lo + j.grain
+	if hi > j.n {
+		hi = j.n
+	}
+	j.fn(lo, hi, worker)
+}

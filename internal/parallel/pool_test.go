@@ -1,0 +1,149 @@
+package parallel
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunCoversAllIndices checks the chunked range distribution: every index
+// in [0, n) must be visited exactly once, for a grid of sizes, grains, and
+// worker counts.
+func TestRunCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 7} {
+		p := New(workers)
+		defer p.Close()
+		for _, n := range []int{0, 1, 2, 3, 16, 100, 1023} {
+			for _, grain := range []int{0, 1, 3, 64, 5000} {
+				t.Run(fmt.Sprintf("w%d_n%d_g%d", workers, n, grain), func(t *testing.T) {
+					counts := make([]atomic.Int32, n)
+					p.Run(n, grain, func(lo, hi, worker int) {
+						if lo < 0 || hi > n || lo >= hi {
+							t.Errorf("bad range [%d,%d) for n=%d", lo, hi, n)
+						}
+						if worker < 0 || worker >= p.Size() {
+							t.Errorf("worker id %d outside [0,%d)", worker, p.Size())
+						}
+						for i := lo; i < hi; i++ {
+							counts[i].Add(1)
+						}
+					})
+					for i := range counts {
+						if c := counts[i].Load(); c != 1 {
+							t.Fatalf("index %d visited %d times", i, c)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestForEach(t *testing.T) {
+	p := New(3)
+	defer p.Close()
+	const n = 500
+	var sum atomic.Int64
+	p.ForEach(n, func(i, worker int) { sum.Add(int64(i)) })
+	if want := int64(n * (n - 1) / 2); sum.Load() != want {
+		t.Fatalf("sum = %d, want %d", sum.Load(), want)
+	}
+}
+
+// TestPanicPropagates runs a panicking task under -race: the panic must
+// surface on the submitting goroutine, the pool must not deadlock, and it
+// must remain usable for subsequent jobs.
+func TestPanicPropagates(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	for round := 0; round < 3; round++ {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("panic did not propagate")
+				}
+				if s, ok := r.(string); !ok || s != "boom" {
+					t.Fatalf("unexpected panic value %v", r)
+				}
+			}()
+			p.Run(1000, 1, func(lo, hi, worker int) {
+				if lo == 500 {
+					panic("boom")
+				}
+			})
+		}()
+	}
+	// The pool must still complete ordinary work after a panicking job.
+	var visited atomic.Int64
+	p.Run(256, 1, func(lo, hi, worker int) { visited.Add(int64(hi - lo)) })
+	if visited.Load() != 256 {
+		t.Fatalf("post-panic run visited %d of 256 indices", visited.Load())
+	}
+}
+
+// TestNestedSubmission submits jobs from inside a running job; the inner job
+// must complete (the inner submitter helps itself) even though every pool
+// worker may be busy with the outer job.
+func TestNestedSubmission(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	var inner atomic.Int64
+	p.Run(8, 1, func(lo, hi, worker int) {
+		p.Run(16, 1, func(lo, hi, w int) { inner.Add(int64(hi - lo)) })
+	})
+	if inner.Load() != 8*16 {
+		t.Fatalf("inner work = %d, want %d", inner.Load(), 8*16)
+	}
+}
+
+// TestConcurrentSubmitters checks that independent goroutines can share one
+// pool safely.
+func TestConcurrentSubmitters(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.ForEach(300, func(i, worker int) { total.Add(1) })
+		}()
+	}
+	wg.Wait()
+	if total.Load() != 6*300 {
+		t.Fatalf("total = %d, want %d", total.Load(), 6*300)
+	}
+}
+
+// TestCloseThenRun: a closed pool degrades to inline execution rather than
+// panicking on the closed channel.
+func TestCloseThenRun(t *testing.T) {
+	p := New(4)
+	p.Close()
+	p.Close() // idempotent
+	var n atomic.Int64
+	p.Run(100, 7, func(lo, hi, worker int) {
+		if worker != p.Workers() {
+			t.Errorf("inline worker id = %d, want helper id %d", worker, p.Workers())
+		}
+		n.Add(int64(hi - lo))
+	})
+	if n.Load() != 100 {
+		t.Fatalf("visited %d of 100", n.Load())
+	}
+}
+
+// TestBusyTimeAdvances: executing work must accumulate busy time.
+func TestBusyTimeAdvances(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	before := p.BusyTime()
+	var sink atomic.Int64
+	p.ForEach(100000, func(i, worker int) { sink.Add(int64(i)) })
+	if p.BusyTime() <= before {
+		t.Fatalf("busy time did not advance (%v -> %v)", before, p.BusyTime())
+	}
+}

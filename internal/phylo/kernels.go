@@ -24,7 +24,8 @@ package phylo
 
 import (
 	"math"
-	"sync"
+
+	"phylomem/internal/parallel"
 )
 
 // Scratch holds the reusable per-goroutine buffers of the likelihood
@@ -32,7 +33,7 @@ import (
 // caller-visible P-matrix / CLV buffers for the placement hot loops.
 //
 // A Scratch may be used by one goroutine at a time, except that a prepared
-// Scratch is read-only during UpdateCLVParallelScratch worker fan-out. Zero
+// Scratch is read-only during UpdateCLVPooled worker fan-out. Zero
 // allocation after warm-up: every buffer is grown once and reused.
 type Scratch struct {
 	p *Partition
@@ -48,9 +49,9 @@ type Scratch struct {
 	piP []float64
 
 	// Caller-reusable buffers, grown on demand (see P and CLV).
-	pbufs    [][]float64
-	clvbufs  [][]float64
-	sclbufs  [][]int32
+	pbufs   [][]float64
+	clvbufs [][]float64
+	sclbufs [][]int32
 }
 
 // NewScratch returns an empty Scratch for this partition's dimensions.
@@ -96,7 +97,7 @@ func grow(buf []float64, n int) []float64 {
 // prepareUpdate builds the tables updateCLVRange's fast paths read: the DNA
 // tip LUT(s) for tip operands and, when both operands are tips, the 16×16
 // code-pair product table. Hoisting this out of the per-range kernel is what
-// lets UpdateCLVParallelScratch share one table set across workers.
+// lets UpdateCLVPooled share one table set across workers.
 func (p *Partition) prepareUpdate(sc *Scratch, a, b Operand, pa, pb []float64) {
 	sc.haveLUTA, sc.haveLUTB, sc.havePair = false, false, false
 	if p.states != 4 {
@@ -139,32 +140,27 @@ func (p *Partition) UpdateCLVScratch(dst []float64, dstScale []int32, a, b Opera
 	p.updateCLVRange(dst, dstScale, a, b, pa, pb, 0, p.patterns, sc)
 }
 
-// UpdateCLVParallelScratch is UpdateCLVParallel with caller-provided scratch.
-// The LUTs are built once here; the workers share them read-only.
-func (p *Partition) UpdateCLVParallelScratch(dst []float64, dstScale []int32, a, b Operand, pa, pb []float64, workers int, sc *Scratch) {
+// UpdateCLVPooled is UpdateCLVScratch with the pattern range fanned out over
+// a persistent worker pool — the paper's experimental across-site
+// parallelization of branch-block precomputation (Fig. 7). The LUTs are
+// built once here; the pool workers share them read-only. A nil pool (or one
+// with a single worker, or too few patterns to split) runs serially. Workers
+// write disjoint pattern ranges of dst, so the result is bit-identical to
+// the serial path regardless of the pool size.
+func (p *Partition) UpdateCLVPooled(dst []float64, dstScale []int32, a, b Operand, pa, pb []float64, pool *parallel.Pool, sc *Scratch) {
 	p.prepareUpdate(sc, a, b, pa, pb)
+	workers := 1
+	if pool != nil {
+		workers = pool.Workers()
+	}
 	if workers <= 1 || p.patterns < 4*workers {
 		p.updateCLVRange(dst, dstScale, a, b, pa, pb, 0, p.patterns, sc)
 		return
 	}
-	chunk := (p.patterns + workers - 1) / workers
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > p.patterns {
-			hi = p.patterns
-		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			p.updateCLVRange(dst, dstScale, a, b, pa, pb, lo, hi, sc)
-		}(lo, hi)
-	}
-	wg.Wait()
+	grain := (p.patterns + workers - 1) / workers
+	pool.Run(p.patterns, grain, func(lo, hi, _ int) {
+		p.updateCLVRange(dst, dstScale, a, b, pa, pb, lo, hi, sc)
+	})
 }
 
 // updateCLVRange dispatches the pruning kernel over patterns [lo, hi). sc

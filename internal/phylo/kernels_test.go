@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"phylomem/internal/model"
+	"phylomem/internal/parallel"
 	"phylomem/internal/seq"
 	"phylomem/internal/tree"
 )
@@ -155,8 +156,10 @@ func TestUpdateCLVMatchesGenericBitwise(t *testing.T) {
 					for i := range got {
 						got[i] = -1
 					}
-					p.UpdateCLVParallel(got, gotScale, a, b, pa, pb, 3)
-					diffCLVs(t, label+"/parallel", want, got, wantScale, gotScale)
+					pool := parallel.New(3)
+					p.UpdateCLVPooled(got, gotScale, a, b, pa, pb, pool, p.NewScratch())
+					pool.Close()
+					diffCLVs(t, label+"/pooled", want, got, wantScale, gotScale)
 				}
 			}
 		})
@@ -369,7 +372,9 @@ func TestRealTreeCLVsMatchGeneric(t *testing.T) {
 	msa := randomMSA(t, tr, seq.DNA, 40, rng)
 	p := buildPartition(t, tr, msa, model.JC69(), g4)
 
-	full, err := ComputeFullCLVSet(p, tr, 2)
+	pool2 := parallel.New(2)
+	defer pool2.Close()
+	full, err := ComputeFullCLVSet(p, tr, pool2)
 	if err != nil {
 		t.Fatal(err)
 	}

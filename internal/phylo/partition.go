@@ -226,16 +226,6 @@ func (p *Partition) UpdateCLV(dst []float64, dstScale []int32, a, b Operand, pa,
 	p.putScratch(sc)
 }
 
-// UpdateCLVParallel is UpdateCLV with the pattern range split across
-// `workers` goroutines — the paper's experimental across-site
-// parallelization of branch-block precomputation (Fig. 7). With workers <= 1
-// it is identical to UpdateCLV.
-func (p *Partition) UpdateCLVParallel(dst []float64, dstScale []int32, a, b Operand, pa, pb []float64, workers int) {
-	sc := p.getScratch()
-	p.UpdateCLVParallelScratch(dst, dstScale, a, b, pa, pb, workers, sc)
-	p.putScratch(sc)
-}
-
 // UpdateCLVGeneric is the unspecialized reference kernel: one childVector
 // loop for every state count and operand kind. The dispatch layer in
 // kernels.go is property-tested to reproduce its results bit-for-bit; it is

@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"phylomem/internal/model"
+	"phylomem/internal/parallel"
 	"phylomem/internal/seq"
 	"phylomem/internal/tree"
 )
@@ -187,7 +188,7 @@ func TestLikelihoodMatchesNaive(t *testing.T) {
 			return false
 		}
 		p := buildPartition(t, tr, msa, gtr, rates)
-		full, err := ComputeFullCLVSet(p, tr, 1)
+		full, err := ComputeFullCLVSet(p, tr, nil)
 		if err != nil {
 			return false
 		}
@@ -212,7 +213,7 @@ func TestLikelihoodEdgeInvariance(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := buildPartition(t, tr, msa, model.JC69(), rates)
-	full, err := ComputeFullCLVSet(p, tr, 1)
+	full, err := ComputeFullCLVSet(p, tr, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +235,7 @@ func TestLikelihoodAminoAcid(t *testing.T) {
 	rates := model.UniformRates()
 	m := model.SyntheticAA()
 	p := buildPartition(t, tr, msa, m, rates)
-	full, err := ComputeFullCLVSet(p, tr, 1)
+	full, err := ComputeFullCLVSet(p, tr, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +256,7 @@ func TestScalingOnDeepTree(t *testing.T) {
 	rng := rand.New(rand.NewSource(17))
 	msa := randomMSA(t, tr, seq.DNA, 12, rng)
 	p := buildPartition(t, tr, msa, model.JC69(), model.UniformRates())
-	full, err := ComputeFullCLVSet(p, tr, 1)
+	full, err := ComputeFullCLVSet(p, tr, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,7 +281,7 @@ func TestScalingOnDeepTree(t *testing.T) {
 	}
 }
 
-func TestUpdateCLVParallelMatchesSerial(t *testing.T) {
+func TestUpdateCLVPooledMatchesSerial(t *testing.T) {
 	rng := rand.New(rand.NewSource(19))
 	tr, err := tree.Random(10, 0.1, rng)
 	if err != nil {
@@ -292,22 +293,24 @@ func TestUpdateCLVParallelMatchesSerial(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := buildPartition(t, tr, msa, model.JC69(), rates)
-	serial, err := ComputeFullCLVSet(p, tr, 1)
+	serial, err := ComputeFullCLVSet(p, tr, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := ComputeFullCLVSet(p, tr, 4)
+	pool := parallel.New(4)
+	defer pool.Close()
+	pooled, err := ComputeFullCLVSet(p, tr, pool)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := range serial.clvs {
-		if serial.clvs[i] != parallel.clvs[i] {
-			t.Fatalf("parallel CLV differs at %d: %g vs %g", i, parallel.clvs[i], serial.clvs[i])
+		if serial.clvs[i] != pooled.clvs[i] {
+			t.Fatalf("pooled CLV differs at %d: %g vs %g", i, pooled.clvs[i], serial.clvs[i])
 		}
 	}
 	for i := range serial.scales {
-		if serial.scales[i] != parallel.scales[i] {
-			t.Fatalf("parallel scale differs at %d", i)
+		if serial.scales[i] != pooled.scales[i] {
+			t.Fatalf("pooled scale differs at %d", i)
 		}
 	}
 }
@@ -320,7 +323,7 @@ func TestFullCLVSetBytes(t *testing.T) {
 	}
 	msa := randomMSA(t, tr, seq.DNA, 40, rng)
 	p := buildPartition(t, tr, msa, model.JC69(), model.UniformRates())
-	full, err := ComputeFullCLVSet(p, tr, 1)
+	full, err := ComputeFullCLVSet(p, tr, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -342,7 +345,7 @@ func TestEdgeSiteLogLiksSumToTotal(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := buildPartition(t, tr, msa, model.JC69(), rates)
-	full, err := ComputeFullCLVSet(p, tr, 1)
+	full, err := ComputeFullCLVSet(p, tr, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

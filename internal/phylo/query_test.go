@@ -32,7 +32,7 @@ func newFixture(t *testing.T, seed int64, n, width int) *placementFixture {
 		t.Fatal(err)
 	}
 	p := buildPartition(t, tr, msa, model.JC69(), rates)
-	full, err := ComputeFullCLVSet(p, tr, 1)
+	full, err := ComputeFullCLVSet(p, tr, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +151,7 @@ func TestQueryPlacementRecoversOrigin(t *testing.T) {
 	msa := randomMSA(t, tr, seq.DNA, 200, rng)
 	rates := model.UniformRates()
 	p := buildPartition(t, tr, msa, model.JC69(), rates)
-	full, err := ComputeFullCLVSet(p, tr, 1)
+	full, err := ComputeFullCLVSet(p, tr, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +231,7 @@ func TestPrescoreRowProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		full, err := ComputeFullCLVSet(p, tr, 1)
+		full, err := ComputeFullCLVSet(p, tr, nil)
 		if err != nil {
 			return false
 		}

@@ -3,6 +3,7 @@ package phylo
 import (
 	"fmt"
 
+	"phylomem/internal/parallel"
 	"phylomem/internal/tree"
 )
 
@@ -24,9 +25,9 @@ func (f *FullCLVSet) Bytes() int64 {
 }
 
 // ComputeFullCLVSet computes every inner directional CLV of the tree via
-// post-order traversals. workers > 1 enables the across-site parallel kernel
-// for each update.
-func ComputeFullCLVSet(p *Partition, tr *tree.Tree, workers int) (*FullCLVSet, error) {
+// post-order traversals. A non-nil pool enables the across-site parallel
+// kernel for each update; nil runs serially with identical results.
+func ComputeFullCLVSet(p *Partition, tr *tree.Tree, pool *parallel.Pool) (*FullCLVSet, error) {
 	f := &FullCLVSet{
 		part:   p,
 		tr:     tr,
@@ -49,7 +50,7 @@ func ComputeFullCLVSet(p *Partition, tr *tree.Tree, workers int) (*FullCLVSet, e
 			p.FillP(pa, tr.EdgeOf(op.ChildA).Length)
 			p.FillP(pb, tr.EdgeOf(op.ChildB).Length)
 			dst, dstScale := f.view(idx)
-			p.UpdateCLVParallelScratch(dst, dstScale, f.Operand(op.ChildA), f.Operand(op.ChildB), pa, pb, workers, sc)
+			p.UpdateCLVPooled(dst, dstScale, f.Operand(op.ChildA), f.Operand(op.ChildB), pa, pb, pool, sc)
 			computed[idx] = true
 		}
 	}

@@ -46,18 +46,24 @@ type branchBlock struct {
 	pu, pv []float64
 }
 
-// newBlockBuf allocates backing storage for up to blockSize branches.
-func (e *Engine) newBlockBuf() *branchBlock {
-	bs := e.plan.BlockSize
-	per := memacct.CLVsPerBufferedBranch
-	sc := e.part.NewScratch()
-	return &branchBlock{
-		clvBuf:   make([]float64, bs*per*e.part.CLVLen()),
-		scaleBuf: make([]int32, bs*per*e.part.ScaleLen()),
-		sc:       sc,
-		pu:       sc.P(0),
-		pv:       sc.P(1),
+// blockBuf returns the engine's i'th block buffer (i in {0, 1}), allocating
+// backing storage for up to blockSize branches on first use. The two buffers
+// are reused across every runBlocks call and the AMC lookup build, so block
+// storage is allocated at most twice per engine lifetime.
+func (e *Engine) blockBuf(i int) *branchBlock {
+	if e.blkBufs[i] == nil {
+		bs := e.plan.BlockSize
+		per := memacct.CLVsPerBufferedBranch
+		sc := e.part.NewScratch()
+		e.blkBufs[i] = &branchBlock{
+			clvBuf:   make([]float64, bs*per*e.part.CLVLen()),
+			scaleBuf: make([]int32, bs*per*e.part.ScaleLen()),
+			sc:       sc,
+			pu:       sc.P(0),
+			pv:       sc.P(1),
+		}
 	}
+	return e.blkBufs[i]
 }
 
 // fillBlock populates blk with the given branches' CLV data, recomputing
@@ -89,10 +95,36 @@ func (e *Engine) fillBlock(blk *branchBlock, edges []*tree.Edge) {
 		entry.ms = blk.scaleBuf[(base+2)*sl : (base+3)*sl]
 		e.part.FillP(pu, edge.Length/2)
 		e.part.FillP(pv, edge.Length/2)
-		e.part.UpdateCLVParallelScratch(entry.m, entry.ms, opA, opB, pu, pv, e.precomputeSiteWorkers(), blk.sc)
+		e.part.UpdateCLVPooled(entry.m, entry.ms, opA, opB, pu, pv, e.sitePool(), blk.sc)
 		release()
 		blk.entries = append(blk.entries, entry)
 	}
+}
+
+// fillBlockEnds is fillBlock's lighter sibling for the AMC lookup build: it
+// snapshots only the two directional operands of each branch (no midpoint
+// CLV), acquiring through the slot manager serially so the parallel row
+// builds afterwards never touch the manager.
+func (e *Engine) fillBlockEnds(blk *branchBlock, edges []*tree.Edge) error {
+	blk.entries = blk.entries[:0]
+	if e.mgr != nil {
+		release := e.mgr.RetainExpensive(e.tr.MinSlots() + 2)
+		defer release()
+	}
+	cl, sl := e.part.CLVLen(), e.part.ScaleLen()
+	for i, edge := range edges {
+		opA, opB, release, err := e.acquireBranchEnds(edge)
+		if err != nil {
+			return fmt.Errorf("placement: lookup build: %w", err)
+		}
+		entry := branchEntry{edge: edge}
+		base := i * memacct.CLVsPerBufferedBranch
+		entry.u = e.snapshotOperand(opA, blk.clvBuf[(base+0)*cl:(base+1)*cl], blk.scaleBuf[(base+0)*sl:(base+1)*sl])
+		entry.v = e.snapshotOperand(opB, blk.clvBuf[(base+1)*cl:(base+2)*cl], blk.scaleBuf[(base+1)*sl:(base+2)*sl])
+		release()
+		blk.entries = append(blk.entries, entry)
+	}
+	return nil
 }
 
 // snapshotOperand copies an inner CLV into block storage, or passes tip
@@ -128,7 +160,7 @@ func (e *Engine) runBlocks(edges []*tree.Edge, handler func(*branchBlock) error)
 
 	async := e.plan.AMC && !e.cfg.SyncPrecompute
 	if !async {
-		blk := e.newBlockBuf()
+		blk := e.blockBuf(0)
 		for _, b := range blocks {
 			e.fillBlock(blk, b)
 			if blk.err != nil {
@@ -143,8 +175,8 @@ func (e *Engine) runBlocks(edges []*tree.Edge, handler func(*branchBlock) error)
 
 	// Asynchronous double-buffered pipeline.
 	free := make(chan *branchBlock, 2)
-	free <- e.newBlockBuf()
-	free <- e.newBlockBuf()
+	free <- e.blockBuf(0)
+	free <- e.blockBuf(1)
 	out := make(chan *branchBlock)
 	var wg sync.WaitGroup
 	wg.Add(1)

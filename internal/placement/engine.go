@@ -1,12 +1,11 @@
 package placement
 
 import (
-	"fmt"
-	"sync"
 	"time"
 
 	"phylomem/internal/core"
 	"phylomem/internal/memacct"
+	"phylomem/internal/parallel"
 	"phylomem/internal/phylo"
 	"phylomem/internal/tree"
 )
@@ -63,6 +62,11 @@ type Config struct {
 	// FilterMax bounds the number of placements reported per query
 	// (default 7, EPA-NG's --filter-max).
 	FilterMax int
+	// NoPipeline disables the overlapped chunk reader (which decodes and
+	// validates chunk N+1 while chunk N is being placed) and processes
+	// chunks strictly synchronously. Placement output is identical either
+	// way; the toggle exists for measurement and debugging.
+	NoPipeline bool
 }
 
 // DefaultConfig returns EPA-NG-like defaults.
@@ -103,9 +107,18 @@ type Engine struct {
 	pendant0    float64 // default pendant length for prescoring
 	avgBranch   float64
 
-	// scratch pools per-worker kernel scratch (tip LUTs, P-matrix and CLV
-	// buffers) so the placement hot loops are allocation-free.
-	scratch sync.Pool
+	// pool is the engine-lifetime worker pool every parallel loop runs on,
+	// sized max(Threads, SiteWorkers). Workers are identified by dense ids,
+	// which index the per-worker state below (scratch affinity): each worker
+	// always reuses its own kernel scratch and selection buffer, so the hot
+	// loops are allocation-free without sync.Pool churn.
+	pool     *parallel.Pool
+	wscratch []*phylo.Scratch // pool.Size() per-worker kernel scratches
+	wsel     [][]int          // pool.Size() per-worker top-k selection buffers
+
+	// blkBufs are the (at most two) branch-block buffers, allocated lazily
+	// and reused across every runBlocks call and the AMC lookup build.
+	blkBufs [2]*branchBlock
 
 	stats RunStats
 }
@@ -116,15 +129,32 @@ type RunStats struct {
 	Phase1          time.Duration
 	Phase2          time.Duration
 	Precompute      time.Duration
-	LookupBuild     time.Duration
-	CLVStats        core.Stats // zero when AMC is off
-	ThreadsUsed     int        // workers + async precompute thread if any
+	LookupBuild     time.Duration // wall time of the lookup-table build
+	LookupWorkers   int           // pool workers the lookup build ran with
+	CLVStats        core.Stats    // zero when AMC is off
+	ThreadsUsed     int           // workers + async precompute thread if any
 	PeakBytes       int64
 	PlannedBytes    int64
 	LookupEnabled   bool
 	AMC             bool
 	Slots           int
 	ChunksProcessed int
+
+	// Pipeline statistics (see PlaceStream).
+	Pipelined bool          // chunk pipelining was active
+	ChunkRead time.Duration // time spent decoding/validating query chunks
+	ChunkWait time.Duration // placer idle time waiting for the next chunk
+	PlaceWall time.Duration // wall time spent inside Place/PlaceStream
+	PoolBusy  time.Duration // cumulative worker busy time during placement
+}
+
+// PoolUtilization estimates how busy the placement workers were during
+// Place/PlaceStream: busy time divided by (wall time × workers), in [0, ~1].
+func (s RunStats) PoolUtilization() float64 {
+	if s.PlaceWall <= 0 || s.ThreadsUsed <= 0 {
+		return 0
+	}
+	return s.PoolBusy.Seconds() / (s.PlaceWall.Seconds() * float64(s.ThreadsUsed))
 }
 
 // New builds a placement engine: plans the memory budget, allocates the CLV
@@ -195,7 +225,16 @@ func New(part *phylo.Partition, tr *tree.Tree, cfg Config) (*Engine, error) {
 		acct:        memacct.NewAccountant(),
 		branchOrder: tr.BranchOrderDFS(),
 	}
-	e.scratch.New = func() any { return part.NewScratch() }
+	poolWorkers := cfg.Threads
+	if cfg.SiteWorkers > poolWorkers {
+		poolWorkers = cfg.SiteWorkers
+	}
+	e.pool = parallel.New(poolWorkers)
+	e.wscratch = make([]*phylo.Scratch, e.pool.Size())
+	for i := range e.wscratch {
+		e.wscratch[i] = part.NewScratch()
+	}
+	e.wsel = make([][]int, e.pool.Size())
 	e.avgBranch = tr.TotalBranchLength() / float64(tr.NumBranches())
 	e.pendant0 = e.avgBranch / 2
 	if e.pendant0 <= 0 {
@@ -211,7 +250,7 @@ func New(part *phylo.Partition, tr *tree.Tree, cfg Config) (*Engine, error) {
 		mgr, err := core.NewManager(part, tr, core.Config{
 			Slots:    plan.Slots,
 			Strategy: strategy,
-			Workers:  e.precomputeSiteWorkers(),
+			Pool:     e.sitePool(),
 		})
 		if err != nil {
 			return nil, err
@@ -222,7 +261,7 @@ func New(part *phylo.Partition, tr *tree.Tree, cfg Config) (*Engine, error) {
 		e.acct.Alloc("branch-buffers", plan.BranchBufBytes)
 	} else {
 		start := time.Now()
-		full, err := phylo.ComputeFullCLVSet(part, tr, e.precomputeSiteWorkers())
+		full, err := phylo.ComputeFullCLVSet(part, tr, e.sitePool())
 		if err != nil {
 			return nil, err
 		}
@@ -249,13 +288,19 @@ func New(part *phylo.Partition, tr *tree.Tree, cfg Config) (*Engine, error) {
 	return e, nil
 }
 
-// precomputeSiteWorkers returns the across-site parallelism for CLV updates.
-func (e *Engine) precomputeSiteWorkers() int {
+// sitePool returns the pool for across-site parallel CLV updates (the
+// Fig. 7 experimental scheme), or nil when that scheme is off and updates
+// run serially.
+func (e *Engine) sitePool() *parallel.Pool {
 	if e.cfg.SiteWorkers > 1 {
-		return e.cfg.SiteWorkers
+		return e.pool
 	}
-	return 1
+	return nil
 }
+
+// Close releases the engine's worker pool. The engine remains usable (loops
+// degrade to serial execution), but callers should treat it as done.
+func (e *Engine) Close() { e.pool.Close() }
 
 // Plan returns the budget plan the engine runs under.
 func (e *Engine) Plan() memacct.Plan { return e.plan }
@@ -274,35 +319,68 @@ func (e *Engine) Stats() RunStats {
 }
 
 // buildLookup computes the pre-placement lookup table: one prescore row per
-// branch, built from the branch's midpoint insertion CLV. Under AMC this is
-// one full sweep over the tree through the slot manager.
+// branch, built from the branch's midpoint insertion CLV, fanned out over
+// the worker pool. In full-CLV mode the branches are embarrassingly parallel
+// (operands are concurrent-read-safe). Under AMC the slot manager is not
+// concurrency-safe, so branches are processed block-wise: both directional
+// CLVs of a block's branches are acquired and snapshotted serially through
+// the manager, then the midpoint CLVs and prescore rows are built in
+// parallel from the snapshots. Every branch's row is written by exactly one
+// worker from the same operand values the serial sweep would use, so the
+// table is bit-identical regardless of the worker count.
 func (e *Engine) buildLookup() error {
 	start := time.Now()
 	rowLen := e.part.PrescoreRowLen()
+	sl := e.part.ScaleLen()
 	e.lookup = make([]float64, e.tr.NumBranches()*rowLen)
-	e.lookupScale = make([]int32, e.tr.NumBranches()*e.part.ScaleLen())
+	e.lookupScale = make([]int32, e.tr.NumBranches()*sl)
 	e.acct.Alloc("lookup-table", e.plan.LookupBytes)
 
-	sc := e.part.NewScratch()
-	bclv, bscale := sc.CLV(0)
-	pu := sc.P(0)
-	pv := sc.P(1)
-	ppend := sc.P(2)
+	// The pendant-edge matrix is shared read-only across workers.
+	ppend := make([]float64, e.part.PLen())
 	e.part.FillP(ppend, e.pendant0)
 
-	for _, edge := range e.branchOrder {
-		opA, opB, release, err := e.acquireBranchEnds(edge)
-		if err != nil {
-			return fmt.Errorf("placement: lookup build: %w", err)
-		}
+	// buildRow derives one branch's midpoint insertion CLV from its two
+	// directional operands and writes the branch's prescore row + scales.
+	buildRow := func(edge *tree.Edge, opA, opB phylo.Operand, sc *phylo.Scratch) {
+		bclv, bscale := sc.CLV(0)
+		pu, pv := sc.P(0), sc.P(1)
 		e.part.FillP(pu, edge.Length/2)
 		e.part.FillP(pv, edge.Length/2)
-		e.part.UpdateCLVParallelScratch(bclv, bscale, opA, opB, pu, pv, e.precomputeSiteWorkers(), sc)
-		release()
+		e.part.UpdateCLVScratch(bclv, bscale, opA, opB, pu, pv, sc)
 		e.part.BuildPrescoreRow(e.lookup[edge.ID*rowLen:(edge.ID+1)*rowLen], bclv, ppend)
-		copy(e.lookupScale[edge.ID*e.part.ScaleLen():(edge.ID+1)*e.part.ScaleLen()], bscale)
+		copy(e.lookupScale[edge.ID*sl:(edge.ID+1)*sl], bscale)
+	}
+
+	if e.mgr == nil {
+		e.pool.Run(len(e.branchOrder), 0, func(lo, hi, worker int) {
+			sc := e.wscratch[worker]
+			for _, edge := range e.branchOrder[lo:hi] {
+				a, b := edge.Nodes()
+				opA := e.full.Operand(e.tr.DirOf(edge, a))
+				opB := e.full.Operand(e.tr.DirOf(edge, b))
+				buildRow(edge, opA, opB, sc)
+			}
+		})
+	} else {
+		blk := e.blockBuf(0)
+		bs := e.plan.BlockSize
+		for off := 0; off < len(e.branchOrder); off += bs {
+			end := off + bs
+			if end > len(e.branchOrder) {
+				end = len(e.branchOrder)
+			}
+			if err := e.fillBlockEnds(blk, e.branchOrder[off:end]); err != nil {
+				return err
+			}
+			e.pool.ForEach(len(blk.entries), func(i, worker int) {
+				ent := &blk.entries[i]
+				buildRow(ent.edge, operandOf(ent.u), operandOf(ent.v), e.wscratch[worker])
+			})
+		}
 	}
 	e.stats.LookupBuild = time.Since(start)
+	e.stats.LookupWorkers = e.pool.Workers()
 	return nil
 }
 

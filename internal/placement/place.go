@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"sync"
 	"time"
 
 	"phylomem/internal/jplace"
@@ -65,7 +64,7 @@ func (e *Engine) placeChunk(chunk []Query) ([]jplace.Placements, error) {
 	// Phase 1: pre-placement.
 	start := time.Now()
 	if e.lookup != nil {
-		e.parallelFor(len(chunk), func(qi int) {
+		e.pool.ForEach(len(chunk), func(qi, _ int) {
 			q := chunk[qi]
 			row := scores[qi*nb : (qi+1)*nb]
 			for b := 0; b < nb; b++ {
@@ -77,13 +76,12 @@ func (e *Engine) placeChunk(chunk []Query) ([]jplace.Placements, error) {
 		ppend := make([]float64, e.part.PLen())
 		e.part.FillP(ppend, e.pendant0)
 		err := e.runBlocks(e.branchOrder, func(blk *branchBlock) error {
-			e.parallelFor(len(chunk), func(qi int) {
+			e.pool.ForEach(len(chunk), func(qi, worker int) {
 				q := chunk[qi]
-				sc := e.scratch.Get().(*phylo.Scratch)
+				sc := e.wscratch[worker]
 				for _, ent := range blk.entries {
 					scores[qi*nb+ent.edge.ID] = e.part.QueryLogLikScratch(ent.m, ent.ms, q.Codes, ppend, e.cfg.SkipGaps, sc)
 				}
-				e.scratch.Put(sc)
 			})
 			return nil
 		})
@@ -107,32 +105,26 @@ func (e *Engine) placeChunk(chunk []Query) ([]jplace.Placements, error) {
 	if keepMax > nb {
 		keepMax = nb
 	}
+	// Only the keepMax best branches per query can ever become candidates,
+	// so a bounded partial selection (min-heap of size keepMax over the row,
+	// O(nb·log keepMax)) replaces the former full sort of all nb branches.
+	// The selection buffer is per-worker scratch — no per-query allocation.
+	// The LWR normalizer sums over all branches in ascending index order,
+	// which is a fixed order independent of the worker count.
 	byBranch := make([][]*candidate, nb)
 	perQuery := make([][]*candidate, len(chunk))
-	var candMu sync.Mutex
-	e.parallelFor(len(chunk), func(qi int) {
+	e.pool.ForEach(len(chunk), func(qi, worker int) {
 		row := scores[qi*nb : (qi+1)*nb]
-		order := make([]int, nb)
-		for i := range order {
-			order[i] = i
-		}
-		sort.Slice(order, func(a, b int) bool {
-			if row[order[a]] != row[order[b]] {
-				return row[order[a]] > row[order[b]]
-			}
-			return order[a] < order[b]
-		})
-		best := row[order[0]]
+		sel := numeric.TopKIndices(row, keepMax, e.wsel[worker])
+		e.wsel[worker] = sel
+		best := row[sel[0]]
 		total := 0.0
-		for _, b := range order {
+		for b := 0; b < nb; b++ {
 			total += math.Exp(row[b] - best)
 		}
 		cands := make([]*candidate, 0, 8)
 		acc := 0.0
-		for _, b := range order {
-			if len(cands) >= keepMax {
-				break
-			}
+		for _, b := range sel {
 			cands = append(cands, &candidate{query: qi, edgeID: b, loglik: math.Inf(-1)})
 			acc += math.Exp(row[b]-best) / total
 			if len(cands) >= 2 && acc >= e.cfg.PrescoreThreshold {
@@ -140,12 +132,15 @@ func (e *Engine) placeChunk(chunk []Query) ([]jplace.Placements, error) {
 			}
 		}
 		perQuery[qi] = cands
-		candMu.Lock()
+	})
+	// Group candidates by branch serially, in query order: phase 2's work
+	// list is then deterministic (the former mutex-guarded appends depended
+	// on goroutine scheduling — harmless for results, but needless).
+	for _, cands := range perQuery {
 		for _, c := range cands {
 			byBranch[c.edgeID] = append(byBranch[c.edgeID], c)
 		}
-		candMu.Unlock()
-	})
+	}
 
 	// Phase 2: thorough scoring of candidates, grouped into branch blocks in
 	// DFS order for slot locality.
@@ -169,9 +164,9 @@ func (e *Engine) placeChunk(chunk []Query) ([]jplace.Placements, error) {
 				tasks = append(tasks, task{ent: ent, cand: c})
 			}
 		}
-		e.parallelFor(len(tasks), func(ti int) {
+		e.pool.ForEach(len(tasks), func(ti, worker int) {
 			t := tasks[ti]
-			e.scoreCandidate(t.ent, chunk[t.cand.query].Codes, t.cand)
+			e.scoreCandidate(t.ent, chunk[t.cand.query].Codes, t.cand, e.wscratch[worker])
 		})
 		return nil
 	})
@@ -182,7 +177,7 @@ func (e *Engine) placeChunk(chunk []Query) ([]jplace.Placements, error) {
 
 	// Likelihood weight ratios and output filtering per query.
 	out := make([]jplace.Placements, len(chunk))
-	e.parallelFor(len(chunk), func(qi int) {
+	e.pool.ForEach(len(chunk), func(qi, _ int) {
 		out[qi] = e.filterPlacements(chunk[qi].Name, perQuery[qi])
 	})
 	return out, nil
@@ -192,12 +187,10 @@ func (e *Engine) placeChunk(chunk []Query) ([]jplace.Placements, error) {
 // pendant length is always optimized (Brent); in thorough mode the distal
 // (insertion) position along the branch is optimized as well, re-deriving
 // the insertion CLV from the block's directional snapshots. All buffers come
-// from the engine's scratch pool, so the per-candidate work is
+// from the calling worker's scratch, so the per-candidate work is
 // allocation-free after warm-up.
-func (e *Engine) scoreCandidate(ent *branchEntry, codes []uint32, c *candidate) {
+func (e *Engine) scoreCandidate(ent *branchEntry, codes []uint32, c *candidate, sc *phylo.Scratch) {
 	part := e.part
-	sc := e.scratch.Get().(*phylo.Scratch)
-	defer e.scratch.Put(sc)
 	ppend := sc.P(0)
 	blen := ent.edge.Length
 
@@ -290,42 +283,4 @@ func (e *Engine) filterPlacements(name string, cands []*candidate) jplace.Placem
 		}
 	}
 	return out
-}
-
-// parallelFor runs fn(i) for i in [0, n) using the configured worker count.
-func (e *Engine) parallelFor(n int, fn func(i int)) {
-	workers := e.cfg.Threads
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var next int64
-	var mu sync.Mutex
-	take := func() int {
-		mu.Lock()
-		defer mu.Unlock()
-		i := int(next)
-		next++
-		return i
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := take()
-				if i >= n {
-					return
-				}
-				fn(i)
-			}
-		}()
-	}
-	wg.Wait()
 }

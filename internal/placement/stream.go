@@ -2,6 +2,7 @@ package placement
 
 import (
 	"fmt"
+	"time"
 
 	"phylomem/internal/jplace"
 	"phylomem/internal/seq"
@@ -79,13 +80,40 @@ func (f *FastaSource) NextChunk(max int) ([]Query, error) {
 }
 
 // PlaceStream places queries from a source chunk by chunk, passing each
-// query's placements to sink as soon as its chunk completes. It returns the
-// number of queries placed. Unlike Place, at most one chunk of queries and
-// results is resident at any time.
+// query's placements to sink in input order. It returns the number of
+// queries placed (queries whose placements were delivered to the sink).
+//
+// By default chunk execution is pipelined: a reader goroutine decodes and
+// validates chunk N+1 while the workers place chunk N, and an emitter
+// goroutine delivers chunk N-1's results to the sink meanwhile. Buffering is
+// bounded — at most one decoded chunk is prefetched, accounted under the
+// "chunk-prefetch" category so the --maxmem budget still holds (the planner
+// reserves two chunks' worth of encoded queries). Chunks flow through
+// single-reader/single-writer FIFO channels and are placed one at a time, so
+// results reach the sink in exactly the input order and every floating-point
+// operation happens in the same order as the synchronous path: pipelining
+// changes wall time, never output. Config.NoPipeline selects the synchronous
+// loop instead.
 func (e *Engine) PlaceStream(src QuerySource, sink func(jplace.Placements) error) (int, error) {
+	start := time.Now()
+	busy0 := e.pool.BusyTime()
+	defer func() {
+		e.stats.PlaceWall += time.Since(start)
+		e.stats.PoolBusy += e.pool.BusyTime() - busy0
+	}()
+	if e.cfg.NoPipeline {
+		return e.placeStreamSync(src, sink)
+	}
+	return e.placeStreamPipelined(src, sink)
+}
+
+// placeStreamSync is the synchronous fallback: read, place, emit, repeat.
+func (e *Engine) placeStreamSync(src QuerySource, sink func(jplace.Placements) error) (int, error) {
 	placed := 0
 	for {
+		t0 := time.Now()
 		chunk, err := src.NextChunk(e.cfg.ChunkSize)
+		e.stats.ChunkRead += time.Since(t0)
 		if err != nil {
 			return placed, err
 		}
@@ -105,4 +133,124 @@ func (e *Engine) PlaceStream(src QuerySource, sink func(jplace.Placements) error
 			placed++
 		}
 	}
+}
+
+// prefetched is one decoded chunk in flight between the reader and the
+// placer, with its accounted memory footprint.
+type prefetched struct {
+	queries []Query
+	bytes   int64
+}
+
+func (e *Engine) placeStreamPipelined(src QuerySource, sink func(jplace.Placements) error) (int, error) {
+	e.stats.Pipelined = true
+
+	// Reader: decodes the next chunk while the current one is being placed.
+	// The channel is unbuffered, so at most one decoded chunk (the one in
+	// the reader's hand) exists beyond the chunk being placed — that is the
+	// bounded-buffer contract the memory planner's 2× query reservation
+	// covers.
+	chunks := make(chan prefetched)
+	stop := make(chan struct{})
+	var readErr error
+	var readTime time.Duration
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		defer close(chunks)
+		for {
+			t0 := time.Now()
+			chunk, err := src.NextChunk(e.cfg.ChunkSize)
+			readTime += time.Since(t0)
+			if err != nil {
+				readErr = err
+				return
+			}
+			if len(chunk) == 0 {
+				return
+			}
+			pf := prefetched{queries: chunk, bytes: QueryBytes(chunk)}
+			e.acct.Alloc("chunk-prefetch", pf.bytes)
+			select {
+			case chunks <- pf:
+			case <-stop:
+				e.acct.Free("chunk-prefetch", pf.bytes)
+				return
+			}
+		}
+	}()
+
+	// Emitter: delivers completed chunks to the sink in arrival (= input)
+	// order while the placer works on the next chunk. After a sink error it
+	// keeps draining so the placer never blocks.
+	results := make(chan []jplace.Placements, 1)
+	emitterDone := make(chan struct{})
+	sinkFailed := make(chan struct{})
+	var sinkErr error
+	placed := 0
+	go func() {
+		defer close(emitterDone)
+		for rs := range results {
+			for _, r := range rs {
+				if sinkErr != nil {
+					continue
+				}
+				if err := sink(r); err != nil {
+					sinkErr = err
+					close(sinkFailed)
+					continue
+				}
+				placed++
+			}
+		}
+	}()
+
+	// Placer: the calling goroutine, which also participates in every
+	// parallel loop of placeChunk under the pool's helper id.
+	var placeErr error
+	var waitTime time.Duration
+placing:
+	for {
+		t0 := time.Now()
+		pf, ok := <-chunks
+		waitTime += time.Since(t0)
+		if !ok {
+			break
+		}
+		e.acct.Free("chunk-prefetch", pf.bytes)
+		rs, err := e.placeChunk(pf.queries)
+		if err != nil {
+			placeErr = err
+			break
+		}
+		e.stats.ChunksProcessed++
+		select {
+		case results <- rs:
+		case <-sinkFailed:
+			break placing
+		}
+	}
+
+	// Shutdown: release the reader, drain any chunk it already accounted,
+	// then let the emitter finish the delivered results.
+	close(stop)
+	for pf := range chunks {
+		e.acct.Free("chunk-prefetch", pf.bytes)
+	}
+	<-readerDone
+	close(results)
+	<-emitterDone
+
+	e.stats.ChunkRead += readTime
+	e.stats.ChunkWait += waitTime
+	switch {
+	case placeErr != nil:
+		return placed, placeErr
+	case sinkErr != nil:
+		return placed, sinkErr
+	case readErr != nil:
+		return placed, readErr
+	}
+	e.stats.QueriesPlaced += placed
+	return placed, nil
 }

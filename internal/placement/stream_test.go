@@ -1,9 +1,11 @@
 package placement
 
 import (
+	"bytes"
 	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	"phylomem/internal/jplace"
 	"phylomem/internal/seq"
@@ -103,6 +105,119 @@ func TestPlaceStreamSinkError(t *testing.T) {
 	_, err = eng.PlaceStream(NewSliceSource(fx.queries), func(jplace.Placements) error { return wantErr })
 	if err != wantErr {
 		t.Fatalf("sink error not propagated: %v", err)
+	}
+}
+
+// slowSource delays every NextChunk, so the pipelined placer has to overlap
+// reading with placement to finish in reasonable time.
+type slowSource struct {
+	inner QuerySource
+	delay time.Duration
+}
+
+func (s *slowSource) NextChunk(max int) ([]Query, error) {
+	time.Sleep(s.delay)
+	return s.inner.NextChunk(max)
+}
+
+// TestPipelinedOrderedEmission drives the pipelined path with a slow source
+// and a slow sink: the emitter must still deliver every query in exact input
+// order, and the pipeline statistics must be populated.
+func TestPipelinedOrderedEmission(t *testing.T) {
+	fx := newFixture(t, 24, 16, 100, 15)
+	cfg := testConfig()
+	cfg.ChunkSize = 3 // 5 chunks
+	eng, err := New(fx.part, fx.tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	src := &slowSource{inner: NewSliceSource(fx.queries), delay: time.Millisecond}
+	var got []string
+	n, err := eng.PlaceStream(src, func(p jplace.Placements) error {
+		time.Sleep(time.Millisecond) // slow sink: emitter lags the placer
+		got = append(got, p.Name)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(fx.queries) {
+		t.Fatalf("placed %d of %d", n, len(fx.queries))
+	}
+	for i, q := range fx.queries {
+		if got[i] != q.Name {
+			t.Fatalf("emission order broken at %d: got %q want %q", i, got[i], q.Name)
+		}
+	}
+	st := eng.Stats()
+	if !st.Pipelined {
+		t.Fatal("pipelined run not recorded in stats")
+	}
+	if st.ChunksProcessed != 5 {
+		t.Fatalf("ChunksProcessed = %d, want 5", st.ChunksProcessed)
+	}
+	if st.ChunkRead <= 0 || st.PlaceWall <= 0 {
+		t.Fatalf("pipeline stats not populated: read %v wall %v", st.ChunkRead, st.PlaceWall)
+	}
+	// Prefetch accounting must be fully released.
+	if left := eng.Accountant().Breakdown()["chunk-prefetch"]; left != 0 {
+		t.Fatalf("chunk-prefetch accounting left %d bytes allocated", left)
+	}
+}
+
+// TestPipelineByteIdentity is the acceptance matrix: the serialized jplace
+// output must be byte-identical across thread counts, pipelined versus
+// synchronous execution, and reference versus memory-saving mode.
+func TestPipelineByteIdentity(t *testing.T) {
+	fx := newFixture(t, 25, 16, 120, 14)
+	base := testConfig()
+	base.ChunkSize = 4
+	amcMem := tightMaxMem(t, fx, base, true)
+
+	render := func(cfg Config) []byte {
+		t.Helper()
+		eng, err := New(fx.part, fx.tr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer eng.Close()
+		var placed []jplace.Placements
+		if _, err := eng.PlaceStream(NewSliceSource(fx.queries), func(p jplace.Placements) error {
+			placed = append(placed, p)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		doc := &jplace.Document{Tree: jplace.TreeString(fx.tr), Queries: placed, Invocation: "test"}
+		if err := jplace.Write(&buf, doc); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	var ref []byte
+	for _, threads := range []int{1, 8} {
+		for _, noPipe := range []bool{false, true} {
+			for _, amc := range []bool{false, true} {
+				cfg := base
+				cfg.Threads = threads
+				cfg.NoPipeline = noPipe
+				if amc {
+					cfg.MaxMem = amcMem
+				}
+				out := render(cfg)
+				if ref == nil {
+					ref = out
+					continue
+				}
+				if !bytes.Equal(out, ref) {
+					t.Fatalf("output differs at threads=%d noPipeline=%v amc=%v", threads, noPipe, amc)
+				}
+			}
+		}
 	}
 }
 

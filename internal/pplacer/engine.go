@@ -11,6 +11,7 @@ import (
 	"phylomem/internal/jplace"
 	"phylomem/internal/memacct"
 	"phylomem/internal/numeric"
+	"phylomem/internal/parallel"
 	"phylomem/internal/phylo"
 	"phylomem/internal/placement"
 	"phylomem/internal/tree"
@@ -45,9 +46,13 @@ type Engine struct {
 	// storeMu serializes store access from concurrent optimization workers.
 	storeMu sync.Mutex
 
-	// scratch pools per-worker kernel scratch and CLV/P-matrix buffers so
-	// the scoring and optimization loops are allocation-free after warm-up.
-	scratch sync.Pool
+	// pool is the engine-lifetime worker pool; wscratch and wsel give each
+	// worker id its own kernel scratch and top-k selection buffer (scratch
+	// affinity), so the scoring and optimization loops are allocation-free
+	// after warm-up.
+	pool     *parallel.Pool
+	wscratch []*phylo.Scratch
+	wsel     [][]int
 
 	stats Stats
 }
@@ -75,7 +80,12 @@ func New(part *phylo.Partition, tr *tree.Tree, cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{cfg: cfg, tr: tr, part: part, acct: memacct.NewAccountant()}
-	e.scratch.New = func() any { return part.NewScratch() }
+	e.pool = parallel.New(cfg.Threads)
+	e.wscratch = make([]*phylo.Scratch, e.pool.Size())
+	for i := range e.wscratch {
+		e.wscratch[i] = part.NewScratch()
+	}
+	e.wsel = make([][]int, e.pool.Size())
 	e.avgBranch = tr.TotalBranchLength() / float64(tr.NumBranches())
 	e.pendant0 = e.avgBranch / 2
 	if e.pendant0 <= 0 {
@@ -126,8 +136,11 @@ func New(part *phylo.Partition, tr *tree.Tree, cfg Config) (*Engine, error) {
 	return e, nil
 }
 
-// Close releases the CLV store.
-func (e *Engine) Close() error { return e.store.Close() }
+// Close releases the CLV store and the worker pool.
+func (e *Engine) Close() error {
+	e.pool.Close()
+	return e.store.Close()
+}
 
 // Stats returns a snapshot of the run counters.
 func (e *Engine) Stats() Stats {
@@ -197,40 +210,32 @@ func (e *Engine) Place(queries []placement.Query) ([]jplace.Placements, error) {
 		e.part.FillP(pu, edge.Length/2)
 		e.part.FillP(pv, edge.Length/2)
 		e.part.UpdateCLVScratch(bclv, bscale, opU, opV, pu, pv, sc)
-		e.parallelFor(nq, func(qi int) {
-			wsc := e.scratch.Get().(*phylo.Scratch)
-			scores[qi*nb+edge.ID] = e.part.QueryLogLikScratch(bclv, bscale, queries[qi].Codes, ppend, true, wsc)
-			e.scratch.Put(wsc)
+		e.pool.ForEach(nq, func(qi, worker int) {
+			scores[qi*nb+edge.ID] = e.part.QueryLogLikScratch(bclv, bscale, queries[qi].Codes, ppend, true, e.wscratch[worker])
 		})
 	}
 
-	// Per query: optimize the best KeepCount branches.
+	// Per query: optimize the best KeepCount branches, found by bounded
+	// partial selection (same order a full descending sort with index
+	// tie-break would give, in O(nb log keep)).
 	out := make([]jplace.Placements, nq)
 	for qi := 0; qi < nq; qi++ {
 		row := scores[qi*nb : (qi+1)*nb]
-		order := make([]int, nb)
-		for i := range order {
-			order[i] = i
-		}
-		sort.Slice(order, func(x, y int) bool {
-			if row[order[x]] != row[order[y]] {
-				return row[order[x]] > row[order[y]]
-			}
-			return order[x] < order[y]
-		})
 		keep := e.cfg.KeepCount
 		if keep > nb {
 			keep = nb
 		}
+		order := numeric.TopKIndices(row, keep, e.wsel[0])
+		e.wsel[0] = order
 		type scored struct {
 			edge *tree.Edge
 			ll   float64
 			pend float64
 		}
 		results := make([]scored, keep)
-		e.parallelFor(keep, func(ci int) {
+		e.pool.ForEach(keep, func(ci, worker int) {
 			edge := e.tr.Edges[order[ci]]
-			ll, pend := e.optimizeOn(edge, queries[qi].Codes)
+			ll, pend := e.optimizeOn(edge, queries[qi].Codes, e.wscratch[worker])
 			results[ci] = scored{edge: edge, ll: ll, pend: pend}
 		})
 		sort.Slice(results, func(x, y int) bool {
@@ -262,9 +267,7 @@ func (e *Engine) Place(queries []placement.Query) ([]jplace.Placements, error) {
 // optimizeOn re-reads a branch's CLVs and optimizes the query's pendant
 // length on it. Serialized store access keeps the file-backed mode simple;
 // the extra reads are exactly the I/O cost the memory saving pays for.
-func (e *Engine) optimizeOn(edge *tree.Edge, codes []uint32) (loglik, pendant float64) {
-	sc := e.scratch.Get().(*phylo.Scratch)
-	defer e.scratch.Put(sc)
+func (e *Engine) optimizeOn(edge *tree.Edge, codes []uint32, sc *phylo.Scratch) (loglik, pendant float64) {
 	uclv, uscale := sc.CLV(0)
 	vclv, vscale := sc.CLV(1)
 	bclv, bscale := sc.CLV(2)
@@ -293,38 +296,4 @@ func (e *Engine) optimizeOn(edge *tree.Edge, codes []uint32) (loglik, pendant fl
 		return -e.part.QueryLogLikScratch(bclv, bscale, codes, ppend, true, sc)
 	}, 1e-8, maxPend, 1e-4, 24)
 	return -r.F, r.X
-}
-
-// parallelFor runs fn(i) for i in [0, n) with the configured worker count.
-func (e *Engine) parallelFor(n int, fn func(i int)) {
-	workers := e.cfg.Threads
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := 0
-	var mu sync.Mutex
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
-				if i >= n {
-					return
-				}
-				fn(i)
-			}
-		}()
-	}
-	wg.Wait()
 }
