@@ -11,14 +11,22 @@
 //	epang ... --fit                    # ML-fit branch lengths & model first
 //	epang ... --no-heur                # disable the pre-placement lookup table
 //	epang ... --memsave-strategy lru   # CLV replacement strategy
+//	epang ... --strict                 # abort on malformed queries instead of skipping
+//
+// Exit codes: 0 success, 1 input or usage error, 2 internal invariant
+// violation (a bug, not bad input), 130 interrupted.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"phylomem/internal/core"
@@ -35,13 +43,31 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "epang:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+// exitCode separates failure classes for scripting: 1 is an input or usage
+// error, 2 an internal invariant violation (slot-map corruption, accounting
+// leak or overcommit — a bug, not bad input), 130 an interrupt (the shell
+// convention for SIGINT).
+func exitCode(err error) int {
+	switch {
+	case errors.Is(err, core.ErrInvariant),
+		errors.Is(err, memacct.ErrNotDrained),
+		errors.Is(err, memacct.ErrOvercommit):
+		return 2
+	case errors.Is(err, context.Canceled):
+		return 130
+	}
+	return 1
+}
+
+func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("epang", flag.ContinueOnError)
 	var (
 		treeFile  = fs.String("tree", "", "reference tree (Newick)")
@@ -59,6 +85,7 @@ func run(args []string, stdout io.Writer) error {
 		blockSize = fs.Int("block-size", memacct.DefaultBlockSize, "branches per precompute block")
 		threads   = fs.Int("threads", 1, "placement worker threads")
 		noHeur    = fs.Bool("no-heur", false, "disable the pre-placement lookup table heuristic")
+		strict    = fs.Bool("strict", false, "abort on malformed query sequences instead of skipping them")
 		strategy  = fs.String("memsave-strategy", "costage", "CLV replacement strategy: cost, costage, lru, fifo, random")
 		dataType  = fs.String("type", "NT", "data type: NT or AA")
 		syncPre   = fs.Bool("sync-precompute", false, "synchronous across-site branch-block precompute (experimental)")
@@ -235,6 +262,7 @@ func run(args []string, stdout io.Writer) error {
 	cfg.DisableLookup = *noHeur
 	cfg.SyncPrecompute = *syncPre
 	cfg.NoPipeline = *noPipe
+	cfg.Strict = *strict
 	if *syncPre {
 		cfg.SiteWorkers = *threads
 	}
@@ -251,7 +279,7 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("unknown strategy %q", *strategy)
 	}
 
-	eng, err := placement.New(part, tr, cfg)
+	eng, err := placement.NewContext(ctx, part, tr, cfg)
 	if err != nil {
 		return err
 	}
@@ -266,9 +294,18 @@ func run(args []string, stdout io.Writer) error {
 	var src placement.QuerySource
 	var qfile *os.File
 	if *splitFile != "" {
-		queries, err := placement.EncodeQueries(alphabet, splitQueries, msa.Width())
-		if err != nil {
-			return err
+		var queries []placement.Query
+		if *strict {
+			queries, err = placement.EncodeQueries(alphabet, splitQueries, msa.Width())
+			if err != nil {
+				return err
+			}
+		} else {
+			var qerrs []*placement.QueryError
+			queries, qerrs = placement.EncodeQueriesLenient(alphabet, splitQueries, msa.Width())
+			for _, qe := range qerrs {
+				fmt.Fprintln(os.Stderr, "epang: skipping:", qe)
+			}
 		}
 		src = placement.NewSliceSource(queries)
 	} else {
@@ -281,33 +318,51 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	var placed []jplace.Placements
-	n, err := eng.PlaceStream(src, func(p jplace.Placements) error {
+	n, runErr := eng.PlaceStream(ctx, src, func(p jplace.Placements) error {
 		placed = append(placed, p)
 		return nil
 	})
-	if err != nil {
-		return err
-	}
 
-	out, err := os.Create(*outFile)
-	if err != nil {
-		return err
-	}
-	doc := &jplace.Document{
-		Tree:       jplace.TreeString(tr),
-		Queries:    placed,
-		Invocation: "epang " + strings.Join(args, " "),
-	}
-	if err := jplace.Write(out, doc); err != nil {
-		out.Close()
-		return err
-	}
-	if err := out.Close(); err != nil {
-		return err
+	// Even an interrupted or failed run writes what it has: the partial
+	// result is still a well-formed jplace document.
+	if runErr == nil || len(placed) > 0 {
+		out, err := os.Create(*outFile)
+		if err != nil {
+			return err
+		}
+		doc := &jplace.Document{
+			Tree:       jplace.TreeString(tr),
+			Queries:    placed,
+			Invocation: "epang " + strings.Join(args, " "),
+		}
+		if err := jplace.Write(out, doc); err != nil {
+			out.Close()
+			return err
+		}
+		if err := out.Close(); err != nil {
+			return err
+		}
 	}
 
 	st := eng.Stats()
+
+	// End-of-run audit: Close re-checks the slot-map invariants and asserts
+	// the accountant drained to zero. An audit failure on a clean run is an
+	// internal error (exit 2); it never masks the run's own error.
+	if cerr := eng.Close(); cerr != nil && runErr == nil {
+		runErr = cerr
+	}
+	if runErr != nil {
+		if len(placed) > 0 {
+			fmt.Fprintf(os.Stderr, "epang: wrote %d partial placements to %s\n", len(placed), *outFile)
+		}
+		return runErr
+	}
+
 	fmt.Fprintf(stdout, "placed %d queries on %d branches -> %s\n", n, tr.NumBranches(), *outFile)
+	if st.QueriesSkipped > 0 {
+		fmt.Fprintf(stdout, "skipped %d malformed queries (use --strict to abort instead)\n", st.QueriesSkipped)
+	}
 	if *verbose {
 		fmt.Fprintf(stdout, "phase1 %v, phase2 %v, precompute %v, lookup build %v\n",
 			st.Phase1, st.Phase2, st.Precompute, st.LookupBuild)

@@ -2,12 +2,18 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"phylomem/internal/core"
 	"phylomem/internal/jplace"
+	"phylomem/internal/memacct"
+	"phylomem/internal/placement"
 	"phylomem/internal/seq"
 	"phylomem/internal/workload"
 )
@@ -67,7 +73,7 @@ func TestRunEndToEnd(t *testing.T) {
 	dir, ds := writeDataset(t)
 	out := filepath.Join(dir, "result.jplace")
 	var buf bytes.Buffer
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"--tree", filepath.Join(dir, "tree.nwk"),
 		"--ref-msa", filepath.Join(dir, "ref.fasta"),
 		"--query", filepath.Join(dir, "query.fasta"),
@@ -102,10 +108,10 @@ func TestRunWithMaxmemMatchesUnlimited(t *testing.T) {
 	outA := filepath.Join(dir, "a.jplace")
 	outB := filepath.Join(dir, "b.jplace")
 	var buf bytes.Buffer
-	if err := run(argsFor(outA), &buf); err != nil {
+	if err := run(context.Background(), argsFor(outA), &buf); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(argsFor(outB, "--maxmem", "1500K"), &buf); err != nil {
+	if err := run(context.Background(), argsFor(outB, "--maxmem", "1500K"), &buf); err != nil {
 		t.Fatal(err)
 	}
 	a, b := readJplace(t, outA), readJplace(t, outB)
@@ -120,7 +126,7 @@ func TestRunSplitMode(t *testing.T) {
 	dir, ds := writeDataset(t)
 	out := filepath.Join(dir, "split.jplace")
 	var buf bytes.Buffer
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"--tree", filepath.Join(dir, "tree.nwk"),
 		"--split", filepath.Join(dir, "combined.fasta"),
 		"--out", out,
@@ -136,10 +142,10 @@ func TestRunSplitMode(t *testing.T) {
 
 func TestRunArgumentErrors(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{}, &buf); err == nil {
+	if err := run(context.Background(), []string{}, &buf); err == nil {
 		t.Error("missing args accepted")
 	}
-	if err := run([]string{"--tree", "x.nwk"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"--tree", "x.nwk"}, &buf); err == nil {
 		t.Error("missing msa/query accepted")
 	}
 	dir, _ := writeDataset(t)
@@ -148,16 +154,16 @@ func TestRunArgumentErrors(t *testing.T) {
 		"--ref-msa", filepath.Join(dir, "ref.fasta"),
 		"--query", filepath.Join(dir, "query.fasta"),
 	}
-	if err := run(append(base, "--model", "BOGUS"), &buf); err == nil {
+	if err := run(context.Background(), append(base, "--model", "BOGUS"), &buf); err == nil {
 		t.Error("bogus model accepted")
 	}
-	if err := run(append(base, "--memsave-strategy", "bogus"), &buf); err == nil {
+	if err := run(context.Background(), append(base, "--memsave-strategy", "bogus"), &buf); err == nil {
 		t.Error("bogus strategy accepted")
 	}
-	if err := run(append(base, "--maxmem", "nonsense"), &buf); err == nil {
+	if err := run(context.Background(), append(base, "--maxmem", "nonsense"), &buf); err == nil {
 		t.Error("bogus maxmem accepted")
 	}
-	if err := run(append(base, "--type", "XX"), &buf); err == nil {
+	if err := run(context.Background(), append(base, "--type", "XX"), &buf); err == nil {
 		t.Error("bogus type accepted")
 	}
 }
@@ -168,7 +174,7 @@ func TestRunRefDBRoundTrip(t *testing.T) {
 	outDirect := filepath.Join(dir, "direct.jplace")
 	var buf bytes.Buffer
 	// Save a DB while placing directly.
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"--tree", filepath.Join(dir, "tree.nwk"),
 		"--ref-msa", filepath.Join(dir, "ref.fasta"),
 		"--query", filepath.Join(dir, "query.fasta"),
@@ -180,7 +186,7 @@ func TestRunRefDBRoundTrip(t *testing.T) {
 	}
 	// Place again purely from the DB.
 	outDB := filepath.Join(dir, "fromdb.jplace")
-	err = run([]string{
+	err = run(context.Background(), []string{
 		"--db", db,
 		"--query", filepath.Join(dir, "query.fasta"),
 		"--out", outDB,
@@ -200,7 +206,74 @@ func TestRunRefDBRoundTrip(t *testing.T) {
 			t.Fatalf("query %s lost placements in db mode", b.Queries[i].Name)
 		}
 	}
-	if err := run([]string{"--db", db}, &buf); err == nil {
+	if err := run(context.Background(), []string{"--db", db}, &buf); err == nil {
 		t.Fatal("db mode without --query accepted")
+	}
+}
+
+// TestRunLenientAndStrict appends a malformed query to the input: the
+// default run skips and reports it, --strict aborts with the typed error.
+func TestRunLenientAndStrict(t *testing.T) {
+	dir, ds := writeDataset(t)
+	qpath := filepath.Join(dir, "mixed.fasta")
+	f, err := os.Create(qpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seq.WriteFasta(f, ds.Queries); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(">truncated\nACGT\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	base := []string{
+		"--tree", filepath.Join(dir, "tree.nwk"),
+		"--ref-msa", filepath.Join(dir, "ref.fasta"),
+		"--query", qpath,
+		"--out", filepath.Join(dir, "lenient.jplace"),
+	}
+	var buf bytes.Buffer
+	if err := run(context.Background(), base, &buf); err != nil {
+		t.Fatalf("lenient run failed: %v", err)
+	}
+	if !strings.Contains(buf.String(), "skipped 1 malformed") {
+		t.Fatalf("skip not reported: %s", buf.String())
+	}
+	doc := readJplace(t, filepath.Join(dir, "lenient.jplace"))
+	if len(doc.Queries) != len(ds.Queries) {
+		t.Fatalf("lenient run placed %d queries, want %d", len(doc.Queries), len(ds.Queries))
+	}
+
+	err = run(context.Background(), append(base, "--strict"), &buf)
+	if err == nil {
+		t.Fatal("--strict accepted a malformed query")
+	}
+	if !errors.Is(err, placement.ErrQueryMalformed) {
+		t.Fatalf("strict error = %v, want ErrQueryMalformed", err)
+	}
+	if exitCode(err) != 1 {
+		t.Fatalf("exit code for input error = %d, want 1", exitCode(err))
+	}
+}
+
+// TestExitCodeClasses pins the documented exit-code mapping.
+func TestExitCodeClasses(t *testing.T) {
+	if c := exitCode(errors.New("generic")); c != 1 {
+		t.Fatalf("generic error -> %d, want 1", c)
+	}
+	if c := exitCode(fmt.Errorf("audit: %w", core.ErrInvariant)); c != 2 {
+		t.Fatalf("invariant violation -> %d, want 2", c)
+	}
+	if c := exitCode(fmt.Errorf("audit: %w", memacct.ErrNotDrained)); c != 2 {
+		t.Fatalf("leak -> %d, want 2", c)
+	}
+	if c := exitCode(fmt.Errorf("run: %w", memacct.ErrOvercommit)); c != 2 {
+		t.Fatalf("overcommit -> %d, want 2", c)
+	}
+	if c := exitCode(context.Canceled); c != 130 {
+		t.Fatalf("interrupt -> %d, want 130", c)
 	}
 }

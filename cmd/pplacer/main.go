@@ -8,9 +8,14 @@
 //
 //	pplacer --tree ref.nwk --ref-msa ref.fasta --query q.fasta --out out.jplace
 //	pplacer ... --mmap-file clvs.bin   # memory-saving mode
+//	pplacer ... --strict               # abort on malformed queries instead of skipping
+//
+// Exit codes: 0 success, 1 input or usage error, 2 internal invariant
+// violation (accounting leak or overcommit — a bug, not bad input).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -29,7 +34,11 @@ import (
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "pplacer:", err)
-		os.Exit(1)
+		code := 1
+		if errors.Is(err, memacct.ErrNotDrained) || errors.Is(err, memacct.ErrOvercommit) {
+			code = 2
+		}
+		os.Exit(code)
 	}
 }
 
@@ -45,6 +54,7 @@ func run(args []string) error {
 		threads   = fs.Int("threads", 1, "scoring worker threads")
 		dataType  = fs.String("type", "NT", "data type: NT or AA")
 		gamma     = fs.Float64("gamma", 1.0, "Gamma shape (4 categories); 0 disables")
+		strict    = fs.Bool("strict", false, "abort on malformed query sequences instead of skipping them")
 		verbose   = fs.Bool("verbose", false, "print statistics")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -67,9 +77,18 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	queries, err := placement.EncodeQueries(alphabet, qseqs, part.Comp.OriginalWidth())
-	if err != nil {
-		return err
+	var queries []placement.Query
+	if *strict {
+		queries, err = placement.EncodeQueries(alphabet, qseqs, part.Comp.OriginalWidth())
+		if err != nil {
+			return err
+		}
+	} else {
+		var qerrs []*placement.QueryError
+		queries, qerrs = placement.EncodeQueriesLenient(alphabet, qseqs, part.Comp.OriginalWidth())
+		for _, qe := range qerrs {
+			fmt.Fprintln(os.Stderr, "pplacer: skipping:", qe)
+		}
 	}
 
 	cfg := pplacer.Config{KeepCount: *keep, Threads: *threads}
@@ -106,6 +125,11 @@ func run(args []string) error {
 		return err
 	}
 	st := eng.Stats()
+	// End-of-run audit: Close asserts the accountant drained to zero; a
+	// failure here is an internal error (exit 2).
+	if err := eng.Close(); err != nil {
+		return err
+	}
 	fmt.Printf("placed %d queries -> %s\n", len(results), *outFile)
 	if *verbose {
 		fmt.Printf("precompute %v, placement %v, store reads %d, peak %s\n",

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"phylomem/internal/faultinject"
 	"phylomem/internal/parallel"
 	"phylomem/internal/phylo"
 	"phylomem/internal/tree"
@@ -14,6 +15,12 @@ import (
 // pinned. It indicates the slot pool is smaller than the tree's minimum
 // requirement plus the caller's pins.
 var ErrNoSlots = errors.New("core: no unpinned slot available")
+
+// ErrInvariant marks a violation of the manager's internal invariants
+// (slotOf/clvOf bijection, pin bookkeeping). It indicates a bug in the slot
+// machinery, not bad input; callers should abort rather than retry. epang
+// maps it (and memacct.ErrNotDrained) to a distinct exit code.
+var ErrInvariant = errors.New("core: slot-map invariant violation")
 
 const (
 	noSlot = int32(-1)
@@ -214,6 +221,9 @@ func (m *Manager) unpinDir(d tree.Dir) {
 // allocSlot finds a slot for CLV index idx: a free slot if available,
 // otherwise the strategy's victim among unpinned slotted CLVs.
 func (m *Manager) allocSlot(idx int32) (int32, error) {
+	if err := faultinject.Check(faultinject.PointAllocSlot); err != nil {
+		return noSlot, fmt.Errorf("%w: injected for CLV %d: %w", ErrNoSlots, idx, err)
+	}
 	for s := int32(0); s < int32(m.slots); s++ {
 		if m.clvOf[s] == noCLV {
 			m.clvOf[s] = idx
@@ -414,6 +424,47 @@ func (m *Manager) dependentDirs(e *tree.Edge) []tree.Dir {
 		}
 	}
 	return deps
+}
+
+// CheckInvariants audits the slot maps and pin bookkeeping: slotOf and
+// clvOf must be mutually inverse partial bijections, every stored slot and
+// CLV index must be in range, pin counts must be non-negative, and an empty
+// slot must carry no pins. It returns an ErrInvariant-wrapped error naming
+// the first violation. The placement engine runs this (plus a zero-pin
+// check) from Close, so a corrupted run fails loudly at shutdown instead of
+// silently producing wrong CLVs on the next chunk.
+func (m *Manager) CheckInvariants() error {
+	for idx, s := range m.slotOf {
+		if s == noSlot {
+			continue
+		}
+		if s < 0 || int(s) >= m.slots {
+			return fmt.Errorf("%w: slotOf[%d] = %d out of range [0,%d)", ErrInvariant, idx, s, m.slots)
+		}
+		if m.clvOf[s] != int32(idx) {
+			return fmt.Errorf("%w: slotOf[%d] = %d but clvOf[%d] = %d", ErrInvariant, idx, s, s, m.clvOf[s])
+		}
+	}
+	for s, idx := range m.clvOf {
+		if idx == noCLV {
+			if m.pins[s] != 0 {
+				return fmt.Errorf("%w: empty slot %d has pin count %d", ErrInvariant, s, m.pins[s])
+			}
+			continue
+		}
+		if idx < 0 || int(idx) >= len(m.slotOf) {
+			return fmt.Errorf("%w: clvOf[%d] = %d out of range [0,%d)", ErrInvariant, s, idx, len(m.slotOf))
+		}
+		if m.slotOf[idx] != int32(s) {
+			return fmt.Errorf("%w: clvOf[%d] = %d but slotOf[%d] = %d", ErrInvariant, s, idx, idx, m.slotOf[idx])
+		}
+	}
+	for s, p := range m.pins {
+		if p < 0 {
+			return fmt.Errorf("%w: slot %d has negative pin count %d", ErrInvariant, s, p)
+		}
+	}
+	return nil
 }
 
 // RetainExpensive pins up to (Slots - minFree) of the currently slotted,

@@ -10,24 +10,61 @@
 package memacct
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+
+	"phylomem/internal/faultinject"
 )
+
+// ErrOvercommit marks a run that exceeded its accounted memory limit — the
+// exact failure class the paper admits to (one pro_ref run over --maxmem,
+// Section V). Test for it with errors.Is.
+var ErrOvercommit = errors.New("memacct: accounted bytes exceeded limit")
+
+// ErrNotDrained marks categories left non-zero at shutdown: a leak in the
+// accounting (or in the real allocation it mirrors). Test with errors.Is.
+var ErrNotDrained = errors.New("memacct: categories not drained")
 
 // Accountant tracks logical allocated bytes by category and remembers the
 // peak. It is safe for concurrent use.
+//
+// An optional hard limit (SetLimit) turns the accounting into enforcement:
+// the first Alloc that pushes the total past the limit records a sticky
+// ErrOvercommit, which engines poll via Err at chunk granularity and turn
+// into a run abort. Alloc itself never fails — the caller has already
+// allocated — so detection is deliberately decoupled from reaction.
 type Accountant struct {
 	mu         sync.Mutex
 	categories map[string]int64
 	current    int64
 	peak       int64
+	limit      int64 // 0 = unlimited
+	fail       error // sticky overcommit (real or injected)
 }
 
 // NewAccountant returns an empty accountant.
 func NewAccountant() *Accountant {
 	return &Accountant{categories: make(map[string]int64)}
+}
+
+// SetLimit arms hard-limit detection at the given byte ceiling (0 disables).
+// It does not retroactively flag an already-exceeded total.
+func (a *Accountant) SetLimit(limit int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.limit = limit
+}
+
+// Err returns the sticky overcommit error recorded by Alloc, or nil.
+func (a *Accountant) Err() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.fail
 }
 
 // Alloc records bytes allocated under the category.
@@ -41,6 +78,14 @@ func (a *Accountant) Alloc(category string, bytes int64) {
 	a.current += bytes
 	if a.current > a.peak {
 		a.peak = a.current
+	}
+	if a.fail == nil {
+		if a.limit > 0 && a.current > a.limit {
+			a.fail = fmt.Errorf("%w: %s allocated, limit %s (category %q)",
+				ErrOvercommit, FormatBytes(a.current), FormatBytes(a.limit), category)
+		} else if err := faultinject.Check(faultinject.PointAcctAlloc); err != nil {
+			a.fail = fmt.Errorf("%w: injected at category %q: %w", ErrOvercommit, category, err)
+		}
 	}
 }
 
@@ -72,6 +117,35 @@ func (a *Accountant) Peak() int64 {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.peak
+}
+
+// AssertDrained verifies that the given categories hold zero accounted
+// bytes; with no categories it verifies every category — i.e. a fully
+// drained accountant. It returns an ErrNotDrained-wrapped error naming each
+// offending category and its balance. Engines call this from Close, after
+// releasing their persistent allocations, so any leak in the transient
+// (per-chunk, prefetch) accounting surfaces at shutdown instead of silently
+// skewing the next run's budget.
+func (a *Accountant) AssertDrained(categories ...string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(categories) == 0 {
+		categories = make([]string, 0, len(a.categories))
+		for k := range a.categories {
+			categories = append(categories, k)
+		}
+		sort.Strings(categories)
+	}
+	var leaks []string
+	for _, c := range categories {
+		if b := a.categories[c]; b != 0 {
+			leaks = append(leaks, fmt.Sprintf("%s=%s", c, FormatBytes(b)))
+		}
+	}
+	if len(leaks) > 0 {
+		return fmt.Errorf("%w: %s", ErrNotDrained, strings.Join(leaks, ", "))
+	}
+	return nil
 }
 
 // Breakdown returns a copy of the per-category byte counts.
@@ -126,13 +200,21 @@ func FormatBytes(b int64) string {
 	return fmt.Sprintf("%d B", b)
 }
 
-// ParseBytes parses a human byte size such as "4G", "512M", "100K", "123"
-// (bytes). Binary units (1024-based) are used, matching EPA-NG's --maxmem.
+// ParseBytes parses a human byte size such as "4G", "4GiB", "4gib", "512M",
+// "100K", "123" (bytes). Binary units (1024-based) are used, matching
+// EPA-NG's --maxmem; unit letters and the optional "iB"/"B" tail are
+// case-insensitive. The whole string must parse: trailing garbage ("4x",
+// "4Gx") is an error, not silently truncated.
 func ParseBytes(s string) (int64, error) {
+	orig := s
 	s = strings.TrimSpace(s)
-	s = strings.TrimSuffix(strings.TrimSuffix(s, "iB"), "B")
+	if t := strings.ToLower(s); strings.HasSuffix(t, "ib") {
+		s = s[:len(s)-2]
+	} else if strings.HasSuffix(t, "b") {
+		s = s[:len(s)-1]
+	}
 	if s == "" {
-		return 0, fmt.Errorf("memacct: empty size")
+		return 0, fmt.Errorf("memacct: invalid size %q", orig)
 	}
 	mult := int64(1)
 	switch s[len(s)-1] {
@@ -146,9 +228,9 @@ func ParseBytes(s string) (int64, error) {
 		mult = 1 << 30
 		s = s[:len(s)-1]
 	}
-	var v float64
-	if _, err := fmt.Sscanf(s, "%g", &v); err != nil || v < 0 {
-		return 0, fmt.Errorf("memacct: invalid size %q", s)
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v < 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+		return 0, fmt.Errorf("memacct: invalid size %q", orig)
 	}
 	return int64(v * float64(mult)), nil
 }

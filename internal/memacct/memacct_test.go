@@ -1,10 +1,14 @@
 package memacct
 
 import (
+	"errors"
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
 	"testing/quick"
+
+	"phylomem/internal/faultinject"
 )
 
 func TestAccountantBasics(t *testing.T) {
@@ -70,11 +74,18 @@ func TestParseBytes(t *testing.T) {
 	cases := map[string]int64{
 		"123":   123,
 		"4G":    4 << 30,
+		"4GiB":  4 << 30,
+		"4gib":  4 << 30,
+		"4g":    4 << 30,
+		"4GB":   4 << 30,
 		"512M":  512 << 20,
+		"512mb": 512 << 20,
 		"100K":  100 << 10,
+		"100k":  100 << 10,
 		"1.5G":  3 << 29,
 		"2GiB":  2 << 30,
 		" 10M ": 10 << 20,
+		"42B":   42,
 	}
 	for in, want := range cases {
 		got, err := ParseBytes(in)
@@ -86,10 +97,85 @@ func TestParseBytes(t *testing.T) {
 			t.Errorf("ParseBytes(%q) = %d, want %d", in, got, want)
 		}
 	}
-	for _, bad := range []string{"", "abc", "-5M"} {
-		if _, err := ParseBytes(bad); err == nil {
-			t.Errorf("ParseBytes(%q) accepted", bad)
+	// "4x" and "4Gx" used to parse as 4 bytes: Sscanf("%g") stopped at the
+	// garbage instead of rejecting it. The whole string must parse now.
+	bad := []string{
+		"", "abc", "-5M", "-1", "4x", "4Gx", "x4G", "4GiBx",
+		"G", "iB", "inf", "Inf", "NaN", "nanG", "1e400",
+	}
+	for _, in := range bad {
+		if got, err := ParseBytes(in); err == nil {
+			t.Errorf("ParseBytes(%q) accepted as %d", in, got)
 		}
+	}
+}
+
+func TestAccountantSetLimitOvercommit(t *testing.T) {
+	a := NewAccountant()
+	a.SetLimit(1000)
+	a.Alloc("x", 900)
+	if err := a.Err(); err != nil {
+		t.Fatalf("under-limit alloc flagged: %v", err)
+	}
+	a.Alloc("y", 200)
+	err := a.Err()
+	if !errors.Is(err, ErrOvercommit) {
+		t.Fatalf("overcommit not detected: %v", err)
+	}
+	if !strings.Contains(err.Error(), `"y"`) {
+		t.Fatalf("overcommit error does not name the category: %v", err)
+	}
+	// The error is sticky: freeing back under the limit does not clear it.
+	a.Free("y", 200)
+	if !errors.Is(a.Err(), ErrOvercommit) {
+		t.Fatal("overcommit error not sticky")
+	}
+}
+
+func TestAccountantLimitDisabled(t *testing.T) {
+	a := NewAccountant()
+	a.Alloc("x", 1<<40)
+	if err := a.Err(); err != nil {
+		t.Fatalf("unlimited accountant flagged: %v", err)
+	}
+}
+
+func TestAssertDrained(t *testing.T) {
+	a := NewAccountant()
+	if err := a.AssertDrained(); err != nil {
+		t.Fatalf("empty accountant not drained: %v", err)
+	}
+	a.Alloc("clv", 100)
+	a.Alloc("scores", 50)
+	a.Free("scores", 50)
+	if err := a.AssertDrained("scores"); err != nil {
+		t.Fatalf("zeroed category flagged: %v", err)
+	}
+	err := a.AssertDrained()
+	if !errors.Is(err, ErrNotDrained) {
+		t.Fatalf("leftover bytes not flagged: %v", err)
+	}
+	if !strings.Contains(err.Error(), "clv=") {
+		t.Fatalf("leak report does not name the category: %v", err)
+	}
+	if err := a.AssertDrained("clv"); !errors.Is(err, ErrNotDrained) {
+		t.Fatalf("named leaking category not flagged: %v", err)
+	}
+	a.Free("clv", 100)
+	if err := a.AssertDrained(); err != nil {
+		t.Fatalf("drained accountant flagged: %v", err)
+	}
+}
+
+func TestAccountantInjectedOvercommit(t *testing.T) {
+	a := NewAccountant()
+	injected := fmt.Errorf("injected")
+	faultinject.Arm(faultinject.PointAcctAlloc, 0, injected)
+	defer faultinject.Reset()
+	a.Alloc("x", 1)
+	err := a.Err()
+	if !errors.Is(err, ErrOvercommit) || !errors.Is(err, injected) {
+		t.Fatalf("injected overcommit = %v", err)
 	}
 }
 

@@ -19,6 +19,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -91,8 +92,18 @@ func (p *Pool) BusyTime() time.Duration { return time.Duration(p.busy.Load()) }
 // when every index has been processed. If fn panics, the job's remaining
 // chunks are abandoned and the first panic value is re-raised here.
 func (p *Pool) Run(n, grain int, fn func(lo, hi, worker int)) {
+	p.RunContext(context.Background(), n, grain, fn)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled, no further
+// chunks are claimed and RunContext returns ctx.Err() once every chunk
+// already in flight has finished. The ranges actually executed before a
+// cancellation are always a prefix-closed subset of the full partition —
+// indices are never half-processed, so callers can safely discard or retry
+// the whole job. A nil error means every index was processed.
+func (p *Pool) RunContext(ctx context.Context, n, grain int, fn func(lo, hi, worker int)) error {
 	if n <= 0 {
-		return
+		return ctx.Err()
 	}
 	if grain <= 0 {
 		grain = n / (8 * p.workers)
@@ -100,14 +111,21 @@ func (p *Pool) Run(n, grain int, fn func(lo, hi, worker int)) {
 			grain = 1
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if p.workers == 1 || n <= grain || p.closed.Load() {
 		start := time.Now()
 		defer func() { p.busy.Add(int64(time.Since(start))) }()
 		fn(0, n, p.workers)
-		return
+		return nil
 	}
+	j := &job{n: n, grain: grain, fn: fn, finished: make(chan struct{})}
 	chunks := (n + grain - 1) / grain
-	j := &job{n: n, grain: grain, chunks: int64(chunks), fn: fn, finished: make(chan struct{})}
+	j.chunks = int64(chunks)
+	if ctx.Done() != nil {
+		j.ctx = ctx
+	}
 	invites := p.workers
 	if invites > chunks-1 {
 		invites = chunks - 1 // the submitter takes at least one chunk
@@ -123,6 +141,10 @@ func (p *Pool) Run(n, grain int, fn func(lo, hi, worker int)) {
 	if pv := j.panicVal.Load(); pv != nil {
 		panic(*pv)
 	}
+	if j.cancelled.Load() {
+		return ctx.Err()
+	}
+	return nil
 }
 
 // ForEach runs fn(i, worker) for every i in [0, n) through Run with the
@@ -135,19 +157,31 @@ func (p *Pool) ForEach(n int, fn func(i, worker int)) {
 	})
 }
 
+// ForEachContext is ForEach through RunContext: it stops claiming chunks on
+// cancellation and returns ctx.Err().
+func (p *Pool) ForEachContext(ctx context.Context, n int, fn func(i, worker int)) error {
+	return p.RunContext(ctx, n, 0, func(lo, hi, worker int) {
+		for i := lo; i < hi; i++ {
+			fn(i, worker)
+		}
+	})
+}
+
 // job is one Run invocation's shared state. Chunks are claimed through the
 // atomic next counter; the job is finished when the done counter has
 // accounted for every chunk, at which point the claimer of the last chunk
 // closes finished.
 type job struct {
-	n, grain int
-	chunks   int64
-	next     atomic.Int64
-	done     atomic.Int64
-	aborted  atomic.Bool
-	panicVal atomic.Pointer[any]
-	fn       func(lo, hi, worker int)
-	finished chan struct{}
+	n, grain  int
+	chunks    int64
+	next      atomic.Int64
+	done      atomic.Int64
+	aborted   atomic.Bool
+	cancelled atomic.Bool
+	panicVal  atomic.Pointer[any]
+	fn        func(lo, hi, worker int)
+	finished  chan struct{}
+	ctx       context.Context // nil when the job is not cancellable
 }
 
 func workerLoop(jobs <-chan *job, id int, busy *atomic.Int64) {
@@ -169,6 +203,13 @@ func (j *job) work(worker int, busy *atomic.Int64) {
 		}
 		if start.IsZero() {
 			start = time.Now()
+		}
+		if j.ctx != nil && !j.aborted.Load() && j.ctx.Err() != nil {
+			// Cancellation aborts like a panic — remaining chunks are
+			// claimed but not run — except the submitter gets ctx.Err()
+			// instead of a re-raised panic.
+			j.cancelled.Store(true)
+			j.aborted.Store(true)
 		}
 		if !j.aborted.Load() {
 			j.runChunk(c, worker)

@@ -1,6 +1,8 @@
 package parallel
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -145,5 +147,82 @@ func TestBusyTimeAdvances(t *testing.T) {
 	p.ForEach(100000, func(i, worker int) { sink.Add(int64(i)) })
 	if p.BusyTime() <= before {
 		t.Fatalf("busy time did not advance (%v -> %v)", before, p.BusyTime())
+	}
+}
+
+// TestRunContextPreCancelled: a cancelled context fails fast without
+// executing anything.
+func TestRunContextPreCancelled(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := atomic.Int64{}
+	err := p.RunContext(ctx, 1000, 1, func(lo, hi, worker int) { ran.Add(1) })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d chunks ran under a pre-cancelled context", ran.Load())
+	}
+}
+
+// TestRunContextCancelMidJob cancels from inside the job: the remaining
+// chunks are abandoned, executed ranges stay whole (never a partial range),
+// and RunContext returns ctx.Err() after all in-flight chunks finish.
+func TestRunContextCancelMidJob(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var mu sync.Mutex
+	seen := make(map[int]bool)
+	var executed atomic.Int64
+	n, grain := 10000, 10
+	err := p.RunContext(ctx, n, grain, func(lo, hi, worker int) {
+		if hi-lo > grain {
+			t.Errorf("range [%d,%d) exceeds grain", lo, hi)
+		}
+		mu.Lock()
+		for i := lo; i < hi; i++ {
+			if seen[i] {
+				t.Errorf("index %d executed twice", i)
+			}
+			seen[i] = true
+		}
+		mu.Unlock()
+		if executed.Add(1) == 5 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext = %v, want context.Canceled", err)
+	}
+	if got := executed.Load(); got >= int64((n+grain-1)/grain) {
+		t.Fatalf("all %d chunks executed despite cancellation", got)
+	}
+	// The pool survives cancellation: the next job runs to completion.
+	var count atomic.Int64
+	if err := p.RunContext(context.Background(), 100, 1, func(lo, hi, worker int) {
+		count.Add(int64(hi - lo))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 100 {
+		t.Fatalf("follow-up job covered %d of 100 indices", count.Load())
+	}
+}
+
+// TestForEachContextCancelled mirrors the engine's phase-1 usage.
+func TestForEachContextCancelled(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := p.ForEachContext(ctx, 50, func(i, worker int) {}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ForEachContext = %v, want context.Canceled", err)
+	}
+	if err := p.ForEachContext(context.Background(), 50, func(i, worker int) {}); err != nil {
+		t.Fatalf("ForEachContext with live context: %v", err)
 	}
 }

@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -144,7 +145,9 @@ func (e *Engine) snapshotOperand(op phylo.Operand, clvDst []float64, scaleDst []
 // two rotating buffers — the paper's adapted parallelization. Otherwise
 // blocks are filled synchronously (the Fig. 7 experimental scheme, where the
 // across-site parallel kernel uses all threads during the fill instead).
-func (e *Engine) runBlocks(edges []*tree.Edge, handler func(*branchBlock) error) error {
+// Cancellation is checked between blocks; an in-flight block fill always
+// completes, so the precompute goroutine never abandons pinned slots.
+func (e *Engine) runBlocks(ctx context.Context, edges []*tree.Edge, handler func(*branchBlock) error) error {
 	if len(edges) == 0 {
 		return nil
 	}
@@ -162,6 +165,9 @@ func (e *Engine) runBlocks(edges []*tree.Edge, handler func(*branchBlock) error)
 	if !async {
 		blk := e.blockBuf(0)
 		for _, b := range blocks {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			e.fillBlock(blk, b)
 			if blk.err != nil {
 				return blk.err
@@ -199,7 +205,9 @@ func (e *Engine) runBlocks(edges []*tree.Edge, handler func(*branchBlock) error)
 	var firstErr error
 	for blk := range out {
 		if firstErr == nil {
-			if blk.err != nil {
+			if err := ctx.Err(); err != nil {
+				firstErr = err
+			} else if blk.err != nil {
 				firstErr = blk.err
 			} else if err := handler(blk); err != nil {
 				firstErr = err

@@ -1,6 +1,9 @@
 package placement
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"time"
 
 	"phylomem/internal/core"
@@ -67,6 +70,12 @@ type Config struct {
 	// chunks strictly synchronously. Placement output is identical either
 	// way; the toggle exists for measurement and debugging.
 	NoPipeline bool
+	// Strict aborts the run on the first malformed query (wrong width,
+	// invalid character) instead of the default behavior of skipping it and
+	// counting the skip in RunStats.QueriesSkipped. Predecessor tools treat
+	// malformed input as a per-query event, not a run-killer; Strict
+	// restores the abort for pipelines that must not silently drop input.
+	Strict bool
 }
 
 // DefaultConfig returns EPA-NG-like defaults.
@@ -120,12 +129,14 @@ type Engine struct {
 	// and reused across every runBlocks call and the AMC lookup build.
 	blkBufs [2]*branchBlock
 
-	stats RunStats
+	closed bool
+	stats  RunStats
 }
 
 // RunStats aggregates the engine's activity since construction.
 type RunStats struct {
 	QueriesPlaced   int
+	QueriesSkipped  int // malformed queries skipped (lenient mode)
 	Phase1          time.Duration
 	Phase2          time.Duration
 	Precompute      time.Duration
@@ -160,6 +171,17 @@ func (s RunStats) PoolUtilization() float64 {
 // New builds a placement engine: plans the memory budget, allocates the CLV
 // organization it prescribes, and builds the lookup table if it fits.
 func New(part *phylo.Partition, tr *tree.Tree, cfg Config) (*Engine, error) {
+	return NewContext(context.Background(), part, tr, cfg)
+}
+
+// NewContext is New with cancellation: the full-CLV precompute and the
+// lookup-table build — the two potentially long phases of construction —
+// stop between parallel blocks when ctx is cancelled, the engine's pool is
+// shut down, and ctx.Err() is returned.
+func NewContext(ctx context.Context, part *phylo.Partition, tr *tree.Tree, cfg Config) (*Engine, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.ChunkSize <= 0 {
 		cfg.ChunkSize = 5000
 	}
@@ -242,6 +264,16 @@ func New(part *phylo.Partition, tr *tree.Tree, cfg Config) (*Engine, error) {
 	}
 	e.acct.Alloc("fixed", plan.FixedBytes)
 
+	// From here on the engine owns a live worker pool; shut it down on every
+	// construction failure so an aborted New leaks no goroutines.
+	fail := func(err error) (*Engine, error) {
+		e.pool.Close()
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return fail(err)
+	}
+
 	if plan.AMC {
 		strategy := cfg.Strategy
 		if strategy == nil {
@@ -253,7 +285,7 @@ func New(part *phylo.Partition, tr *tree.Tree, cfg Config) (*Engine, error) {
 			Pool:     e.sitePool(),
 		})
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		e.mgr = mgr
 		e.src = mgr
@@ -263,7 +295,7 @@ func New(part *phylo.Partition, tr *tree.Tree, cfg Config) (*Engine, error) {
 		start := time.Now()
 		full, err := phylo.ComputeFullCLVSet(part, tr, e.sitePool())
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		e.stats.Precompute += time.Since(start)
 		e.full = full
@@ -273,8 +305,8 @@ func New(part *phylo.Partition, tr *tree.Tree, cfg Config) (*Engine, error) {
 	}
 
 	if plan.LookupEnabled {
-		if err := e.buildLookup(); err != nil {
-			return nil, err
+		if err := e.buildLookup(ctx); err != nil {
+			return fail(err)
 		}
 	}
 	e.stats.AMC = plan.AMC
@@ -298,9 +330,50 @@ func (e *Engine) sitePool() *parallel.Pool {
 	return nil
 }
 
-// Close releases the engine's worker pool. The engine remains usable (loops
-// degrade to serial execution), but callers should treat it as done.
-func (e *Engine) Close() { e.pool.Close() }
+// Close releases the engine's worker pool and audits the end-of-run
+// invariants: the slot manager's maps must be consistent with zero pins
+// left, the persistent accounting categories are released, and the
+// accountant must then be fully drained — any non-zero balance means a
+// transient category (chunk scores, prefetch) leaked. It also surfaces a
+// sticky accountant overcommit. Close is idempotent; the audits run once.
+// An error from Close wraps core.ErrInvariant or memacct.ErrNotDrained and
+// indicates an internal bug, not bad input.
+func (e *Engine) Close() error {
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	e.pool.Close()
+	var errs []error
+	if e.mgr != nil {
+		if err := e.mgr.CheckInvariants(); err != nil {
+			errs = append(errs, err)
+		}
+		if p := e.mgr.PinnedSlots(); p != 0 {
+			errs = append(errs, fmt.Errorf("%w: %d slots still pinned at Close", core.ErrInvariant, p))
+		}
+	}
+	if err := e.acct.Err(); err != nil {
+		errs = append(errs, err)
+	}
+	// Release the engine-lifetime allocations, then everything must be at
+	// zero. Freeing unconditionally would panic on a double-accounting bug,
+	// which is exactly the signal we want.
+	e.acct.Free("fixed", e.plan.FixedBytes)
+	if e.mgr != nil {
+		e.acct.Free("clv-slots", e.mgr.Bytes())
+	} else if e.full != nil {
+		e.acct.Free("clv-slots", e.full.Bytes())
+	}
+	e.acct.Free("branch-buffers", e.plan.BranchBufBytes)
+	if e.lookup != nil {
+		e.acct.Free("lookup-table", e.plan.LookupBytes)
+	}
+	if err := e.acct.AssertDrained(); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
+}
 
 // Plan returns the budget plan the engine runs under.
 func (e *Engine) Plan() memacct.Plan { return e.plan }
@@ -328,7 +401,7 @@ func (e *Engine) Stats() RunStats {
 // parallel from the snapshots. Every branch's row is written by exactly one
 // worker from the same operand values the serial sweep would use, so the
 // table is bit-identical regardless of the worker count.
-func (e *Engine) buildLookup() error {
+func (e *Engine) buildLookup(ctx context.Context) error {
 	start := time.Now()
 	rowLen := e.part.PrescoreRowLen()
 	sl := e.part.ScaleLen()
@@ -353,7 +426,7 @@ func (e *Engine) buildLookup() error {
 	}
 
 	if e.mgr == nil {
-		e.pool.Run(len(e.branchOrder), 0, func(lo, hi, worker int) {
+		err := e.pool.RunContext(ctx, len(e.branchOrder), 0, func(lo, hi, worker int) {
 			sc := e.wscratch[worker]
 			for _, edge := range e.branchOrder[lo:hi] {
 				a, b := edge.Nodes()
@@ -362,10 +435,16 @@ func (e *Engine) buildLookup() error {
 				buildRow(edge, opA, opB, sc)
 			}
 		})
+		if err != nil {
+			return err
+		}
 	} else {
 		blk := e.blockBuf(0)
 		bs := e.plan.BlockSize
 		for off := 0; off < len(e.branchOrder); off += bs {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			end := off + bs
 			if end > len(e.branchOrder) {
 				end = len(e.branchOrder)

@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -26,7 +27,7 @@ type Result struct {
 // the memory mode, thread count, and replacement strategy.
 func (e *Engine) Place(queries []Query) (*Result, error) {
 	res := &Result{Queries: make([]jplace.Placements, 0, len(queries))}
-	if _, err := e.PlaceStream(NewSliceSource(queries), func(p jplace.Placements) error {
+	if _, err := e.PlaceStream(context.Background(), NewSliceSource(queries), func(p jplace.Placements) error {
 		res.Queries = append(res.Queries, p)
 		return nil
 	}); err != nil {
@@ -44,7 +45,7 @@ type candidate struct {
 	pend   float64
 }
 
-func (e *Engine) placeChunk(chunk []Query) ([]jplace.Placements, error) {
+func (e *Engine) placeChunk(ctx context.Context, chunk []Query) ([]jplace.Placements, error) {
 	for _, q := range chunk {
 		if len(q.Codes) != e.part.Comp.OriginalWidth() {
 			return nil, fmt.Errorf("placement: query %q has %d sites, want %d",
@@ -58,13 +59,18 @@ func (e *Engine) placeChunk(chunk []Query) ([]jplace.Placements, error) {
 	qBytes := QueryBytes(chunk)
 	e.acct.Alloc("chunk-queries", qBytes)
 	defer e.acct.Free("chunk-queries", qBytes)
+	// The chunk's allocations are in place: abort before the expensive
+	// phases if the accountant detected an overcommit.
+	if err := e.acct.Err(); err != nil {
+		return nil, err
+	}
 
 	scores := make([]float64, len(chunk)*nb)
 
 	// Phase 1: pre-placement.
 	start := time.Now()
 	if e.lookup != nil {
-		e.pool.ForEach(len(chunk), func(qi, _ int) {
+		err := e.pool.ForEachContext(ctx, len(chunk), func(qi, _ int) {
 			q := chunk[qi]
 			row := scores[qi*nb : (qi+1)*nb]
 			for b := 0; b < nb; b++ {
@@ -72,10 +78,13 @@ func (e *Engine) placeChunk(chunk []Query) ([]jplace.Placements, error) {
 				row[b] = e.part.PrescoreQuery(lr, ls, q.Codes, e.cfg.SkipGaps)
 			}
 		})
+		if err != nil {
+			return nil, err
+		}
 	} else {
 		ppend := make([]float64, e.part.PLen())
 		e.part.FillP(ppend, e.pendant0)
-		err := e.runBlocks(e.branchOrder, func(blk *branchBlock) error {
+		err := e.runBlocks(ctx, e.branchOrder, func(blk *branchBlock) error {
 			e.pool.ForEach(len(chunk), func(qi, worker int) {
 				q := chunk[qi]
 				sc := e.wscratch[worker]
@@ -151,7 +160,7 @@ func (e *Engine) placeChunk(chunk []Query) ([]jplace.Placements, error) {
 			candEdges = append(candEdges, edge)
 		}
 	}
-	err := e.runBlocks(candEdges, func(blk *branchBlock) error {
+	err := e.runBlocks(ctx, candEdges, func(blk *branchBlock) error {
 		// Flatten the block's tasks for even worker distribution.
 		type task struct {
 			ent  *branchEntry

@@ -1,9 +1,12 @@
 package placement
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
+	"phylomem/internal/faultinject"
 	"phylomem/internal/jplace"
 	"phylomem/internal/seq"
 )
@@ -12,9 +15,14 @@ import (
 // the engine to overlap input parsing with placement and to keep only one
 // chunk of queries in memory at a time (EPA-NG's rationale for chunked
 // processing, Section II).
+//
+// A source may return a partial chunk together with a *QueryError when it
+// hits a malformed query; the engine then applies its skip policy (see
+// Config.Strict) and, in lenient mode, calls NextChunk again to continue
+// after the bad query. Any other error is fatal to the run.
 type QuerySource interface {
-	// NextChunk returns up to max queries. An empty result signals the end
-	// of the input.
+	// NextChunk returns up to max queries. An empty result with a nil error
+	// signals the end of the input.
 	NextChunk(max int) ([]Query, error)
 }
 
@@ -47,6 +55,7 @@ type FastaSource struct {
 	sc       *seq.FastaScanner
 	alphabet *seq.Alphabet
 	width    int
+	index    int // 0-based ordinal of the next query in the input
 }
 
 // NewFastaSource builds a source over a FASTA scanner; width is the
@@ -55,24 +64,29 @@ func NewFastaSource(sc *seq.FastaScanner, alphabet *seq.Alphabet, width int) *Fa
 	return &FastaSource{sc: sc, alphabet: alphabet, width: width}
 }
 
-// NextChunk implements QuerySource.
+// NextChunk implements QuerySource. A malformed query (wrong width, invalid
+// character) returns the queries accumulated so far together with a
+// *QueryError carrying the query's name and input ordinal; the scan position
+// is past the bad query, so a subsequent call continues with the next one.
 func (f *FastaSource) NextChunk(max int) ([]Query, error) {
 	var out []Query
 	for len(out) < max {
 		s, ok, err := f.sc.Next()
 		if err != nil {
-			return nil, err
+			return out, err
 		}
 		if !ok {
 			break
 		}
+		idx := f.index
+		f.index++
 		if len(s.Data) != f.width {
-			return nil, fmt.Errorf("placement: query %q has %d sites, reference alignment has %d",
-				s.Label, len(s.Data), f.width)
+			return out, &QueryError{Name: s.Label, Index: idx,
+				Err: fmt.Errorf("has %d sites, reference alignment has %d", len(s.Data), f.width)}
 		}
 		codes, err := f.alphabet.Encode(s.Data)
 		if err != nil {
-			return nil, fmt.Errorf("placement: query %q: %w", s.Label, err)
+			return out, &QueryError{Name: s.Label, Index: idx, Err: err}
 		}
 		out = append(out, Query{Name: s.Label, Codes: codes})
 	}
@@ -82,6 +96,15 @@ func (f *FastaSource) NextChunk(max int) ([]Query, error) {
 // PlaceStream places queries from a source chunk by chunk, passing each
 // query's placements to sink in input order. It returns the number of
 // queries placed (queries whose placements were delivered to the sink).
+//
+// Cancellation contract: when ctx is cancelled, PlaceStream stops between
+// chunks (and between parallel blocks inside a chunk), releases all
+// transient accounting ("chunk-prefetch" drains to zero), joins its reader
+// and emitter goroutines, and returns ctx.Err(). Results already delivered
+// to the sink remain valid — a cancelled run's partial output is still
+// well-formed. Malformed queries are skipped (counted in
+// RunStats.QueriesSkipped) unless Config.Strict aborts the run with a
+// *QueryError.
 //
 // By default chunk execution is pipelined: a reader goroutine decodes and
 // validates chunk N+1 while the workers place chunk N, and an emitter
@@ -94,7 +117,10 @@ func (f *FastaSource) NextChunk(max int) ([]Query, error) {
 // operation happens in the same order as the synchronous path: pipelining
 // changes wall time, never output. Config.NoPipeline selects the synchronous
 // loop instead.
-func (e *Engine) PlaceStream(src QuerySource, sink func(jplace.Placements) error) (int, error) {
+func (e *Engine) PlaceStream(ctx context.Context, src QuerySource, sink func(jplace.Placements) error) (int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
 	busy0 := e.pool.BusyTime()
 	defer func() {
@@ -102,32 +128,76 @@ func (e *Engine) PlaceStream(src QuerySource, sink func(jplace.Placements) error
 		e.stats.PoolBusy += e.pool.BusyTime() - busy0
 	}()
 	if e.cfg.NoPipeline {
-		return e.placeStreamSync(src, sink)
+		return e.placeStreamSync(ctx, src, sink)
 	}
-	return e.placeStreamPipelined(src, sink)
+	return e.placeStreamPipelined(ctx, src, sink)
+}
+
+// readChunk pulls the next chunk from src, applying the malformed-query
+// skip policy: in lenient mode (the default) a *QueryError is counted into
+// *skipped and reading continues after the bad query until the chunk fills
+// or the input ends; in strict mode it aborts. The faultinject source point
+// makes "decode error at chunk K" reachable from tests.
+func (e *Engine) readChunk(src QuerySource, skipped *int) ([]Query, error) {
+	var out []Query
+	for {
+		if err := faultinject.Check(faultinject.PointSourceNext); err != nil {
+			return out, err
+		}
+		chunk, err := src.NextChunk(e.cfg.ChunkSize - len(out))
+		out = append(out, chunk...)
+		if err != nil {
+			var qe *QueryError
+			if errors.As(err, &qe) && !e.cfg.Strict {
+				*skipped++
+				if len(out) < e.cfg.ChunkSize {
+					continue
+				}
+				return out, nil
+			}
+			return out, err
+		}
+		return out, nil
+	}
+}
+
+// emit delivers one result to the sink through the faultinject sink point.
+func (e *Engine) emit(sink func(jplace.Placements) error, p jplace.Placements) error {
+	if err := faultinject.Check(faultinject.PointSinkEmit); err != nil {
+		return err
+	}
+	return sink(p)
 }
 
 // placeStreamSync is the synchronous fallback: read, place, emit, repeat.
-func (e *Engine) placeStreamSync(src QuerySource, sink func(jplace.Placements) error) (int, error) {
-	placed := 0
+func (e *Engine) placeStreamSync(ctx context.Context, src QuerySource, sink func(jplace.Placements) error) (placed int, err error) {
+	skipped := 0
+	// Stats are updated on every exit path — a partial run still reports
+	// what it actually placed and skipped.
+	defer func() {
+		e.stats.QueriesPlaced += placed
+		e.stats.QueriesSkipped += skipped
+	}()
 	for {
+		if err := ctx.Err(); err != nil {
+			return placed, err
+		}
 		t0 := time.Now()
-		chunk, err := src.NextChunk(e.cfg.ChunkSize)
+		chunk, err := e.readChunk(src, &skipped)
 		e.stats.ChunkRead += time.Since(t0)
 		if err != nil {
 			return placed, err
 		}
 		if len(chunk) == 0 {
-			e.stats.QueriesPlaced += placed
 			return placed, nil
 		}
-		results, err := e.placeChunk(chunk)
+		results, err := e.placeChunk(ctx, chunk)
 		if err != nil {
 			return placed, err
 		}
 		e.stats.ChunksProcessed++
 		for _, r := range results {
-			if err := sink(r); err != nil {
+			if err := e.emit(sink, r); err != nil {
 				return placed, err
 			}
 			placed++
@@ -142,7 +212,7 @@ type prefetched struct {
 	bytes   int64
 }
 
-func (e *Engine) placeStreamPipelined(src QuerySource, sink func(jplace.Placements) error) (int, error) {
+func (e *Engine) placeStreamPipelined(ctx context.Context, src QuerySource, sink func(jplace.Placements) error) (int, error) {
 	e.stats.Pipelined = true
 
 	// Reader: decodes the next chunk while the current one is being placed.
@@ -154,13 +224,17 @@ func (e *Engine) placeStreamPipelined(src QuerySource, sink func(jplace.Placemen
 	stop := make(chan struct{})
 	var readErr error
 	var readTime time.Duration
+	readSkipped := 0
 	readerDone := make(chan struct{})
 	go func() {
 		defer close(readerDone)
 		defer close(chunks)
 		for {
+			if ctx.Err() != nil {
+				return
+			}
 			t0 := time.Now()
-			chunk, err := src.NextChunk(e.cfg.ChunkSize)
+			chunk, err := e.readChunk(src, &readSkipped)
 			readTime += time.Since(t0)
 			if err != nil {
 				readErr = err
@@ -171,9 +245,17 @@ func (e *Engine) placeStreamPipelined(src QuerySource, sink func(jplace.Placemen
 			}
 			pf := prefetched{queries: chunk, bytes: QueryBytes(chunk)}
 			e.acct.Alloc("chunk-prefetch", pf.bytes)
+			if err := e.acct.Err(); err != nil {
+				e.acct.Free("chunk-prefetch", pf.bytes)
+				readErr = err
+				return
+			}
 			select {
 			case chunks <- pf:
 			case <-stop:
+				e.acct.Free("chunk-prefetch", pf.bytes)
+				return
+			case <-ctx.Done():
 				e.acct.Free("chunk-prefetch", pf.bytes)
 				return
 			}
@@ -195,7 +277,7 @@ func (e *Engine) placeStreamPipelined(src QuerySource, sink func(jplace.Placemen
 				if sinkErr != nil {
 					continue
 				}
-				if err := sink(r); err != nil {
+				if err := e.emit(sink, r); err != nil {
 					sinkErr = err
 					close(sinkFailed)
 					continue
@@ -207,18 +289,33 @@ func (e *Engine) placeStreamPipelined(src QuerySource, sink func(jplace.Placemen
 
 	// Placer: the calling goroutine, which also participates in every
 	// parallel loop of placeChunk under the pool's helper id.
-	var placeErr error
+	var placeErr, ctxErr error
 	var waitTime time.Duration
 placing:
 	for {
+		// The explicit poll makes cancellation deterministic at chunk
+		// granularity: a select with both channels ready picks at random, so
+		// without it a cancelled run could keep draining prefetched chunks.
+		if err := ctx.Err(); err != nil {
+			ctxErr = err
+			break placing
+		}
 		t0 := time.Now()
-		pf, ok := <-chunks
+		var pf prefetched
+		var ok bool
+		select {
+		case pf, ok = <-chunks:
+		case <-ctx.Done():
+			waitTime += time.Since(t0)
+			ctxErr = ctx.Err()
+			break placing
+		}
 		waitTime += time.Since(t0)
 		if !ok {
 			break
 		}
 		e.acct.Free("chunk-prefetch", pf.bytes)
-		rs, err := e.placeChunk(pf.queries)
+		rs, err := e.placeChunk(ctx, pf.queries)
 		if err != nil {
 			placeErr = err
 			break
@@ -232,7 +329,9 @@ placing:
 	}
 
 	// Shutdown: release the reader, drain any chunk it already accounted,
-	// then let the emitter finish the delivered results.
+	// then let the emitter finish the delivered results. This runs on every
+	// exit path — error, cancellation, or clean EOF — so "chunk-prefetch"
+	// always returns to zero and no goroutine outlives the call.
 	close(stop)
 	for pf := range chunks {
 		e.acct.Free("chunk-prefetch", pf.bytes)
@@ -243,6 +342,8 @@ placing:
 
 	e.stats.ChunkRead += readTime
 	e.stats.ChunkWait += waitTime
+	e.stats.QueriesPlaced += placed
+	e.stats.QueriesSkipped += readSkipped
 	switch {
 	case placeErr != nil:
 		return placed, placeErr
@@ -250,7 +351,8 @@ placing:
 		return placed, sinkErr
 	case readErr != nil:
 		return placed, readErr
+	case ctxErr != nil:
+		return placed, ctxErr
 	}
-	e.stats.QueriesPlaced += placed
 	return placed, nil
 }

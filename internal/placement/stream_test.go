@@ -2,6 +2,8 @@ package placement
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
@@ -29,7 +31,7 @@ func TestPlaceStreamMatchesPlace(t *testing.T) {
 		t.Fatal(err)
 	}
 	var streamed []jplace.Placements
-	n, err := eng2.PlaceStream(NewSliceSource(fx.queries), func(p jplace.Placements) error {
+	n, err := eng2.PlaceStream(context.Background(), NewSliceSource(fx.queries), func(p jplace.Placements) error {
 		streamed = append(streamed, p)
 		return nil
 	})
@@ -61,7 +63,7 @@ func TestFastaSourceEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	count := 0
-	n, err := eng.PlaceStream(src, func(p jplace.Placements) error {
+	n, err := eng.PlaceStream(context.Background(), src, func(p jplace.Placements) error {
 		count++
 		if len(p.Placements) == 0 {
 			t.Fatalf("query %s got no placements", p.Name)
@@ -78,20 +80,64 @@ func TestFastaSourceEndToEnd(t *testing.T) {
 
 func TestFastaSourceValidation(t *testing.T) {
 	fx := newFixture(t, 22, 12, 80, 0)
+	cfg := DefaultConfig()
+	cfg.Strict = true
+	eng, err := New(fx.part, fx.tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	width := fx.part.Comp.OriginalWidth()
+	// Wrong width: in strict mode the stream aborts with a typed error.
+	src := NewFastaSource(seq.NewFastaScanner(strings.NewReader(">q\nACGT\n")), seq.DNA, width)
+	_, err = eng.PlaceStream(context.Background(), src, func(jplace.Placements) error { return nil })
+	if err == nil {
+		t.Fatal("wrong-width streamed query accepted")
+	}
+	if !errors.Is(err, ErrQueryMalformed) {
+		t.Fatalf("error is not ErrQueryMalformed: %v", err)
+	}
+	var qe *QueryError
+	if !errors.As(err, &qe) || qe.Name != "q" || qe.Index != 0 {
+		t.Fatalf("QueryError not populated: %+v", qe)
+	}
+	// Invalid character.
+	bad := strings.Repeat("A", width-1) + "!"
+	src = NewFastaSource(seq.NewFastaScanner(strings.NewReader(">q\n"+bad+"\n")), seq.DNA, width)
+	if _, err := eng.PlaceStream(context.Background(), src, func(jplace.Placements) error { return nil }); err == nil {
+		t.Fatal("invalid character accepted")
+	}
+}
+
+// TestFastaSourceLenientSkip checks the default (non-strict) policy: malformed
+// queries are skipped and counted, the well-formed remainder is placed.
+func TestFastaSourceLenientSkip(t *testing.T) {
+	fx := newFixture(t, 22, 12, 80, 0)
 	eng, err := New(fx.part, fx.tr, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Wrong width.
-	src := NewFastaSource(seq.NewFastaScanner(strings.NewReader(">q\nACGT\n")), seq.DNA, fx.part.Comp.OriginalWidth())
-	if _, err := eng.PlaceStream(src, func(jplace.Placements) error { return nil }); err == nil {
-		t.Fatal("wrong-width streamed query accepted")
+	defer eng.Close()
+	width := fx.part.Comp.OriginalWidth()
+	good := strings.Repeat("A", width)
+	in := ">ok0\n" + good + "\n>short\nACGT\n>bad\n" + strings.Repeat("A", width-1) + "!\n>ok1\n" + good + "\n"
+	src := NewFastaSource(seq.NewFastaScanner(strings.NewReader(in)), seq.DNA, width)
+	var names []string
+	n, err := eng.PlaceStream(context.Background(), src, func(p jplace.Placements) error {
+		names = append(names, p.Name)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
-	// Invalid character.
-	bad := strings.Repeat("A", fx.part.Comp.OriginalWidth()-1) + "!"
-	src = NewFastaSource(seq.NewFastaScanner(strings.NewReader(">q\n"+bad+"\n")), seq.DNA, fx.part.Comp.OriginalWidth())
-	if _, err := eng.PlaceStream(src, func(jplace.Placements) error { return nil }); err == nil {
-		t.Fatal("invalid character accepted")
+	if n != 2 || len(names) != 2 || names[0] != "ok0" || names[1] != "ok1" {
+		t.Fatalf("placed %d queries %v, want [ok0 ok1]", n, names)
+	}
+	st := eng.Stats()
+	if st.QueriesSkipped != 2 {
+		t.Fatalf("QueriesSkipped = %d, want 2", st.QueriesSkipped)
+	}
+	if st.QueriesPlaced != 2 {
+		t.Fatalf("QueriesPlaced = %d, want 2", st.QueriesPlaced)
 	}
 }
 
@@ -102,7 +148,7 @@ func TestPlaceStreamSinkError(t *testing.T) {
 		t.Fatal(err)
 	}
 	wantErr := fmt.Errorf("sink full")
-	_, err = eng.PlaceStream(NewSliceSource(fx.queries), func(jplace.Placements) error { return wantErr })
+	_, err = eng.PlaceStream(context.Background(), NewSliceSource(fx.queries), func(jplace.Placements) error { return wantErr })
 	if err != wantErr {
 		t.Fatalf("sink error not propagated: %v", err)
 	}
@@ -135,7 +181,7 @@ func TestPipelinedOrderedEmission(t *testing.T) {
 
 	src := &slowSource{inner: NewSliceSource(fx.queries), delay: time.Millisecond}
 	var got []string
-	n, err := eng.PlaceStream(src, func(p jplace.Placements) error {
+	n, err := eng.PlaceStream(context.Background(), src, func(p jplace.Placements) error {
 		time.Sleep(time.Millisecond) // slow sink: emitter lags the placer
 		got = append(got, p.Name)
 		return nil
@@ -184,7 +230,7 @@ func TestPipelineByteIdentity(t *testing.T) {
 		}
 		defer eng.Close()
 		var placed []jplace.Placements
-		if _, err := eng.PlaceStream(NewSliceSource(fx.queries), func(p jplace.Placements) error {
+		if _, err := eng.PlaceStream(context.Background(), NewSliceSource(fx.queries), func(p jplace.Placements) error {
 			placed = append(placed, p)
 			return nil
 		}); err != nil {

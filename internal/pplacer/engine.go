@@ -1,6 +1,7 @@
 package pplacer
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -54,7 +55,8 @@ type Engine struct {
 	wscratch []*phylo.Scratch
 	wsel     [][]int
 
-	stats Stats
+	closed bool
+	stats  Stats
 }
 
 // Stats records the baseline's activity.
@@ -92,11 +94,20 @@ func New(part *phylo.Partition, tr *tree.Tree, cfg Config) (*Engine, error) {
 		e.pendant0 = 0.01
 	}
 
+	// Construction failures must release both the pool and the store, so an
+	// aborted New leaks neither goroutines nor a backing file.
+	fail := func(err error) (*Engine, error) {
+		e.pool.Close()
+		if e.store != nil {
+			e.store.Close()
+		}
+		return nil, err
+	}
 	n := tr.NumInnerCLVs()
 	if cfg.FileBacked {
 		fs, err := NewFileStore(cfg.FilePath, n, part.CLVLen(), part.ScaleLen())
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		e.store = fs
 	} else {
@@ -113,21 +124,18 @@ func New(part *phylo.Partition, tr *tree.Tree, cfg Config) (*Engine, error) {
 	}
 	mgr, err := core.NewManager(part, tr, core.Config{Slots: workSlots})
 	if err != nil {
-		e.store.Close()
-		return nil, err
+		return fail(err)
 	}
 	e.acct.Alloc("precompute-slots", mgr.Bytes())
 	for i := 0; i < n; i++ {
 		d := tr.DirOfCLV(i)
 		op, err := mgr.Acquire(d)
 		if err != nil {
-			e.store.Close()
-			return nil, fmt.Errorf("pplacer: precompute: %w", err)
+			return fail(fmt.Errorf("pplacer: precompute: %w", err))
 		}
 		if err := e.store.Write(i, op.CLV, op.Scale); err != nil {
 			mgr.Release(d)
-			e.store.Close()
-			return nil, err
+			return fail(err)
 		}
 		mgr.Release(d)
 	}
@@ -136,10 +144,28 @@ func New(part *phylo.Partition, tr *tree.Tree, cfg Config) (*Engine, error) {
 	return e, nil
 }
 
-// Close releases the CLV store and the worker pool.
+// Close releases the CLV store and the worker pool, then audits the
+// end-of-run accounting: after the store's allocation is released every
+// category must be at zero — a leftover balance means a Place call leaked
+// its transient (queries/scores/scratch) accounting. Idempotent.
 func (e *Engine) Close() error {
+	if e.closed {
+		return nil
+	}
+	e.closed = true
 	e.pool.Close()
-	return e.store.Close()
+	var errs []error
+	if err := e.acct.Err(); err != nil {
+		errs = append(errs, err)
+	}
+	e.acct.Free("clv-store", e.store.Bytes())
+	if err := e.acct.AssertDrained(); err != nil {
+		errs = append(errs, err)
+	}
+	if err := e.store.Close(); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
 }
 
 // Stats returns a snapshot of the run counters.
