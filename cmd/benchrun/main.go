@@ -1,0 +1,316 @@
+// Command benchrun is the deterministic benchmark harness behind the CI
+// performance gate: it places a pinned synthetic workload under a fixed
+// configuration matrix (reference mode, lookup disabled, AMC with and
+// without the lookup table) and writes BENCH_place.json with ns/op,
+// accounted bytes, and the slot miss rate per configuration. With
+// --baseline it compares the fresh run against a committed baseline and
+// exits non-zero on a >tolerance ns/op regression or any increase in the
+// gated byte counts.
+//
+// Usage:
+//
+//	benchrun --out BENCH_place.json
+//	benchrun --out BENCH_place.json --baseline BENCH_baseline.json
+//	benchrun --compare-only BENCH_place.json --baseline BENCH_baseline.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"phylomem/internal/experiments"
+	"phylomem/internal/memacct"
+	"phylomem/internal/placement"
+	"phylomem/internal/telemetry"
+	"phylomem/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchrun:", err)
+		os.Exit(1)
+	}
+}
+
+// ConfigResult is one row of the benchmark matrix. The gates in Compare read
+// NsPerQuery (tolerance-gated), PlannedBytes (gated exactly for every
+// config), and PeakBytes (gated exactly when BytesGated — synchronous runs,
+// whose accounting sequence is deterministic; the pipelined config's peak
+// depends on reader/placer overlap and is recorded for information only).
+type ConfigResult struct {
+	Name        string `json:"name"`
+	Threads     int    `json:"threads"`
+	ChunkSize   int    `json:"chunk_size"`
+	MaxMemBytes int64  `json:"max_mem_bytes"`
+	Pipelined   bool   `json:"pipelined"`
+
+	AMC           bool `json:"amc"`
+	LookupEnabled bool `json:"lookup_enabled"`
+	Slots         int  `json:"slots"`
+
+	Queries int `json:"queries"`
+	Reps    int `json:"reps"`
+
+	NsPerQuery   int64   `json:"ns_per_query"` // min over reps: place wall / queries
+	SetupNS      int64   `json:"setup_ns"`     // min over reps: engine construction incl. lookup build
+	PlannedBytes int64   `json:"planned_bytes"`
+	PeakBytes    int64   `json:"peak_bytes"` // max over reps, accounted
+	BytesGated   bool    `json:"bytes_gated"`
+	SlotMissRate float64 `json:"slot_miss_rate"` // recomputes / (hits + recomputes)
+	Evictions    uint64  `json:"evictions"`
+}
+
+// Doc is the BENCH_place.json document.
+type Doc struct {
+	SchemaVersion int            `json:"schema_version"`
+	Dataset       string         `json:"dataset"`
+	Scale         int            `json:"scale"`
+	Seed          int64          `json:"seed"`
+	Configs       []ConfigResult `json:"configs"`
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchrun", flag.ContinueOnError)
+	var (
+		out         = fs.String("out", "", "write the benchmark document to this file")
+		baseline    = fs.String("baseline", "", "compare against this committed baseline and fail on regression")
+		tolerance   = fs.Float64("tolerance", 0.25, "allowed fractional ns/op regression before the gate fails")
+		reps        = fs.Int("reps", 5, "repetitions per configuration (ns/op is the minimum, peak bytes the maximum)")
+		scale       = fs.Int("scale", 64, "workload scale divisor (pinned; changing it invalidates the baseline)")
+		seed        = fs.Int64("seed", 9, "workload synthesis seed (pinned)")
+		compareOnly = fs.String("compare-only", "", "skip the benchmark run and gate this existing document against --baseline")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *compareOnly != "" {
+		if *baseline == "" {
+			return fmt.Errorf("--compare-only requires --baseline")
+		}
+		fresh, err := readDoc(*compareOnly)
+		if err != nil {
+			return err
+		}
+		base, err := readDoc(*baseline)
+		if err != nil {
+			return err
+		}
+		return gate(base, fresh, *tolerance)
+	}
+
+	doc, err := runMatrix(*scale, *seed, *reps)
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		if err := telemetry.WriteJSONFile(*out, doc); err != nil {
+			return err
+		}
+	}
+	printDoc(doc)
+	if *baseline != "" {
+		base, err := readDoc(*baseline)
+		if err != nil {
+			return err
+		}
+		return gate(base, doc, *tolerance)
+	}
+	return nil
+}
+
+// benchConfig is one matrix entry before measurement. maxMem receives the
+// prepared dataset's plan dimensions so AMC ceilings can be computed from
+// the same budget arithmetic the engine uses.
+type benchConfig struct {
+	name       string
+	threads    int
+	pipelined  bool
+	disableLkp bool
+	maxMem     func(pc memacct.PlanConfig, clvBytes int64) int64
+	wantAMC    bool
+	wantLookup bool
+}
+
+// matrix is the pinned configuration set. The two reference configs measure
+// the placement kernels with and without lookup memoization; the two AMC
+// configs measure slot-managed CLVs just above and just below the
+// lookup-table floor (the paper's Fig. 3 runtime cliff). AMC configs run
+// one worker so the miss counts are a deterministic function of the
+// workload, not the thread schedule.
+func matrix() []benchConfig {
+	return []benchConfig{
+		{
+			name: "reference", threads: 4, pipelined: true,
+			maxMem:  func(memacct.PlanConfig, int64) int64 { return 0 },
+			wantAMC: false, wantLookup: true,
+		},
+		{
+			name: "reference-nolookup", threads: 4, disableLkp: true,
+			maxMem:  func(memacct.PlanConfig, int64) int64 { return 0 },
+			wantAMC: false, wantLookup: false,
+		},
+		{
+			name: "amc-lookup", threads: 1,
+			maxMem: func(pc memacct.PlanConfig, clvBytes int64) int64 {
+				return memacct.LookupFloorBytes(pc) + 8*clvBytes
+			},
+			wantAMC: true, wantLookup: true,
+		},
+		{
+			name: "amc-nolookup", threads: 1,
+			maxMem: func(pc memacct.PlanConfig, clvBytes int64) int64 {
+				return memacct.MinFeasibleBytes(pc) + 2*clvBytes
+			},
+			wantAMC: true, wantLookup: false,
+		},
+	}
+}
+
+func runMatrix(scale int, seed int64, reps int) (*Doc, error) {
+	if reps <= 0 {
+		reps = 1
+	}
+	ds, err := workload.Neotrop(scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	prep, err := experiments.Prepare(ds)
+	if err != nil {
+		return nil, err
+	}
+	doc := &Doc{SchemaVersion: 1, Dataset: ds.Name, Scale: scale, Seed: seed}
+	for _, bc := range matrix() {
+		cfg := placement.DefaultConfig()
+		cfg.ChunkSize = 200
+		cfg.Threads = bc.threads
+		cfg.NoPipeline = !bc.pipelined
+		cfg.DisableLookup = bc.disableLkp
+		cfg.MaxMem = bc.maxMem(prep.PlanConfigFor(cfg), prep.Part.CLVBytes())
+
+		res := ConfigResult{
+			Name:        bc.name,
+			Threads:     bc.threads,
+			ChunkSize:   cfg.ChunkSize,
+			MaxMemBytes: cfg.MaxMem,
+			Pipelined:   bc.pipelined,
+			Queries:     len(prep.Queries),
+			Reps:        reps,
+			BytesGated:  !bc.pipelined,
+		}
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			eng, err := placement.New(prep.Part, prep.Tree, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", bc.name, err)
+			}
+			setup := time.Since(start)
+			if _, err := eng.Place(prep.Queries); err != nil {
+				eng.Close()
+				return nil, fmt.Errorf("%s: %w", bc.name, err)
+			}
+			st := eng.Stats()
+			plan := eng.Plan()
+			if err := eng.Close(); err != nil {
+				return nil, fmt.Errorf("%s: close: %w", bc.name, err)
+			}
+			if plan.AMC != bc.wantAMC || plan.LookupEnabled != bc.wantLookup {
+				return nil, fmt.Errorf("%s: planner chose amc=%v lookup=%v, matrix pins amc=%v lookup=%v — the ceiling arithmetic drifted",
+					bc.name, plan.AMC, plan.LookupEnabled, bc.wantAMC, bc.wantLookup)
+			}
+			if st.QueriesPlaced == 0 {
+				return nil, fmt.Errorf("%s: no queries placed", bc.name)
+			}
+			nsq := st.PlaceWall.Nanoseconds() / int64(st.QueriesPlaced)
+			if r == 0 || nsq < res.NsPerQuery {
+				res.NsPerQuery = nsq
+			}
+			if r == 0 || setup.Nanoseconds() < res.SetupNS {
+				res.SetupNS = setup.Nanoseconds()
+			}
+			if st.PeakBytes > res.PeakBytes {
+				res.PeakBytes = st.PeakBytes
+			}
+			res.AMC = plan.AMC
+			res.LookupEnabled = plan.LookupEnabled
+			res.Slots = plan.Slots
+			res.PlannedBytes = plan.TotalBytes
+			res.Evictions = st.CLVStats.Evictions
+			if total := st.CLVStats.Hits + st.CLVStats.Recomputes; total > 0 {
+				res.SlotMissRate = float64(st.CLVStats.Recomputes) / float64(total)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "benchrun: %-18s %8.2f µs/query  peak %s  miss %.3f\n",
+			bc.name, float64(res.NsPerQuery)/1e3, memacct.FormatBytes(res.PeakBytes), res.SlotMissRate)
+		doc.Configs = append(doc.Configs, res)
+	}
+	return doc, nil
+}
+
+func readDoc(path string) (*Doc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d Doc
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(d.Configs) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark configs", path)
+	}
+	return &d, nil
+}
+
+// gate compares a fresh document against the committed baseline: every
+// baseline config must be present, ns/op may regress by at most the
+// tolerance fraction, planned bytes may never grow, and peak bytes may
+// never grow for byte-gated (synchronous) configs.
+func gate(base, fresh *Doc, tolerance float64) error {
+	byName := map[string]ConfigResult{}
+	for _, c := range fresh.Configs {
+		byName[c.Name] = c
+	}
+	var failures []string
+	for _, b := range base.Configs {
+		f, ok := byName[b.Name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: present in baseline but missing from the fresh run", b.Name))
+			continue
+		}
+		if limit := float64(b.NsPerQuery) * (1 + tolerance); float64(f.NsPerQuery) > limit {
+			failures = append(failures, fmt.Sprintf("%s: ns/op regressed %.1f%% (baseline %d, got %d, tolerance %.0f%%)",
+				b.Name, 100*(float64(f.NsPerQuery)/float64(b.NsPerQuery)-1), b.NsPerQuery, f.NsPerQuery, 100*tolerance))
+		}
+		if f.PlannedBytes > b.PlannedBytes {
+			failures = append(failures, fmt.Sprintf("%s: planned bytes grew from %d to %d",
+				b.Name, b.PlannedBytes, f.PlannedBytes))
+		}
+		if b.BytesGated && f.PeakBytes > b.PeakBytes {
+			failures = append(failures, fmt.Sprintf("%s: accounted peak bytes grew from %d to %d",
+				b.Name, b.PeakBytes, f.PeakBytes))
+		}
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "benchrun: GATE FAIL:", f)
+		}
+		return fmt.Errorf("%d regression(s) against %s-config baseline", len(failures), base.Dataset)
+	}
+	fmt.Fprintf(os.Stderr, "benchrun: gate passed (%d configs, tolerance %.0f%%)\n", len(base.Configs), 100*tolerance)
+	return nil
+}
+
+func printDoc(d *Doc) {
+	fmt.Printf("%-18s %7s %12s %14s %14s %6s %9s\n",
+		"config", "threads", "ns/query", "planned", "peak", "slots", "miss")
+	for _, c := range d.Configs {
+		fmt.Printf("%-18s %7d %12d %14s %14s %6d %9.3f\n",
+			c.Name, c.Threads, c.NsPerQuery,
+			memacct.FormatBytes(c.PlannedBytes), memacct.FormatBytes(c.PeakBytes),
+			c.Slots, c.SlotMissRate)
+	}
+}

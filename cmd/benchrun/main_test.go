@@ -1,0 +1,129 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"phylomem/internal/telemetry"
+)
+
+func sampleDoc() *Doc {
+	return &Doc{
+		SchemaVersion: 1,
+		Dataset:       "neotrop",
+		Configs: []ConfigResult{
+			{Name: "reference", NsPerQuery: 1000, PlannedBytes: 500, PeakBytes: 400, BytesGated: false},
+			{Name: "amc", NsPerQuery: 2000, PlannedBytes: 300, PeakBytes: 250, BytesGated: true},
+		},
+	}
+}
+
+func TestGate(t *testing.T) {
+	base := sampleDoc()
+
+	if err := gate(base, sampleDoc(), 0.25); err != nil {
+		t.Fatalf("identical docs failed the gate: %v", err)
+	}
+
+	// ns/op within tolerance passes, beyond it fails.
+	ok := sampleDoc()
+	ok.Configs[0].NsPerQuery = 1200
+	if err := gate(base, ok, 0.25); err != nil {
+		t.Fatalf("20%% ns regression rejected at 25%% tolerance: %v", err)
+	}
+	slow := sampleDoc()
+	slow.Configs[1].NsPerQuery = 2600
+	if err := gate(base, slow, 0.25); err == nil {
+		t.Fatal("30% ns regression passed at 25% tolerance")
+	}
+
+	// Any planned-bytes growth fails, for every config.
+	grown := sampleDoc()
+	grown.Configs[0].PlannedBytes = 501
+	if err := gate(base, grown, 0.25); err == nil {
+		t.Fatal("planned-bytes growth passed")
+	}
+
+	// Peak growth fails only for byte-gated configs.
+	peakFree := sampleDoc()
+	peakFree.Configs[0].PeakBytes = 450 // reference: not gated
+	if err := gate(base, peakFree, 0.25); err != nil {
+		t.Fatalf("ungated peak growth rejected: %v", err)
+	}
+	peakGated := sampleDoc()
+	peakGated.Configs[1].PeakBytes = 251 // amc: gated
+	if err := gate(base, peakGated, 0.25); err == nil {
+		t.Fatal("gated peak growth passed")
+	}
+
+	// A baseline config missing from the fresh run fails (silently dropping
+	// a gated config must not weaken the gate).
+	missing := sampleDoc()
+	missing.Configs = missing.Configs[:1]
+	if err := gate(base, missing, 0.25); err == nil {
+		t.Fatal("dropped config passed")
+	}
+}
+
+// TestMatrixEndToEnd runs the real matrix at the smallest workload scale and
+// gates the result against itself through the CLI entry point.
+func TestMatrixEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full benchmark matrix")
+	}
+	dir := t.TempDir()
+	out := filepath.Join(dir, "bench.json")
+	if err := run([]string{"--scale", "512", "--reps", "1", "--out", out}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"--compare-only", out, "--baseline", out}); err != nil {
+		t.Fatalf("self-comparison failed the gate: %v", err)
+	}
+
+	// The emitted document round-trips and covers the full matrix.
+	doc, err := readDoc(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Configs) != len(matrix()) {
+		t.Fatalf("got %d configs, want %d", len(doc.Configs), len(matrix()))
+	}
+	for _, c := range doc.Configs {
+		if c.NsPerQuery <= 0 || c.PlannedBytes <= 0 || c.PeakBytes <= 0 {
+			t.Errorf("%s: unpopulated result: %+v", c.Name, c)
+		}
+		if strings.HasPrefix(c.Name, "amc") {
+			if !c.AMC || c.SlotMissRate <= 0 {
+				t.Errorf("%s: expected AMC with a positive miss rate, got amc=%v miss=%v", c.Name, c.AMC, c.SlotMissRate)
+			}
+			if !c.BytesGated {
+				t.Errorf("%s: AMC configs must be byte-gated", c.Name)
+			}
+		}
+	}
+
+	// A doctored baseline with a lower byte budget trips the gate.
+	doc.Configs[len(doc.Configs)-1].PeakBytes--
+	tight := filepath.Join(dir, "tight.json")
+	if err := telemetry.WriteJSONFile(tight, doc); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"--compare-only", out, "--baseline", tight}); err == nil {
+		t.Fatal("peak-bytes increase over the baseline passed the gate")
+	}
+}
+
+func TestReadDocErrors(t *testing.T) {
+	if _, err := readDoc(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readDoc(bad); err == nil {
+		t.Error("config-less document accepted")
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"phylomem/internal/prof"
 	"phylomem/internal/refdb"
 	"phylomem/internal/seq"
+	"phylomem/internal/telemetry"
 	"phylomem/internal/tree"
 )
 
@@ -91,6 +92,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		syncPre   = fs.Bool("sync-precompute", false, "synchronous across-site branch-block precompute (experimental)")
 		noPipe    = fs.Bool("no-pipeline", false, "disable overlapped chunk reading (decode chunk N+1 while placing chunk N)")
 		showStats = fs.Bool("stats", false, "print pipeline and worker-pool statistics")
+		statsJSON = fs.String("stats-json", "", "write a structured JSON run report (plan, memory, telemetry) to this file")
+		traceFile = fs.String("trace", "", "write newline-JSON per-chunk trace events to this file")
 		verbose   = fs.Bool("verbose", false, "print plan and statistics")
 		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -278,6 +281,19 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	} else {
 		return fmt.Errorf("unknown strategy %q", *strategy)
 	}
+	if *statsJSON != "" {
+		cfg.Telemetry = telemetry.NewSink()
+	}
+	var trace *telemetry.Trace
+	if *traceFile != "" {
+		tf, err := os.Create(*traceFile)
+		if err != nil {
+			return err
+		}
+		trace = telemetry.NewTrace(tf)
+		cfg.Trace = trace
+		trace.Emit(telemetry.Event{Ev: "run_start", Detail: "epang " + strings.Join(args, " ")})
+	}
 
 	eng, err := placement.NewContext(ctx, part, tr, cfg)
 	if err != nil {
@@ -345,6 +361,22 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 
 	st := eng.Stats()
+
+	// The structured report and trace are written on every exit path — a
+	// failed or interrupted run's partial counters are exactly what an
+	// investigation needs. Report() must run before Close releases the
+	// persistent accounting categories.
+	if *statsJSON != "" {
+		if werr := telemetry.WriteJSONFile(*statsJSON, eng.Report()); werr != nil && runErr == nil {
+			runErr = werr
+		}
+	}
+	if trace != nil {
+		trace.Emit(telemetry.Event{Ev: "run_end", Queries: n})
+		if terr := trace.Close(); terr != nil && runErr == nil {
+			runErr = terr
+		}
+	}
 
 	// End-of-run audit: Close re-checks the slot-map invariants and asserts
 	// the accountant drained to zero. An audit failure on a clean run is an

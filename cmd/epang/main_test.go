@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
@@ -15,6 +16,7 @@ import (
 	"phylomem/internal/memacct"
 	"phylomem/internal/placement"
 	"phylomem/internal/seq"
+	"phylomem/internal/telemetry"
 	"phylomem/internal/workload"
 )
 
@@ -275,5 +277,96 @@ func TestExitCodeClasses(t *testing.T) {
 	}
 	if c := exitCode(context.Canceled); c != 130 {
 		t.Fatalf("interrupt -> %d, want 130", c)
+	}
+}
+
+// TestRunStatsJSONAndTrace runs with --stats-json and --trace under a tight
+// memory limit (so AMC is active) and checks the acceptance property: the
+// reported slot counters sum consistently — hits+misses cover every
+// materialization, evictions never exceed misses, and the telemetry section
+// equals the run_stats CLV counters (the engine's Close separately audits
+// the mirror against the slot manager via CheckTelemetry).
+func TestRunStatsJSONAndTrace(t *testing.T) {
+	dir, ds := writeDataset(t)
+	statsPath := filepath.Join(dir, "stats.json")
+	tracePath := filepath.Join(dir, "run.trace")
+	var buf bytes.Buffer
+	err := run(context.Background(), []string{
+		"--tree", filepath.Join(dir, "tree.nwk"),
+		"--ref-msa", filepath.Join(dir, "ref.fasta"),
+		"--query", filepath.Join(dir, "query.fasta"),
+		"--out", filepath.Join(dir, "result.jplace"),
+		"--chunk-size", "10",
+		"--threads", "2",
+		"--maxmem", "1500K",
+		"--stats-json", statsPath,
+		"--trace", tracePath,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(statsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep placement.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.SchemaVersion != telemetry.SchemaVersion {
+		t.Fatalf("schema version %d, want %d", rep.SchemaVersion, telemetry.SchemaVersion)
+	}
+	if !rep.Plan.AMC {
+		t.Fatal("1500K limit did not select AMC mode")
+	}
+	a := rep.Telemetry.AMC
+	if a.Hits != rep.RunStats.CLVHits || a.Misses != rep.RunStats.CLVRecomputes || a.Evictions != rep.RunStats.CLVEvictions {
+		t.Fatalf("telemetry AMC %+v inconsistent with run_stats %+v", a, rep.RunStats)
+	}
+	if a.Misses == 0 {
+		t.Fatal("AMC mode recorded no recomputations")
+	}
+	if a.Evictions > a.Misses {
+		t.Fatalf("evictions %d > misses %d", a.Evictions, a.Misses)
+	}
+	if a.PinHighWater < 1 || a.PinHighWater > int64(rep.Plan.Slots) {
+		t.Fatalf("pin high-water %d outside [1, %d]", a.PinHighWater, rep.Plan.Slots)
+	}
+	if rep.RunStats.QueriesPlaced != len(ds.Queries) {
+		t.Fatalf("placed %d, want %d", rep.RunStats.QueriesPlaced, len(ds.Queries))
+	}
+	if rep.Telemetry.Pipeline.ChunksPlaced != uint64(rep.RunStats.ChunksProcessed) {
+		t.Fatalf("chunks placed %d != processed %d",
+			rep.Telemetry.Pipeline.ChunksPlaced, rep.RunStats.ChunksProcessed)
+	}
+	if rep.Memory.PeakBytes <= 0 || len(rep.Memory.PeakBreakdown) == 0 {
+		t.Fatalf("memory section empty: %+v", rep.Memory)
+	}
+
+	// The trace must bracket the run and carry the per-chunk events.
+	traceData, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(traceData)), "\n")
+	var kinds []string
+	for _, line := range lines {
+		var ev telemetry.Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad trace line %q: %v", line, err)
+		}
+		kinds = append(kinds, ev.Ev)
+	}
+	if kinds[0] != "run_start" || kinds[len(kinds)-1] != "run_end" {
+		t.Fatalf("trace not bracketed: first=%s last=%s", kinds[0], kinds[len(kinds)-1])
+	}
+	places := 0
+	for _, k := range kinds {
+		if k == "chunk_place" {
+			places++
+		}
+	}
+	if places != rep.RunStats.ChunksProcessed {
+		t.Fatalf("trace has %d chunk_place events, stats say %d chunks", places, rep.RunStats.ChunksProcessed)
 	}
 }

@@ -19,6 +19,7 @@ import (
 
 	"phylomem/internal/experiments"
 	"phylomem/internal/prof"
+	"phylomem/internal/telemetry"
 )
 
 func main() {
@@ -31,18 +32,19 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("pewo", flag.ContinueOnError)
 	var (
-		scale    = fs.Int("scale", 16, "divide the paper's dataset dimensions by this factor (1 = full size; needs tens of GiB)")
-		reps     = fs.Int("reps", 5, "repetitions per configuration (the paper uses 5)")
-		seed     = fs.Int64("seed", 2021, "dataset synthesis seed")
-		threads  = fs.String("threads", "1,2,4,8,16,32", "thread sweep for fig6/fig7")
-		datasets = fs.String("datasets", "", "comma-separated dataset subset (default all)")
-		maxq     = fs.Int("max-queries", 0, "truncate query sets (0 = all)")
-		noPipe   = fs.Bool("no-pipeline", false, "disable overlapped chunk reading in the measured engines")
-		csv      = fs.Bool("csv", false, "emit CSV instead of an aligned table")
-		plot     = fs.Bool("plot", false, "also render figure experiments as terminal plots")
-		list     = fs.Bool("list", false, "list available experiments")
-		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf  = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		scale     = fs.Int("scale", 16, "divide the paper's dataset dimensions by this factor (1 = full size; needs tens of GiB)")
+		reps      = fs.Int("reps", 5, "repetitions per configuration (the paper uses 5)")
+		seed      = fs.Int64("seed", 2021, "dataset synthesis seed")
+		threads   = fs.String("threads", "1,2,4,8,16,32", "thread sweep for fig6/fig7")
+		datasets  = fs.String("datasets", "", "comma-separated dataset subset (default all)")
+		maxq      = fs.Int("max-queries", 0, "truncate query sets (0 = all)")
+		noPipe    = fs.Bool("no-pipeline", false, "disable overlapped chunk reading in the measured engines")
+		csv       = fs.Bool("csv", false, "emit CSV instead of an aligned table")
+		statsJSON = fs.String("stats-json", "", "write every measured run as a structured JSON document to this file")
+		plot      = fs.Bool("plot", false, "also render figure experiments as terminal plots")
+		list      = fs.Bool("list", false, "list available experiments")
+		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -84,6 +86,11 @@ func run(args []string) error {
 	}
 	o.Threads = sweep
 
+	if *statsJSON != "" {
+		experiments.EnableRecorder()
+		defer experiments.DisableRecorder()
+	}
+
 	names := []string{fs.Arg(0)}
 	if fs.Arg(0) == "all" {
 		names = experiments.ExperimentNames()
@@ -102,6 +109,11 @@ func run(args []string) error {
 			if rendered, ok := experiments.PlotFor(name, tab); ok {
 				fmt.Println(rendered)
 			}
+		}
+	}
+	if *statsJSON != "" {
+		if err := telemetry.WriteJSONFile(*statsJSON, experiments.RecorderDoc()); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -1,11 +1,14 @@
-// Command placestats post-processes a jplace result (the gappa-equivalent):
-// per-query EDPL, the best-LWR distribution, and the edges carrying the most
-// placement mass.
+// Command placestats post-processes placement tool output: a jplace result
+// (the gappa-equivalent — per-query EDPL, the best-LWR distribution, and the
+// edges carrying the most placement mass) or an epang --trace event stream
+// (per-event-type counts and durations plus a chunk pipeline summary).
 //
 // Usage:
 //
 //	placestats --jplace result.jplace --tree reference.nwk
 //	placestats --jplace result.jplace --tree reference.nwk --per-query
+//	placestats --trace run.trace
+//	placestats --trace run.trace --events
 package main
 
 import (
@@ -32,12 +35,17 @@ func run(args []string) error {
 		jplaceFile = fs.String("jplace", "", "jplace result file")
 		treeFile   = fs.String("tree", "", "reference tree (Newick; must match the jplace edge numbering)")
 		perQuery   = fs.Bool("per-query", false, "print per-query best placement and EDPL")
+		traceFile  = fs.String("trace", "", "summarize an epang --trace event stream instead of a jplace result")
+		events     = fs.Bool("events", false, "with --trace: also print every event")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *traceFile != "" {
+		return summarizeTrace(os.Stdout, *traceFile, *events)
+	}
 	if *jplaceFile == "" || *treeFile == "" {
-		return fmt.Errorf("--jplace and --tree are required")
+		return fmt.Errorf("--jplace and --tree are required (or use --trace)")
 	}
 	jf, err := os.Open(*jplaceFile)
 	if err != nil {

@@ -1,11 +1,14 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"phylomem/internal/jplace"
+	"phylomem/internal/telemetry"
 	"phylomem/internal/tree"
 )
 
@@ -48,5 +51,69 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"--jplace", "nope", "--tree", "nope"}); err == nil {
 		t.Error("missing files accepted")
+	}
+}
+
+// TestSummarizeTrace feeds a synthetic trace through the --trace summarizer
+// and checks the per-event aggregation and pipeline overlap line.
+func TestSummarizeTrace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := telemetry.NewTrace(f)
+	tr.Emit(telemetry.Event{Ev: "run_start", Detail: "test"})
+	tr.Emit(telemetry.Event{Ev: "lookup_build", DurNS: 4e6, Bytes: 1 << 20})
+	for c := 0; c < 3; c++ {
+		tr.Emit(telemetry.Event{Ev: "chunk_read", Chunk: c, Queries: 10, DurNS: 1e6})
+		tr.Emit(telemetry.Event{Ev: "chunk_place", Chunk: c, Queries: 10, DurNS: 5e6})
+		tr.Emit(telemetry.Event{Ev: "chunk_emit", Chunk: c, Queries: 10, DurNS: 2e5})
+	}
+	tr.Emit(telemetry.Event{Ev: "run_end", Queries: 30})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := summarizeTrace(&buf, path, true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"12 events", "chunk_place", "3", "pipeline: read"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+
+	// Malformed trace lines are an error, not a silent skip.
+	bad := filepath.Join(dir, "bad.trace")
+	if err := os.WriteFile(bad, []byte("{\"ev\":\"x\"}\nnot json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := summarizeTrace(&buf, bad, false); err == nil {
+		t.Fatal("malformed trace accepted")
+	}
+	if err := summarizeTrace(&buf, filepath.Join(dir, "missing.trace"), false); err == nil {
+		t.Fatal("missing trace accepted")
+	}
+}
+
+// TestRunTraceMode drives the --trace flag through run().
+func TestRunTraceMode(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := telemetry.NewTrace(f)
+	tr.Emit(telemetry.Event{Ev: "chunk_place", Chunk: 0, Queries: 5, DurNS: 1e6})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"--trace", path}); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"phylomem/internal/placement"
 	"phylomem/internal/pplacer"
 	"phylomem/internal/seq"
+	"phylomem/internal/telemetry"
 	"phylomem/internal/tree"
 )
 
@@ -55,6 +56,7 @@ func run(args []string) error {
 		dataType  = fs.String("type", "NT", "data type: NT or AA")
 		gamma     = fs.Float64("gamma", 1.0, "Gamma shape (4 categories); 0 disables")
 		strict    = fs.Bool("strict", false, "abort on malformed query sequences instead of skipping them")
+		statsJSON = fs.String("stats-json", "", "write a structured JSON run report (counters, memory, telemetry) to this file")
 		verbose   = fs.Bool("verbose", false, "print statistics")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -92,6 +94,9 @@ func run(args []string) error {
 	}
 
 	cfg := pplacer.Config{KeepCount: *keep, Threads: *threads}
+	if *statsJSON != "" {
+		cfg.Telemetry = telemetry.NewSink()
+	}
 	if *mmapFile != "" {
 		cfg.FileBacked = true
 		if *mmapFile != "tmp" {
@@ -125,6 +130,12 @@ func run(args []string) error {
 		return err
 	}
 	st := eng.Stats()
+	// Report() must run before Close releases the persistent accounting.
+	if *statsJSON != "" {
+		if err := telemetry.WriteJSONFile(*statsJSON, eng.Report()); err != nil {
+			return err
+		}
+	}
 	// End-of-run audit: Close asserts the accountant drained to zero; a
 	// failure here is an internal error (exit 2).
 	if err := eng.Close(); err != nil {

@@ -8,6 +8,7 @@ import (
 	"phylomem/internal/faultinject"
 	"phylomem/internal/parallel"
 	"phylomem/internal/phylo"
+	"phylomem/internal/telemetry"
 	"phylomem/internal/tree"
 )
 
@@ -71,6 +72,14 @@ type Manager struct {
 
 	stats Stats
 
+	// tel mirrors stats into the run's telemetry sink (nil = disabled; the
+	// nil-receiver methods make every update a single predictable branch).
+	// pinnedNow tracks the number of slots with a non-zero pin count so the
+	// pin high-water gauge costs O(1) per pin transition instead of an
+	// O(slots) PinnedSlots scan.
+	tel       *telemetry.AMC
+	pinnedNow int
+
 	// pool, when non-nil, runs the across-site parallel update kernel during
 	// recomputation (the paper's Fig. 7 experiment).
 	pool *parallel.Pool
@@ -88,6 +97,12 @@ type Config struct {
 	// Pool enables across-site parallel CLV updates when non-nil with more
 	// than one worker. The manager only submits to it; it does not own it.
 	Pool *parallel.Pool
+	// Telemetry, when non-nil, receives slot hit/miss/eviction counts,
+	// recompute leaf-work, and the pin high-water mark. The counters mirror
+	// Stats exactly (CheckTelemetry audits the equivalence); they exist so
+	// concurrent observers and the --stats-json report can read them without
+	// touching the single-threaded manager.
+	Telemetry *telemetry.AMC
 }
 
 // NewManager creates a slot manager for the given partition and tree.
@@ -124,6 +139,7 @@ func NewManager(part *phylo.Partition, tr *tree.Tree, cfg Config) (*Manager, err
 		cost:       make([]int, nclv),
 		sc:         part.NewScratch(),
 		pool:       cfg.Pool,
+		tel:        cfg.Telemetry,
 	}
 	m.pa = m.sc.P(0)
 	m.pb = m.sc.P(1)
@@ -149,21 +165,40 @@ func (m *Manager) Bytes() int64 { return int64(m.slots) * m.part.CLVBytes() }
 // Stats returns a copy of the activity counters.
 func (m *Manager) Stats() Stats { return m.stats }
 
-// ResetStats zeroes the activity counters.
-func (m *Manager) ResetStats() { m.stats = Stats{} }
+// ResetStats zeroes the activity counters. It also detaches the telemetry
+// mirror: telemetry counters are cumulative for the whole run and cannot be
+// rewound, so after a reset the two would permanently disagree and fail the
+// CheckTelemetry audit.
+func (m *Manager) ResetStats() {
+	m.stats = Stats{}
+	m.tel = nil
+}
 
 // Strategy returns the replacement strategy in use.
 func (m *Manager) Strategy() Strategy { return m.strategy }
 
-// PinnedSlots returns the number of slots with a non-zero pin count.
-func (m *Manager) PinnedSlots() int {
-	n := 0
-	for _, p := range m.pins {
-		if p > 0 {
-			n++
-		}
+// PinnedSlots returns the number of slots with a non-zero pin count. It is
+// O(1): the count is maintained on every pin transition (CheckInvariants
+// verifies it against a full scan of the pin array).
+func (m *Manager) PinnedSlots() int { return m.pinnedNow }
+
+// incPin adds one pin to a slot, maintaining the pinned-slot count and the
+// telemetry high-water mark on the 0→1 transition.
+func (m *Manager) incPin(slot int32) {
+	if m.pins[slot] == 0 {
+		m.pinnedNow++
+		m.tel.ObservePinned(m.pinnedNow)
 	}
-	return n
+	m.pins[slot]++
+}
+
+// decPin removes one pin from a slot, maintaining the pinned-slot count on
+// the 1→0 transition. The caller has already checked the count is non-zero.
+func (m *Manager) decPin(slot int32) {
+	m.pins[slot]--
+	if m.pins[slot] == 0 {
+		m.pinnedNow--
+	}
 }
 
 // IsSlotted reports whether directed edge d's CLV currently occupies a slot.
@@ -199,7 +234,7 @@ func (m *Manager) pinDir(d tree.Dir) {
 	if slot == noSlot {
 		panic("core: pin of unslotted CLV")
 	}
-	m.pins[slot]++
+	m.incPin(slot)
 }
 
 // unpinDir decrements the pin count of d's slot.
@@ -215,7 +250,7 @@ func (m *Manager) unpinDir(d tree.Dir) {
 	if m.pins[slot] == 0 {
 		panic("core: unpin of unpinned slot")
 	}
-	m.pins[slot]--
+	m.decPin(slot)
 }
 
 // allocSlot finds a slot for CLV index idx: a free slot if available,
@@ -253,6 +288,7 @@ func (m *Manager) allocSlot(idx int32) (int32, error) {
 		return noSlot, fmt.Errorf("core: strategy %q returned invalid victim %d", m.strategy.Name(), victim)
 	}
 	m.stats.Evictions++
+	m.tel.Evict()
 	m.slotOf[victim] = noSlot
 	m.clvOf[vslot] = idx
 	m.slotOf[idx] = vslot
@@ -280,8 +316,9 @@ func (m *Manager) materialize(d tree.Dir) error {
 	m.tick++
 	if slot := m.slotOf[idx]; slot != noSlot {
 		m.stats.Hits++
+		m.tel.Hit()
 		m.lastAccess[idx] = m.tick
-		m.pins[slot]++
+		m.incPin(slot)
 		return nil
 	}
 	a, b := m.tr.Children(d)
@@ -302,7 +339,7 @@ func (m *Manager) materialize(d tree.Dir) error {
 		m.unpinDir(b)
 		return err
 	}
-	m.pins[slot]++ // owned by the caller from here on
+	m.incPin(slot) // owned by the caller from here on
 	dst, dstScale := m.view(slot)
 	m.part.FillP(m.pa, m.tr.EdgeOf(a).Length)
 	m.part.FillP(m.pb, m.tr.EdgeOf(b).Length)
@@ -311,6 +348,7 @@ func (m *Manager) materialize(d tree.Dir) error {
 	m.lastAccess[idx] = m.tick
 	m.stats.Recomputes++
 	m.stats.RecomputeLeafWork += uint64(m.cost[idx])
+	m.tel.Recompute(m.cost[idx])
 	// The children have been consumed: release the pins materialize took.
 	m.unpinDir(a)
 	m.unpinDir(b)
@@ -459,10 +497,50 @@ func (m *Manager) CheckInvariants() error {
 			return fmt.Errorf("%w: clvOf[%d] = %d but slotOf[%d] = %d", ErrInvariant, s, idx, idx, m.slotOf[idx])
 		}
 	}
+	pinned := 0
 	for s, p := range m.pins {
 		if p < 0 {
 			return fmt.Errorf("%w: slot %d has negative pin count %d", ErrInvariant, s, p)
 		}
+		if p > 0 {
+			pinned++
+		}
+	}
+	if pinned != m.pinnedNow {
+		return fmt.Errorf("%w: pinned-slot count %d disagrees with pin array (%d slots pinned)",
+			ErrInvariant, m.pinnedNow, pinned)
+	}
+	return nil
+}
+
+// CheckTelemetry audits the telemetry mirror against the authoritative
+// Stats counters: a telemetry sink that disagrees with the manager's own
+// bookkeeping means an instrumentation path was added without its counter
+// (or vice versa) — a bug in the observability layer, not in the slot
+// machinery. A manager without a sink passes trivially. The placement
+// engine runs this from Close alongside CheckInvariants.
+func (m *Manager) CheckTelemetry() error {
+	if m.tel == nil {
+		return nil
+	}
+	type pair struct {
+		name      string
+		got, want uint64
+	}
+	checks := []pair{
+		{"hits", m.tel.Hits.Load(), m.stats.Hits},
+		{"misses", m.tel.Misses.Load(), m.stats.Recomputes},
+		{"evictions", m.tel.Evictions.Load(), m.stats.Evictions},
+		{"recompute_leaf_work", m.tel.RecomputeLeafWork.Load(), m.stats.RecomputeLeafWork},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			return fmt.Errorf("%w: telemetry %s = %d disagrees with manager stats %d",
+				ErrInvariant, c.name, c.got, c.want)
+		}
+	}
+	if hw := m.tel.PinHighWater.Load(); hw > int64(m.slots) {
+		return fmt.Errorf("%w: pin high-water %d exceeds %d slots", ErrInvariant, hw, m.slots)
 	}
 	return nil
 }

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"phylomem/internal/telemetry"
+	"phylomem/internal/tree"
+)
+
+// TestTelemetryExactUnderEviction forces heavy eviction with the minimum
+// slot pool and checks the telemetry mirror is exactly the manager's own
+// Stats — every hit, miss, eviction, and unit of leaf work accounted.
+func TestTelemetryExactUnderEviction(t *testing.T) {
+	fx := buildFixture(t, 31, 40, 60)
+	tel := &telemetry.AMC{}
+	m, err := NewManager(fx.part, fx.tr, Config{
+		Slots:     fx.tr.MinSlots(),
+		Telemetry: tel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two full sweeps over every inner CLV: the tiny pool guarantees
+	// evictions and recomputations, the second sweep guarantees some hits
+	// too (whatever happens to still be slotted).
+	for sweep := 0; sweep < 2; sweep++ {
+		for i := 0; i < fx.tr.NumInnerCLVs(); i++ {
+			d := fx.tr.DirOfCLV(i)
+			if _, err := m.Acquire(d); err != nil {
+				t.Fatal(err)
+			}
+			m.Release(d)
+		}
+	}
+	st := m.Stats()
+	if st.Recomputes == 0 || st.Evictions == 0 {
+		t.Fatalf("minimum pool produced no pressure: %+v", st)
+	}
+	if got := tel.Hits.Load(); got != st.Hits {
+		t.Fatalf("telemetry hits %d != stats %d", got, st.Hits)
+	}
+	if got := tel.Misses.Load(); got != st.Recomputes {
+		t.Fatalf("telemetry misses %d != stats recomputes %d", got, st.Recomputes)
+	}
+	if got := tel.Evictions.Load(); got != st.Evictions {
+		t.Fatalf("telemetry evictions %d != stats %d", got, st.Evictions)
+	}
+	if got := tel.RecomputeLeafWork.Load(); got != st.RecomputeLeafWork {
+		t.Fatalf("telemetry leaf work %d != stats %d", got, st.RecomputeLeafWork)
+	}
+	// Evictions only happen to make room for recomputations.
+	if st.Evictions > st.Recomputes {
+		t.Fatalf("evictions %d > recomputes %d", st.Evictions, st.Recomputes)
+	}
+	// The pin high-water is bounded by the Sethi–Ullman guarantee: at most
+	// the slot-pool size, and at least 1 (something was pinned).
+	hw := tel.PinHighWater.Load()
+	if hw < 1 || hw > int64(m.Slots()) {
+		t.Fatalf("pin high-water %d outside [1, %d]", hw, m.Slots())
+	}
+	if err := m.CheckTelemetry(); err != nil {
+		t.Fatalf("CheckTelemetry on a clean run: %v", err)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckTelemetryDetectsDesync corrupts the mirror and expects the audit
+// to fail with ErrInvariant.
+func TestCheckTelemetryDetectsDesync(t *testing.T) {
+	fx := buildFixture(t, 32, 16, 40)
+	tel := &telemetry.AMC{}
+	m, err := NewManager(fx.part, fx.tr, Config{Slots: fx.tr.MinSlots() + 2, Telemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := fx.tr.DirOfCLV(0)
+	if _, err := m.Acquire(d); err != nil {
+		t.Fatal(err)
+	}
+	m.Release(d)
+	tel.Hits.Inc() // phantom event
+	if err := m.CheckTelemetry(); !errors.Is(err, ErrInvariant) {
+		t.Fatalf("desynced telemetry not caught: %v", err)
+	}
+}
+
+// TestPinnedSlotsO1 checks the maintained pinned-slot count against direct
+// pin/unpin sequences, including multiple pins on one slot.
+func TestPinnedSlotsO1(t *testing.T) {
+	fx := buildFixture(t, 33, 16, 40)
+	m, err := NewManager(fx.part, fx.tr, Config{Slots: fx.tr.MinSlots() + 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dirs []tree.Dir
+	for i := 0; i < 3; i++ {
+		dirs = append(dirs, fx.tr.DirOfCLV(i))
+	}
+	for _, d := range dirs {
+		if err := m.Pin(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Double-pin the first: pinned-slot count must not change.
+	if err := m.Pin(dirs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.PinnedSlots(); got != 3 {
+		t.Fatalf("PinnedSlots = %d, want 3", got)
+	}
+	m.Unpin(dirs[0])
+	if got := m.PinnedSlots(); got != 3 {
+		t.Fatalf("PinnedSlots after dropping duplicate pin = %d, want 3", got)
+	}
+	for _, d := range dirs {
+		m.Unpin(d)
+	}
+	if got := m.PinnedSlots(); got != 0 {
+		t.Fatalf("PinnedSlots after full unpin = %d, want 0", got)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

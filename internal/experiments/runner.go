@@ -16,6 +16,7 @@ import (
 	"phylomem/internal/placement"
 	"phylomem/internal/pplacer"
 	"phylomem/internal/seq"
+	"phylomem/internal/telemetry"
 	"phylomem/internal/tree"
 	"phylomem/internal/workload"
 )
@@ -96,10 +97,18 @@ func RunEPA(p *Prepared, cfg placement.Config, label string, reps int) (*Measure
 		reps = 1
 	}
 	m := &Measurement{Dataset: p.Dataset.Name, Label: label, Fastest: time.Duration(1<<62 - 1)}
+	record := recorderEnabled()
 	var total time.Duration
+	var report placement.Report
 	for r := 0; r < reps; r++ {
+		runCfg := cfg
+		if record && r == reps-1 {
+			// Telemetry on the final repetition only: the measured reps stay
+			// exactly what a non-recorded run would execute.
+			runCfg.Telemetry = telemetry.NewSink()
+		}
 		start := time.Now()
-		eng, err := placement.New(p.Part, p.Tree, cfg)
+		eng, err := placement.New(p.Part, p.Tree, runCfg)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s/%s: %w", p.Dataset.Name, label, err)
 		}
@@ -116,9 +125,15 @@ func RunEPA(p *Prepared, cfg placement.Config, label string, reps int) (*Measure
 		m.PeakBytes = eng.Stats().PeakBytes
 		m.Stats = eng.Stats()
 		m.Result = res
+		if runCfg.Telemetry != nil {
+			report = eng.Report()
+		}
 		eng.Close()
 	}
 	m.Wall = total / time.Duration(reps)
+	if record {
+		recordEPA(m, reps, report)
+	}
 	return m, nil
 }
 
@@ -128,11 +143,17 @@ func RunPplacer(p *Prepared, cfg pplacer.Config, label string, reps int) (*Measu
 		reps = 1
 	}
 	m := &Measurement{Dataset: p.Dataset.Name, Label: label, Fastest: time.Duration(1<<62 - 1)}
+	record := recorderEnabled()
 	var total time.Duration
+	var report pplacer.Report
 	var out []jplace.Placements
 	for r := 0; r < reps; r++ {
+		runCfg := cfg
+		if record && r == reps-1 {
+			runCfg.Telemetry = telemetry.NewSink()
+		}
 		start := time.Now()
-		eng, err := pplacer.New(p.Part, p.Tree, cfg)
+		eng, err := pplacer.New(p.Part, p.Tree, runCfg)
 		if err != nil {
 			return nil, nil, fmt.Errorf("experiments: pplacer %s/%s: %w", p.Dataset.Name, label, err)
 		}
@@ -148,9 +169,15 @@ func RunPplacer(p *Prepared, cfg pplacer.Config, label string, reps int) (*Measu
 		}
 		m.PeakBytes = eng.Stats().PeakBytes
 		out = res
+		if runCfg.Telemetry != nil {
+			report = eng.Report()
+		}
 		eng.Close()
 	}
 	m.Wall = total / time.Duration(reps)
+	if record {
+		recordPplacer(m, reps, report)
+	}
 	return m, out, nil
 }
 

@@ -41,6 +41,7 @@ var ErrNotDrained = errors.New("memacct: categories not drained")
 type Accountant struct {
 	mu         sync.Mutex
 	categories map[string]int64
+	catPeaks   map[string]int64
 	current    int64
 	peak       int64
 	limit      int64 // 0 = unlimited
@@ -49,7 +50,10 @@ type Accountant struct {
 
 // NewAccountant returns an empty accountant.
 func NewAccountant() *Accountant {
-	return &Accountant{categories: make(map[string]int64)}
+	return &Accountant{
+		categories: make(map[string]int64),
+		catPeaks:   make(map[string]int64),
+	}
 }
 
 // SetLimit arms hard-limit detection at the given byte ceiling (0 disables).
@@ -75,6 +79,12 @@ func (a *Accountant) Alloc(category string, bytes int64) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.categories[category] += bytes
+	// >= so that a zero-byte Alloc still registers the category in the peak
+	// breakdown — engines pre-seed their transient categories this way to
+	// keep the --stats-json key set independent of the execution mode.
+	if a.categories[category] >= a.catPeaks[category] {
+		a.catPeaks[category] = a.categories[category]
+	}
 	a.current += bytes
 	if a.current > a.peak {
 		a.peak = a.current
@@ -146,6 +156,22 @@ func (a *Accountant) AssertDrained(categories ...string) error {
 		return fmt.Errorf("%w: %s", ErrNotDrained, strings.Join(leaks, ", "))
 	}
 	return nil
+}
+
+// PeakBreakdown returns a copy of the per-category historical maxima. The
+// sum over categories generally exceeds Peak(): each category peaks at its
+// own moment, while Peak is the maximum of the instantaneous total. The
+// --stats-json report carries both, which is what makes "which category
+// drove the peak" answerable after the run — the accounting transparency
+// the paper's own over-budget data point (Section V) lacked.
+func (a *Accountant) PeakBreakdown() map[string]int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]int64, len(a.catPeaks))
+	for k, v := range a.catPeaks {
+		out[k] = v
+	}
+	return out
 }
 
 // Breakdown returns a copy of the per-category byte counts.

@@ -380,3 +380,30 @@ func TestLookupFloorBetweenMinAndReference(t *testing.T) {
 		t.Fatalf("below lookup floor: lookup=%v err=%v", p.LookupEnabled, err)
 	}
 }
+
+// TestPeakBreakdown checks per-category peaks survive frees and that the
+// instantaneous total peak can be below the sum of category peaks.
+func TestPeakBreakdown(t *testing.T) {
+	a := NewAccountant()
+	a.Alloc("clv", 100)
+	a.Free("clv", 100)
+	a.Alloc("lookup", 60)
+	a.Free("lookup", 60)
+	a.Alloc("clv", 40)
+	pb := a.PeakBreakdown()
+	if pb["clv"] != 100 || pb["lookup"] != 60 {
+		t.Fatalf("peak breakdown = %v, want clv=100 lookup=60", pb)
+	}
+	if got := a.Peak(); got != 100 {
+		t.Fatalf("total peak = %d, want 100", got)
+	}
+	if pb["clv"]+pb["lookup"] <= a.Peak() {
+		t.Fatalf("expected sum of category peaks (%d) > total peak (%d) in this sequence",
+			pb["clv"]+pb["lookup"], a.Peak())
+	}
+	// The returned map is a copy.
+	pb["clv"] = 0
+	if a.PeakBreakdown()["clv"] != 100 {
+		t.Fatal("PeakBreakdown returned internal map, not a copy")
+	}
+}

@@ -24,6 +24,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"phylomem/internal/telemetry"
 )
 
 // Pool is a fixed-size set of persistent worker goroutines. The zero value
@@ -35,7 +37,19 @@ type Pool struct {
 	busy    *atomic.Int64
 	closed  atomic.Bool
 	once    sync.Once
+
+	// tel, when set, receives per-participant chunk counts and busy time.
+	// It travels with each job (never read through p by the workers), so
+	// the finalizer-based reaping of unreachable pools keeps working.
+	tel atomic.Pointer[telemetry.Pool]
 }
+
+// SetTelemetry attaches a telemetry group sized to at least Size()
+// participant slots (see telemetry.Pool.Init). Jobs submitted after the
+// call record per-worker chunk and busy-time counts; nil detaches. Safe to
+// call concurrently with Run — a job in flight keeps the group it started
+// with.
+func (p *Pool) SetTelemetry(t *telemetry.Pool) { p.tel.Store(t) }
 
 // New starts a pool with the given number of workers (minimum 1). With one
 // worker no goroutines are started and Run executes inline. Pools hold OS
@@ -114,13 +128,23 @@ func (p *Pool) RunContext(ctx context.Context, n, grain int, fn func(lo, hi, wor
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	tel := p.tel.Load()
+	tel.JobStart()
 	if p.workers == 1 || n <= grain || p.closed.Load() {
 		start := time.Now()
-		defer func() { p.busy.Add(int64(time.Since(start))) }()
+		defer func() {
+			d := time.Since(start)
+			p.busy.Add(int64(d))
+			if w := tel.Worker(p.workers); w != nil {
+				w.Job()
+				w.Chunk()
+				w.AddBusy(d)
+			}
+		}()
 		fn(0, n, p.workers)
 		return nil
 	}
-	j := &job{n: n, grain: grain, fn: fn, finished: make(chan struct{})}
+	j := &job{n: n, grain: grain, fn: fn, finished: make(chan struct{}), tel: tel}
 	chunks := (n + grain - 1) / grain
 	j.chunks = int64(chunks)
 	if ctx.Done() != nil {
@@ -182,6 +206,7 @@ type job struct {
 	fn        func(lo, hi, worker int)
 	finished  chan struct{}
 	ctx       context.Context // nil when the job is not cancellable
+	tel       *telemetry.Pool // nil when telemetry is disabled
 }
 
 func workerLoop(jobs <-chan *job, id int, busy *atomic.Int64) {
@@ -196,6 +221,7 @@ func workerLoop(jobs <-chan *job, id int, busy *atomic.Int64) {
 // submitter is released) but fn is no longer called.
 func (j *job) work(worker int, busy *atomic.Int64) {
 	var start time.Time
+	executed := uint64(0)
 	for {
 		c := j.next.Add(1) - 1
 		if c >= j.chunks {
@@ -213,13 +239,22 @@ func (j *job) work(worker int, busy *atomic.Int64) {
 		}
 		if !j.aborted.Load() {
 			j.runChunk(c, worker)
+			executed++
 		}
 		if j.done.Add(1) == j.chunks {
 			close(j.finished)
 		}
 	}
-	if busy != nil && !start.IsZero() {
-		busy.Add(int64(time.Since(start)))
+	if !start.IsZero() {
+		d := time.Since(start)
+		if busy != nil {
+			busy.Add(int64(d))
+		}
+		if w := j.tel.Worker(worker); w != nil {
+			w.Job()
+			w.Chunks.Add(executed)
+			w.AddBusy(d)
+		}
 	}
 }
 

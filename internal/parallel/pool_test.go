@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"phylomem/internal/telemetry"
 )
 
 // TestRunCoversAllIndices checks the chunked range distribution: every index
@@ -224,5 +226,59 @@ func TestForEachContextCancelled(t *testing.T) {
 	}
 	if err := p.ForEachContext(context.Background(), 50, func(i, worker int) {}); err != nil {
 		t.Fatalf("ForEachContext with live context: %v", err)
+	}
+}
+
+// TestPoolTelemetry attaches a telemetry group and checks the per-worker
+// chunk counts sum to exactly the chunks of every job, with the busy time
+// mirrored into the group.
+func TestPoolTelemetry(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	tel := &telemetry.Pool{}
+	tel.Init(p.Size())
+	p.SetTelemetry(tel)
+
+	const jobs, n, grain = 5, 1000, 10
+	for j := 0; j < jobs; j++ {
+		p.Run(n, grain, func(lo, hi, worker int) {
+			if worker < 0 || worker >= p.Size() {
+				t.Errorf("worker id %d outside [0,%d)", worker, p.Size())
+			}
+		})
+	}
+	if got := tel.JobsSubmitted.Load(); got != jobs {
+		t.Fatalf("JobsSubmitted = %d, want %d", got, jobs)
+	}
+	var chunks uint64
+	for i := range tel.Workers {
+		chunks += tel.Workers[i].Chunks.Load()
+	}
+	if want := uint64(jobs * n / grain); chunks != want {
+		t.Fatalf("chunk total = %d, want %d", chunks, want)
+	}
+	// The submitter always participates, so its helper slot saw every job.
+	if got := tel.Worker(p.Workers()).Jobs.Load(); got != jobs {
+		t.Fatalf("submitter jobs = %d, want %d", got, jobs)
+	}
+}
+
+// TestPoolTelemetryInlinePath covers the single-worker / small-job inline
+// execution: the submitting goroutine's helper slot gets the chunk.
+func TestPoolTelemetryInlinePath(t *testing.T) {
+	p := New(1)
+	defer p.Close()
+	tel := &telemetry.Pool{}
+	tel.Init(p.Size())
+	p.SetTelemetry(tel)
+	p.Run(100, 10, func(lo, hi, worker int) {})
+	if got := tel.Worker(p.Workers()).Chunks.Load(); got != 1 {
+		t.Fatalf("inline chunks = %d, want 1", got)
+	}
+	if got := tel.JobsSubmitted.Load(); got != 1 {
+		t.Fatalf("JobsSubmitted = %d, want 1", got)
+	}
+	if tel.Worker(p.Workers()).Busy.Load() < 0 {
+		t.Fatal("negative busy time")
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"phylomem/internal/memacct"
 	"phylomem/internal/parallel"
 	"phylomem/internal/phylo"
+	"phylomem/internal/telemetry"
 	"phylomem/internal/tree"
 )
 
@@ -70,6 +71,16 @@ type Config struct {
 	// chunks strictly synchronously. Placement output is identical either
 	// way; the toggle exists for measurement and debugging.
 	NoPipeline bool
+	// Telemetry, when non-nil, receives the run's counters: the slot
+	// manager's AMC group, the worker pool's per-participant group, and the
+	// pipeline group are all wired to it. nil disables telemetry entirely —
+	// the hot paths then pay one predictable nil-check branch per event and
+	// zero allocations (see package telemetry).
+	Telemetry *telemetry.Sink
+	// Trace, when non-nil, receives one newline-JSON event per pipeline
+	// action (chunk read/place/emit, lookup build). Tracing is opt-in and
+	// independent of Telemetry; the engine does not close the trace.
+	Trace *telemetry.Trace
 	// Strict aborts the run on the first malformed query (wrong width,
 	// invalid character) instead of the default behavior of skipping it and
 	// counting the skip in RunStats.QueriesSkipped. Predecessor tools treat
@@ -128,6 +139,12 @@ type Engine struct {
 	// blkBufs are the (at most two) branch-block buffers, allocated lazily
 	// and reused across every runBlocks call and the AMC lookup build.
 	blkBufs [2]*branchBlock
+
+	// tel and trace mirror Config.Telemetry / Config.Trace; both may be nil
+	// (disabled). pipe caches tel.PipelineGroup() for the streaming paths.
+	tel   *telemetry.Sink
+	pipe  *telemetry.Pipeline
+	trace *telemetry.Trace
 
 	closed bool
 	stats  RunStats
@@ -252,6 +269,13 @@ func NewContext(ctx context.Context, part *phylo.Partition, tr *tree.Tree, cfg C
 		poolWorkers = cfg.SiteWorkers
 	}
 	e.pool = parallel.New(poolWorkers)
+	e.tel = cfg.Telemetry
+	e.pipe = e.tel.PipelineGroup()
+	e.trace = cfg.Trace
+	if e.tel != nil {
+		e.tel.Pool.Init(e.pool.Size())
+		e.pool.SetTelemetry(e.tel.PoolGroup())
+	}
 	e.wscratch = make([]*phylo.Scratch, e.pool.Size())
 	for i := range e.wscratch {
 		e.wscratch[i] = part.NewScratch()
@@ -263,6 +287,13 @@ func NewContext(ctx context.Context, part *phylo.Partition, tr *tree.Tree, cfg C
 		e.pendant0 = 0.01
 	}
 	e.acct.Alloc("fixed", plan.FixedBytes)
+	// Seed the transient categories with zero-byte entries so the report's
+	// breakdown maps carry the same key set regardless of whether the
+	// pipelined reader ran — the stats-json schema must depend only on the
+	// code version, never on the execution mode.
+	for _, cat := range []string{"chunk-queries", "chunk-scores", "chunk-prefetch"} {
+		e.acct.Alloc(cat, 0)
+	}
 
 	// From here on the engine owns a live worker pool; shut it down on every
 	// construction failure so an aborted New leaks no goroutines.
@@ -280,9 +311,10 @@ func NewContext(ctx context.Context, part *phylo.Partition, tr *tree.Tree, cfg C
 			strategy = core.CostAge{}
 		}
 		mgr, err := core.NewManager(part, tr, core.Config{
-			Slots:    plan.Slots,
-			Strategy: strategy,
-			Pool:     e.sitePool(),
+			Slots:     plan.Slots,
+			Strategy:  strategy,
+			Pool:      e.sitePool(),
+			Telemetry: e.tel.AMCGroup(),
 		})
 		if err != nil {
 			return fail(err)
@@ -351,6 +383,12 @@ func (e *Engine) Close() error {
 		}
 		if p := e.mgr.PinnedSlots(); p != 0 {
 			errs = append(errs, fmt.Errorf("%w: %d slots still pinned at Close", core.ErrInvariant, p))
+		}
+		// The telemetry mirror must agree with the manager's own Stats: a
+		// desync means an instrumentation bug (an event path counted twice
+		// or not at all), which would silently falsify --stats-json.
+		if err := e.mgr.CheckTelemetry(); err != nil {
+			errs = append(errs, err)
 		}
 	}
 	if err := e.acct.Err(); err != nil {
@@ -458,8 +496,12 @@ func (e *Engine) buildLookup(ctx context.Context) error {
 			})
 		}
 	}
-	e.stats.LookupBuild = time.Since(start)
+	d := time.Since(start)
+	e.stats.LookupBuild = d
 	e.stats.LookupWorkers = e.pool.Workers()
+	e.pipe.AddLookupBuild(d)
+	e.trace.Emit(telemetry.Event{Ev: "lookup_build", DurNS: int64(d),
+		Bytes: e.plan.LookupBytes, Detail: fmt.Sprintf("branches=%d workers=%d", e.tr.NumBranches(), e.pool.Workers())})
 	return nil
 }
 

@@ -1,0 +1,122 @@
+package placement
+
+import (
+	"phylomem/internal/telemetry"
+)
+
+// Report is the structured --stats-json document: a superset of RunStats
+// with the budget plan, the memory accounting (current and per-category
+// peak), and the full telemetry snapshot. Every key is always present — the
+// determinism CI gate diffs the key schema across thread counts, so nothing
+// here uses omitempty. Durations are reported as nanosecond integers.
+type Report struct {
+	SchemaVersion int                `json:"schema_version"`
+	RunStats      RunStatsReport     `json:"run_stats"`
+	Plan          PlanReport         `json:"plan"`
+	Memory        MemoryReport       `json:"memory"`
+	Telemetry     telemetry.Snapshot `json:"telemetry"`
+}
+
+// RunStatsReport is RunStats rendered with stable snake_case keys.
+type RunStatsReport struct {
+	QueriesPlaced     int     `json:"queries_placed"`
+	QueriesSkipped    int     `json:"queries_skipped"`
+	ChunksProcessed   int     `json:"chunks_processed"`
+	Phase1NS          int64   `json:"phase1_ns"`
+	Phase2NS          int64   `json:"phase2_ns"`
+	PrecomputeNS      int64   `json:"precompute_ns"`
+	LookupBuildNS     int64   `json:"lookup_build_ns"`
+	LookupWorkers     int     `json:"lookup_workers"`
+	ThreadsUsed       int     `json:"threads_used"`
+	Pipelined         bool    `json:"pipelined"`
+	ChunkReadNS       int64   `json:"chunk_read_ns"`
+	ChunkWaitNS       int64   `json:"chunk_wait_ns"`
+	PlaceWallNS       int64   `json:"place_wall_ns"`
+	PoolBusyNS        int64   `json:"pool_busy_ns"`
+	PoolUtilization   float64 `json:"pool_utilization"`
+	CLVHits           uint64  `json:"clv_hits"`
+	CLVRecomputes     uint64  `json:"clv_recomputes"`
+	CLVEvictions      uint64  `json:"clv_evictions"`
+	RecomputeLeafWork uint64  `json:"recompute_leaf_work"`
+}
+
+// PlanReport is the memacct.Plan section of a Report.
+type PlanReport struct {
+	AMC            bool  `json:"amc"`
+	Slots          int   `json:"slots"`
+	LookupEnabled  bool  `json:"lookup_enabled"`
+	ChunkSize      int   `json:"chunk_size"`
+	BlockSize      int   `json:"block_size"`
+	FixedBytes     int64 `json:"fixed_bytes"`
+	ChunkBytes     int64 `json:"chunk_bytes"`
+	LookupBytes    int64 `json:"lookup_bytes"`
+	SlotsBytes     int64 `json:"slots_bytes"`
+	BranchBufBytes int64 `json:"branch_buf_bytes"`
+	TotalBytes     int64 `json:"total_bytes"`
+	MaxMemBytes    int64 `json:"max_mem_bytes"`
+}
+
+// MemoryReport is the accounting section of a Report. PeakBytes is the
+// maximum instantaneous accounted total; PeakBreakdown holds each
+// category's own peak (the sum over categories generally exceeds
+// PeakBytes — each category peaks at its own moment).
+type MemoryReport struct {
+	PeakBytes     int64            `json:"peak_bytes"`
+	CurrentBytes  int64            `json:"current_bytes"`
+	PlannedBytes  int64            `json:"planned_bytes"`
+	Breakdown     map[string]int64 `json:"breakdown"`
+	PeakBreakdown map[string]int64 `json:"peak_breakdown"`
+}
+
+// Report renders the engine's current state as the --stats-json document.
+// Safe to call at any point; CLIs call it once after the run (before Close,
+// which releases the persistent accounting categories).
+func (e *Engine) Report() Report {
+	s := e.Stats()
+	return Report{
+		SchemaVersion: telemetry.SchemaVersion,
+		RunStats: RunStatsReport{
+			QueriesPlaced:     s.QueriesPlaced,
+			QueriesSkipped:    s.QueriesSkipped,
+			ChunksProcessed:   s.ChunksProcessed,
+			Phase1NS:          int64(s.Phase1),
+			Phase2NS:          int64(s.Phase2),
+			PrecomputeNS:      int64(s.Precompute),
+			LookupBuildNS:     int64(s.LookupBuild),
+			LookupWorkers:     s.LookupWorkers,
+			ThreadsUsed:       s.ThreadsUsed,
+			Pipelined:         s.Pipelined,
+			ChunkReadNS:       int64(s.ChunkRead),
+			ChunkWaitNS:       int64(s.ChunkWait),
+			PlaceWallNS:       int64(s.PlaceWall),
+			PoolBusyNS:        int64(s.PoolBusy),
+			PoolUtilization:   s.PoolUtilization(),
+			CLVHits:           s.CLVStats.Hits,
+			CLVRecomputes:     s.CLVStats.Recomputes,
+			CLVEvictions:      s.CLVStats.Evictions,
+			RecomputeLeafWork: s.CLVStats.RecomputeLeafWork,
+		},
+		Plan: PlanReport{
+			AMC:            e.plan.AMC,
+			Slots:          e.plan.Slots,
+			LookupEnabled:  e.plan.LookupEnabled,
+			ChunkSize:      e.plan.ChunkSize,
+			BlockSize:      e.plan.BlockSize,
+			FixedBytes:     e.plan.FixedBytes,
+			ChunkBytes:     e.plan.ChunkBytes,
+			LookupBytes:    e.plan.LookupBytes,
+			SlotsBytes:     e.plan.SlotsBytes,
+			BranchBufBytes: e.plan.BranchBufBytes,
+			TotalBytes:     e.plan.TotalBytes,
+			MaxMemBytes:    e.cfg.MaxMem,
+		},
+		Memory: MemoryReport{
+			PeakBytes:     e.acct.Peak(),
+			CurrentBytes:  e.acct.Current(),
+			PlannedBytes:  e.plan.TotalBytes,
+			Breakdown:     e.acct.Breakdown(),
+			PeakBreakdown: e.acct.PeakBreakdown(),
+		},
+		Telemetry: e.tel.Snapshot(),
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"phylomem/internal/faultinject"
 	"phylomem/internal/jplace"
 	"phylomem/internal/seq"
+	"phylomem/internal/telemetry"
 )
 
 // QuerySource yields successive encoded query chunks. Implementations allow
@@ -178,38 +179,58 @@ func (e *Engine) placeStreamSync(ctx context.Context, src QuerySource, sink func
 		e.stats.QueriesPlaced += placed
 		e.stats.QueriesSkipped += skipped
 	}()
-	for {
+	for seq := 0; ; seq++ {
 		if err := ctx.Err(); err != nil {
 			return placed, err
 		}
 		t0 := time.Now()
 		chunk, err := e.readChunk(src, &skipped)
-		e.stats.ChunkRead += time.Since(t0)
+		readDur := time.Since(t0)
+		e.stats.ChunkRead += readDur
 		if err != nil {
 			return placed, err
 		}
 		if len(chunk) == 0 {
 			return placed, nil
 		}
+		e.pipe.ChunkRead(len(chunk), readDur)
+		e.trace.Emit(telemetry.Event{Ev: "chunk_read", Chunk: seq, Queries: len(chunk),
+			DurNS: int64(readDur), Bytes: QueryBytes(chunk)})
+		t0 = time.Now()
 		results, err := e.placeChunk(ctx, chunk)
+		placeDur := time.Since(t0)
 		if err != nil {
 			return placed, err
 		}
 		e.stats.ChunksProcessed++
+		e.pipe.ChunkPlaced(placeDur)
+		e.trace.Emit(telemetry.Event{Ev: "chunk_place", Chunk: seq, Queries: len(chunk), DurNS: int64(placeDur)})
+		t0 = time.Now()
 		for _, r := range results {
 			if err := e.emit(sink, r); err != nil {
 				return placed, err
 			}
 			placed++
 		}
+		emitDur := time.Since(t0)
+		e.pipe.ChunkEmitted(emitDur)
+		e.trace.Emit(telemetry.Event{Ev: "chunk_emit", Chunk: seq, Queries: len(results), DurNS: int64(emitDur)})
 	}
 }
 
 // prefetched is one decoded chunk in flight between the reader and the
-// placer, with its accounted memory footprint.
+// placer, with its accounted memory footprint and input ordinal.
 type prefetched struct {
+	seq     int
 	queries []Query
 	bytes   int64
+}
+
+// placedChunk is one placed chunk in flight between the placer and the
+// emitter, keeping the input ordinal for trace events.
+type placedChunk struct {
+	seq int
+	rs  []jplace.Placements
 }
 
 func (e *Engine) placeStreamPipelined(ctx context.Context, src QuerySource, sink func(jplace.Placements) error) (int, error) {
@@ -229,13 +250,14 @@ func (e *Engine) placeStreamPipelined(ctx context.Context, src QuerySource, sink
 	go func() {
 		defer close(readerDone)
 		defer close(chunks)
-		for {
+		for seq := 0; ; seq++ {
 			if ctx.Err() != nil {
 				return
 			}
 			t0 := time.Now()
 			chunk, err := e.readChunk(src, &readSkipped)
-			readTime += time.Since(t0)
+			readDur := time.Since(t0)
+			readTime += readDur
 			if err != nil {
 				readErr = err
 				return
@@ -243,10 +265,15 @@ func (e *Engine) placeStreamPipelined(ctx context.Context, src QuerySource, sink
 			if len(chunk) == 0 {
 				return
 			}
-			pf := prefetched{queries: chunk, bytes: QueryBytes(chunk)}
+			e.pipe.ChunkRead(len(chunk), readDur)
+			pf := prefetched{seq: seq, queries: chunk, bytes: QueryBytes(chunk)}
+			e.trace.Emit(telemetry.Event{Ev: "chunk_read", Chunk: seq, Queries: len(chunk),
+				DurNS: int64(readDur), Bytes: pf.bytes})
 			e.acct.Alloc("chunk-prefetch", pf.bytes)
+			e.pipe.PrefetchInc()
 			if err := e.acct.Err(); err != nil {
 				e.acct.Free("chunk-prefetch", pf.bytes)
+				e.pipe.PrefetchDec()
 				readErr = err
 				return
 			}
@@ -254,9 +281,11 @@ func (e *Engine) placeStreamPipelined(ctx context.Context, src QuerySource, sink
 			case chunks <- pf:
 			case <-stop:
 				e.acct.Free("chunk-prefetch", pf.bytes)
+				e.pipe.PrefetchDec()
 				return
 			case <-ctx.Done():
 				e.acct.Free("chunk-prefetch", pf.bytes)
+				e.pipe.PrefetchDec()
 				return
 			}
 		}
@@ -265,15 +294,17 @@ func (e *Engine) placeStreamPipelined(ctx context.Context, src QuerySource, sink
 	// Emitter: delivers completed chunks to the sink in arrival (= input)
 	// order while the placer works on the next chunk. After a sink error it
 	// keeps draining so the placer never blocks.
-	results := make(chan []jplace.Placements, 1)
+	results := make(chan placedChunk, 1)
 	emitterDone := make(chan struct{})
 	sinkFailed := make(chan struct{})
 	var sinkErr error
 	placed := 0
 	go func() {
 		defer close(emitterDone)
-		for rs := range results {
-			for _, r := range rs {
+		for pc := range results {
+			t0 := time.Now()
+			delivered := 0
+			for _, r := range pc.rs {
 				if sinkErr != nil {
 					continue
 				}
@@ -283,7 +314,12 @@ func (e *Engine) placeStreamPipelined(ctx context.Context, src QuerySource, sink
 					continue
 				}
 				placed++
+				delivered++
 			}
+			emitDur := time.Since(t0)
+			e.pipe.ChunkEmitted(emitDur)
+			e.trace.Emit(telemetry.Event{Ev: "chunk_emit", Chunk: pc.seq,
+				Queries: delivered, DurNS: int64(emitDur)})
 		}
 	}()
 
@@ -315,14 +351,20 @@ placing:
 			break
 		}
 		e.acct.Free("chunk-prefetch", pf.bytes)
+		e.pipe.PrefetchDec()
+		t0 = time.Now()
 		rs, err := e.placeChunk(ctx, pf.queries)
+		placeDur := time.Since(t0)
 		if err != nil {
 			placeErr = err
 			break
 		}
 		e.stats.ChunksProcessed++
+		e.pipe.ChunkPlaced(placeDur)
+		e.trace.Emit(telemetry.Event{Ev: "chunk_place", Chunk: pf.seq,
+			Queries: len(pf.queries), DurNS: int64(placeDur)})
 		select {
-		case results <- rs:
+		case results <- placedChunk{seq: pf.seq, rs: rs}:
 		case <-sinkFailed:
 			break placing
 		}
@@ -335,6 +377,7 @@ placing:
 	close(stop)
 	for pf := range chunks {
 		e.acct.Free("chunk-prefetch", pf.bytes)
+		e.pipe.PrefetchDec()
 	}
 	<-readerDone
 	close(results)
@@ -342,6 +385,7 @@ placing:
 
 	e.stats.ChunkRead += readTime
 	e.stats.ChunkWait += waitTime
+	e.pipe.AddPlaceWait(waitTime)
 	e.stats.QueriesPlaced += placed
 	e.stats.QueriesSkipped += readSkipped
 	switch {

@@ -1,0 +1,180 @@
+package placement
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"phylomem/internal/jplace"
+	"phylomem/internal/telemetry"
+)
+
+// placeWithSink runs a full streaming placement with a telemetry sink (and
+// optional trace) attached and returns the engine's report, closing the
+// engine (which audits the telemetry mirror against the slot manager).
+func placeWithSink(t *testing.T, fx *fixture, cfg Config) (Report, *Result) {
+	t.Helper()
+	eng, err := New(fx.part, fx.tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := &Result{}
+	if _, err := eng.PlaceStream(context.Background(), NewSliceSource(fx.queries), func(p jplace.Placements) error {
+		res.Queries = append(res.Queries, p)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rep := eng.Report()
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return rep, res
+}
+
+// TestTelemetryCountsConsistent runs the pipelined AMC path under a sink
+// and checks the pipeline counters against the engine's own RunStats and
+// the AMC counters against the slot manager (Close re-audits the latter via
+// CheckTelemetry).
+func TestTelemetryCountsConsistent(t *testing.T) {
+	fx := newFixture(t, 71, 16, 60, 25)
+	cfg := testConfig()
+	cfg.ChunkSize = 7 // several chunks
+	cfg.Threads = 3
+	cfg.ForceAMC = true
+	cfg.Telemetry = telemetry.NewSink()
+	rep, res := placeWithSink(t, fx, cfg)
+
+	if len(res.Queries) != len(fx.queries) {
+		t.Fatalf("placed %d queries, want %d", len(res.Queries), len(fx.queries))
+	}
+	p := rep.Telemetry.Pipeline
+	wantChunks := uint64(rep.RunStats.ChunksProcessed)
+	if p.ChunksRead != wantChunks || p.ChunksPlaced != wantChunks || p.ChunksEmitted != wantChunks {
+		t.Fatalf("chunk counters read=%d placed=%d emitted=%d, want %d each",
+			p.ChunksRead, p.ChunksPlaced, p.ChunksEmitted, wantChunks)
+	}
+	if p.QueriesRead != uint64(len(fx.queries)) {
+		t.Fatalf("queries read = %d, want %d", p.QueriesRead, len(fx.queries))
+	}
+	if p.PlaceLatency.Count != wantChunks {
+		t.Fatalf("latency observations = %d, want %d", p.PlaceLatency.Count, wantChunks)
+	}
+	a := rep.Telemetry.AMC
+	if a.Hits != rep.RunStats.CLVHits || a.Misses != rep.RunStats.CLVRecomputes ||
+		a.Evictions != rep.RunStats.CLVEvictions {
+		t.Fatalf("AMC telemetry %+v does not match run stats %+v", a, rep.RunStats)
+	}
+	if a.Hits+a.Misses == 0 {
+		t.Fatal("AMC saw no materializations under ForceAMC")
+	}
+	var chunks uint64
+	for _, w := range rep.Telemetry.Pool.Workers {
+		chunks += w.Chunks
+	}
+	if chunks == 0 || rep.Telemetry.Pool.JobsSubmitted == 0 {
+		t.Fatalf("pool telemetry empty: chunks=%d jobs=%d", chunks, rep.Telemetry.Pool.JobsSubmitted)
+	}
+	if rep.Memory.PeakBytes <= 0 || rep.Memory.PeakBreakdown["clv-slots"] <= 0 {
+		t.Fatalf("memory section not populated: %+v", rep.Memory)
+	}
+}
+
+// TestTelemetryDoesNotChangeOutput places the same queries with and without
+// a sink+trace and requires byte-identical jplace output: observability
+// must never perturb the run being observed.
+func TestTelemetryDoesNotChangeOutput(t *testing.T) {
+	fx := newFixture(t, 72, 12, 50, 15)
+	cfg := testConfig()
+	cfg.ChunkSize = 6
+	base, eng := placeWith(t, fx, cfg)
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.Telemetry = telemetry.NewSink()
+	var buf bytes.Buffer
+	cfg.Trace = telemetry.NewTrace(&buf)
+	rep, instrumented := placeWithSink(t, fx, cfg)
+	if err := cfg.Trace.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !resultsEqual(base, instrumented) {
+		t.Fatal("telemetry changed placement output")
+	}
+	// The trace must hold one read/place/emit triple per chunk (plus the
+	// lookup-build event), all parseable.
+	perType := map[string]int{}
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var ev telemetry.Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad trace line %q: %v", line, err)
+		}
+		perType[ev.Ev]++
+	}
+	want := rep.RunStats.ChunksProcessed
+	if perType["chunk_read"] != want || perType["chunk_place"] != want || perType["chunk_emit"] != want {
+		t.Fatalf("trace events %v, want %d of each chunk type", perType, want)
+	}
+	if perType["lookup_build"] != 1 {
+		t.Fatalf("trace has %d lookup_build events, want 1", perType["lookup_build"])
+	}
+}
+
+// TestReportSchemaStableAcrossThreads mirrors the CI determinism gate in
+// miniature: the JSON key schema of the full report must be identical for
+// thread counts 1 and 8 (worker arrays collapse to their first element).
+func TestReportSchemaStableAcrossThreads(t *testing.T) {
+	fx := newFixture(t, 73, 12, 50, 12)
+	shape := func(threads int, noPipe bool) string {
+		cfg := testConfig()
+		cfg.Threads = threads
+		cfg.NoPipeline = noPipe
+		cfg.ForceAMC = true
+		cfg.Telemetry = telemetry.NewSink()
+		rep, _ := placeWithSink(t, fx, cfg)
+		data, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v any
+		if err := json.Unmarshal(data, &v); err != nil {
+			t.Fatal(err)
+		}
+		var walk func(v any) string
+		walk = func(v any) string {
+			switch x := v.(type) {
+			case map[string]any:
+				keys := make([]string, 0, len(x))
+				for k := range x {
+					keys = append(keys, k+":"+walk(x[k]))
+				}
+				for i := range keys {
+					for j := i + 1; j < len(keys); j++ {
+						if keys[j] < keys[i] {
+							keys[i], keys[j] = keys[j], keys[i]
+						}
+					}
+				}
+				return "{" + strings.Join(keys, ",") + "}"
+			case []any:
+				if len(x) == 0 {
+					return "[]"
+				}
+				return "[" + walk(x[0]) + "]"
+			default:
+				return "v"
+			}
+		}
+		return walk(v)
+	}
+	ref := shape(1, false)
+	if got := shape(8, false); got != ref {
+		t.Fatalf("report schema varies with thread count:\n 1: %s\n 8: %s", ref, got)
+	}
+	if got := shape(4, true); got != ref {
+		t.Fatalf("report schema varies with pipelining:\n pipe: %s\n sync: %s", ref, got)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"phylomem/internal/parallel"
 	"phylomem/internal/phylo"
 	"phylomem/internal/placement"
+	"phylomem/internal/telemetry"
 	"phylomem/internal/tree"
 )
 
@@ -30,6 +31,10 @@ type Config struct {
 	KeepCount int
 	// Threads is the number of scoring workers (default 1).
 	Threads int
+	// Telemetry, when non-nil, receives the run's counters: the precompute
+	// working set's AMC group and the worker pool's per-participant group.
+	// nil disables telemetry (see package telemetry).
+	Telemetry *telemetry.Sink
 }
 
 // Engine is the baseline placement tool.
@@ -83,6 +88,10 @@ func New(part *phylo.Partition, tr *tree.Tree, cfg Config) (*Engine, error) {
 	}
 	e := &Engine{cfg: cfg, tr: tr, part: part, acct: memacct.NewAccountant()}
 	e.pool = parallel.New(cfg.Threads)
+	if cfg.Telemetry != nil {
+		cfg.Telemetry.Pool.Init(e.pool.Size())
+		e.pool.SetTelemetry(cfg.Telemetry.PoolGroup())
+	}
 	e.wscratch = make([]*phylo.Scratch, e.pool.Size())
 	for i := range e.wscratch {
 		e.wscratch[i] = part.NewScratch()
@@ -122,7 +131,7 @@ func New(part *phylo.Partition, tr *tree.Tree, cfg Config) (*Engine, error) {
 	if workSlots > n {
 		workSlots = n
 	}
-	mgr, err := core.NewManager(part, tr, core.Config{Slots: workSlots})
+	mgr, err := core.NewManager(part, tr, core.Config{Slots: workSlots, Telemetry: cfg.Telemetry.AMCGroup()})
 	if err != nil {
 		return fail(err)
 	}
@@ -139,9 +148,55 @@ func New(part *phylo.Partition, tr *tree.Tree, cfg Config) (*Engine, error) {
 		}
 		mgr.Release(d)
 	}
+	if err := mgr.CheckTelemetry(); err != nil {
+		return fail(err)
+	}
 	e.acct.Free("precompute-slots", mgr.Bytes())
 	e.stats.Precompute = time.Since(start)
 	return e, nil
+}
+
+// Report renders the baseline's --stats-json document: the run counters,
+// the memory accounting with per-category peaks, and the telemetry
+// snapshot. The key schema matches the placement engine's conventions
+// (snake_case, all keys always present, durations in nanoseconds).
+func (e *Engine) Report() Report {
+	s := e.Stats()
+	return Report{
+		SchemaVersion: telemetry.SchemaVersion,
+		RunStats: RunStatsReport{
+			PrecomputeNS: int64(s.Precompute),
+			PlaceNS:      int64(s.PlaceTime),
+			StoreReads:   s.StoreReads,
+			FileBacked:   s.FileBacked,
+			Threads:      e.cfg.Threads,
+		},
+		Memory: placement.MemoryReport{
+			PeakBytes:     e.acct.Peak(),
+			CurrentBytes:  e.acct.Current(),
+			PlannedBytes:  0,
+			Breakdown:     e.acct.Breakdown(),
+			PeakBreakdown: e.acct.PeakBreakdown(),
+		},
+		Telemetry: e.cfg.Telemetry.Snapshot(),
+	}
+}
+
+// Report is the pplacer --stats-json document.
+type Report struct {
+	SchemaVersion int                    `json:"schema_version"`
+	RunStats      RunStatsReport         `json:"run_stats"`
+	Memory        placement.MemoryReport `json:"memory"`
+	Telemetry     telemetry.Snapshot     `json:"telemetry"`
+}
+
+// RunStatsReport is Stats rendered with stable snake_case keys.
+type RunStatsReport struct {
+	PrecomputeNS int64  `json:"precompute_ns"`
+	PlaceNS      int64  `json:"place_ns"`
+	StoreReads   uint64 `json:"store_reads"`
+	FileBacked   bool   `json:"file_backed"`
+	Threads      int    `json:"threads"`
 }
 
 // Close releases the CLV store and the worker pool, then audits the

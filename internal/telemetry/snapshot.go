@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Snapshot is the JSON-marshalable view of a Sink, the telemetry section of
+// every --stats-json report. All keys are always present (no omitempty):
+// the determinism CI gate diffs the key schema across thread counts, so a
+// field must not appear or vanish depending on configuration. Counter
+// values may legitimately differ across runs; the key set must not.
+type Snapshot struct {
+	AMC      AMCSnapshot      `json:"amc"`
+	Pool     PoolSnapshot     `json:"pool"`
+	Pipeline PipelineSnapshot `json:"pipeline"`
+}
+
+// AMCSnapshot is the slot manager section of a Snapshot.
+type AMCSnapshot struct {
+	Hits              uint64 `json:"hits"`
+	Misses            uint64 `json:"misses"`
+	Evictions         uint64 `json:"evictions"`
+	RecomputeLeafWork uint64 `json:"recompute_leaf_work"`
+	PinHighWater      int64  `json:"pin_high_water"`
+}
+
+// MissRate returns Misses / (Hits + Misses), or 0 with no accesses.
+func (a AMCSnapshot) MissRate() float64 {
+	total := a.Hits + a.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(a.Misses) / float64(total)
+}
+
+// WorkerSnapshot is one pool participant's section of a Snapshot.
+type WorkerSnapshot struct {
+	ID     int    `json:"id"`
+	Chunks uint64 `json:"chunks"`
+	Jobs   uint64 `json:"jobs"`
+	BusyNS int64  `json:"busy_ns"`
+}
+
+// PoolSnapshot is the worker pool section of a Snapshot.
+type PoolSnapshot struct {
+	JobsSubmitted uint64           `json:"jobs_submitted"`
+	Workers       []WorkerSnapshot `json:"workers"`
+}
+
+// HistogramSnapshot is the rendered form of a Histogram. Bucket i counts
+// observations with floor(d in µs) in [2^(i-1), 2^i); bucket 0 is
+// sub-microsecond; the last bucket absorbs the tail.
+type HistogramSnapshot struct {
+	Count   uint64   `json:"count"`
+	SumNS   int64    `json:"sum_ns"`
+	MaxNS   int64    `json:"max_ns"`
+	Buckets []uint64 `json:"buckets"`
+}
+
+// PipelineSnapshot is the streaming pipeline section of a Snapshot.
+type PipelineSnapshot struct {
+	ChunksRead        uint64            `json:"chunks_read"`
+	ChunksPlaced      uint64            `json:"chunks_placed"`
+	ChunksEmitted     uint64            `json:"chunks_emitted"`
+	QueriesRead       uint64            `json:"queries_read"`
+	ReadBusyNS        int64             `json:"read_busy_ns"`
+	PlaceBusyNS       int64             `json:"place_busy_ns"`
+	EmitBusyNS        int64             `json:"emit_busy_ns"`
+	PlaceWaitNS       int64             `json:"place_wait_ns"`
+	LookupBuildNS     int64             `json:"lookup_build_ns"`
+	PrefetchHighWater int64             `json:"prefetch_high_water"`
+	PlaceLatency      HistogramSnapshot `json:"place_latency"`
+}
+
+// Snapshot renders the sink's current counter values. Safe to call while
+// the run is still mutating the sink; the values are then advisory. A nil
+// sink yields the zero snapshot (with an empty worker list).
+func (s *Sink) Snapshot() Snapshot {
+	var out Snapshot
+	out.Pool.Workers = []WorkerSnapshot{}
+	out.Pipeline.PlaceLatency.Buckets = make([]uint64, HistBuckets)
+	if s == nil {
+		return out
+	}
+	out.AMC = AMCSnapshot{
+		Hits:              s.AMC.Hits.Load(),
+		Misses:            s.AMC.Misses.Load(),
+		Evictions:         s.AMC.Evictions.Load(),
+		RecomputeLeafWork: s.AMC.RecomputeLeafWork.Load(),
+		PinHighWater:      s.AMC.PinHighWater.Load(),
+	}
+	out.Pool.JobsSubmitted = s.Pool.JobsSubmitted.Load()
+	for i := range s.Pool.Workers {
+		w := &s.Pool.Workers[i]
+		out.Pool.Workers = append(out.Pool.Workers, WorkerSnapshot{
+			ID:     i,
+			Chunks: w.Chunks.Load(),
+			Jobs:   w.Jobs.Load(),
+			BusyNS: int64(w.Busy.Load()),
+		})
+	}
+	p := &s.Pipeline
+	out.Pipeline = PipelineSnapshot{
+		ChunksRead:        p.ChunksRead.Load(),
+		ChunksPlaced:      p.ChunksPlaced.Load(),
+		ChunksEmitted:     p.ChunksEmitted.Load(),
+		QueriesRead:       p.QueriesRead.Load(),
+		ReadBusyNS:        int64(p.ReadBusy.Load()),
+		PlaceBusyNS:       int64(p.PlaceBusy.Load()),
+		EmitBusyNS:        int64(p.EmitBusy.Load()),
+		PlaceWaitNS:       int64(p.PlaceWait.Load()),
+		LookupBuildNS:     int64(p.LookupBuild.Load()),
+		PrefetchHighWater: p.PrefetchHighWater.Load(),
+		PlaceLatency:      p.PlaceLatency.snapshot(),
+	}
+	return out
+}
+
+// WriteJSONFile marshals v with indentation and writes it atomically enough
+// for CI consumption (full write + close before rename is overkill here; a
+// stats file is written once at end of run).
+func WriteJSONFile(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("telemetry: marshal %s: %w", path, err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("telemetry: %w", err)
+	}
+	return nil
+}

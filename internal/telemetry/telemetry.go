@@ -1,0 +1,366 @@
+// Package telemetry is the observability layer: cheap atomic counters,
+// monotonic timers, and fixed-bucket latency histograms that the hot paths
+// update behind a nil check. The paper's central claim is a measurable
+// memory↔runtime trade-off (slot-pool size versus recomputation, lookup
+// memoization, chunked streaming); this package exposes the quantities that
+// trade-off is made of — slot hits/misses/evictions, pin dwell, recompute
+// work, prefetch occupancy, per-chunk latency — without perturbing the runs
+// being measured.
+//
+// Design notes:
+//
+//   - Disabled means nil. Every group type (AMC, Pool, Pipeline) has
+//     nil-receiver-safe methods, so instrumented code calls m.tel.Hit()
+//     unconditionally and a run without telemetry pays one predictable
+//     branch per event and zero allocations. Build tags would make the
+//     instrumented and uninstrumented binaries diverge; a nil sink keeps
+//     one binary and one code path.
+//   - All mutation is atomic: subsystems update their groups from pool
+//     workers, the pipeline's reader/emitter goroutines, and the placer
+//     concurrently. Snapshots are advisory (not cut atomically across
+//     counters), which is fine for end-of-run reporting.
+//   - Counters measure events; Timers accumulate monotonic wall time;
+//     Histograms bucket durations by power-of-two microseconds. None of
+//     them allocate after construction.
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// SchemaVersion identifies the --stats-json layout. Bump on any key rename
+// or removal; additions are backward compatible.
+const SchemaVersion = 1
+
+// Counter is an atomic event counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current count.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// MaxGauge tracks the maximum value ever observed (a high-water mark).
+type MaxGauge struct{ v atomic.Int64 }
+
+// Observe raises the gauge to v if v exceeds the current maximum.
+func (g *MaxGauge) Observe(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Load returns the high-water mark.
+func (g *MaxGauge) Load() int64 { return g.v.Load() }
+
+// Timer accumulates elapsed monotonic time.
+type Timer struct{ ns atomic.Int64 }
+
+// Add accumulates d.
+func (t *Timer) Add(d time.Duration) { t.ns.Add(int64(d)) }
+
+// Load returns the accumulated duration.
+func (t *Timer) Load() time.Duration { return time.Duration(t.ns.Load()) }
+
+// HistBuckets is the number of duration histogram buckets. Bucket i counts
+// observations with floor(d in µs) in [2^(i-1), 2^i), bucket 0 counts
+// sub-microsecond observations, and the last bucket absorbs the tail
+// (≥ ~35 minutes) — wide enough for any per-chunk latency.
+const HistBuckets = 32
+
+// Histogram buckets durations by power-of-two microseconds and tracks the
+// count, sum, and maximum. Observations are lock-free.
+type Histogram struct {
+	count Counter
+	sum   Timer
+	max   MaxGauge
+	bkt   [HistBuckets]Counter
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.count.Inc()
+	h.sum.Add(d)
+	h.max.Observe(int64(d))
+	i := bits.Len64(uint64(d / time.Microsecond))
+	if i >= HistBuckets {
+		i = HistBuckets - 1
+	}
+	h.bkt[i].Inc()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the accumulated duration.
+func (h *Histogram) Sum() time.Duration { return h.sum.Load() }
+
+// Max returns the largest observation.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// snapshot renders the histogram for JSON reporting.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		SumNS: int64(h.sum.Load()),
+		MaxNS: h.max.Load(),
+	}
+	s.Buckets = make([]uint64, HistBuckets)
+	for i := range h.bkt {
+		s.Buckets[i] = h.bkt[i].Load()
+	}
+	return s
+}
+
+// AMC counts the slot manager's activity: the Active Management of CLVs is
+// where the memory/runtime trade-off is paid, so these are the paper's core
+// quantities. Hits + Misses is the total number of inner-CLV materialization
+// requests; Misses is the number of recomputations; Evictions ≤ Misses
+// (an eviction happens only to make room for a recomputation once the pool
+// is full); RecomputeLeafWork is the machine-independent recomputation cost
+// (the subtree leaf count summed over recomputed CLVs); PinHighWater is the
+// peak number of simultaneously pinned slots (pin dwell), which the
+// log2(n)+2 slot guarantee bounds.
+type AMC struct {
+	Hits              Counter
+	Misses            Counter
+	Evictions         Counter
+	RecomputeLeafWork Counter
+	PinHighWater      MaxGauge
+}
+
+// Hit records a materialization satisfied by an already-slotted CLV.
+func (a *AMC) Hit() {
+	if a == nil {
+		return
+	}
+	a.Hits.Inc()
+}
+
+// Recompute records a materialization that recomputed the CLV, with the
+// subtree leaf count as its work proxy.
+func (a *AMC) Recompute(leafWork int) {
+	if a == nil {
+		return
+	}
+	a.Misses.Inc()
+	a.RecomputeLeafWork.Add(uint64(leafWork))
+}
+
+// Evict records a slot eviction.
+func (a *AMC) Evict() {
+	if a == nil {
+		return
+	}
+	a.Evictions.Inc()
+}
+
+// ObservePinned records the current number of pinned slots.
+func (a *AMC) ObservePinned(n int) {
+	if a == nil {
+		return
+	}
+	a.PinHighWater.Observe(int64(n))
+}
+
+// WorkerStats is one pool participant's activity. The trailing pad keeps
+// adjacent workers' counters on separate cache lines so telemetry never
+// introduces false sharing between workers.
+type WorkerStats struct {
+	Chunks Counter // work chunks executed
+	Jobs   Counter // distinct jobs participated in
+	Busy   Timer   // wall time spent executing chunks
+	_      [40]byte
+}
+
+// Pool counts the shared worker pool's activity per participant. Ids index
+// Workers: [0, n-1) are pool goroutines, the last id is the submitting
+// goroutine's helper slot, so "chunks claimed by id < workers" versus the
+// helper id separates stolen work from submitter participation.
+type Pool struct {
+	JobsSubmitted Counter
+	Workers       []WorkerStats
+}
+
+// Init sizes the per-worker slots; call once before handing the group to a
+// pool. n is parallel.Pool.Size() (workers + the submitter's helper id).
+func (p *Pool) Init(n int) {
+	if p == nil || n <= 0 {
+		return
+	}
+	p.Workers = make([]WorkerStats, n)
+}
+
+// Worker returns the stats slot for a participant id, or nil when telemetry
+// is disabled or the id is out of range (a pool resized after Init).
+func (p *Pool) Worker(id int) *WorkerStats {
+	if p == nil || id < 0 || id >= len(p.Workers) {
+		return nil
+	}
+	return &p.Workers[id]
+}
+
+// JobStart records one Run submission.
+func (p *Pool) JobStart() {
+	if p == nil {
+		return
+	}
+	p.JobsSubmitted.Inc()
+}
+
+// Chunk records one executed chunk for a participant.
+func (w *WorkerStats) Chunk() {
+	if w == nil {
+		return
+	}
+	w.Chunks.Inc()
+}
+
+// Job records one job participation for a participant.
+func (w *WorkerStats) Job() {
+	if w == nil {
+		return
+	}
+	w.Jobs.Inc()
+}
+
+// AddBusy accumulates chunk-execution wall time for a participant.
+func (w *WorkerStats) AddBusy(d time.Duration) {
+	if w == nil {
+		return
+	}
+	w.Busy.Add(d)
+}
+
+// Pipeline counts the chunked streaming pipeline's activity: stage
+// occupancy (time each stage spent busy), prefetch depth, and per-chunk
+// place latency. The reader, placer, and emitter update it from their own
+// goroutines.
+type Pipeline struct {
+	ChunksRead    Counter
+	ChunksPlaced  Counter
+	ChunksEmitted Counter
+	QueriesRead   Counter
+
+	ReadBusy  Timer // reader stage: decoding + validating chunks
+	PlaceBusy Timer // placer stage: inside placeChunk
+	EmitBusy  Timer // emitter stage: inside the sink
+	PlaceWait Timer // placer idle, waiting for the next chunk
+
+	LookupBuild Timer // wall time of the pre-placement lookup build
+
+	PlaceLatency Histogram // per-chunk place latency
+
+	prefetchNow       atomic.Int64
+	PrefetchHighWater MaxGauge
+}
+
+// ChunkRead records one decoded chunk of n queries taking d.
+func (p *Pipeline) ChunkRead(n int, d time.Duration) {
+	if p == nil {
+		return
+	}
+	p.ChunksRead.Inc()
+	p.QueriesRead.Add(uint64(n))
+	p.ReadBusy.Add(d)
+}
+
+// ChunkPlaced records one placed chunk taking d.
+func (p *Pipeline) ChunkPlaced(d time.Duration) {
+	if p == nil {
+		return
+	}
+	p.ChunksPlaced.Inc()
+	p.PlaceBusy.Add(d)
+	p.PlaceLatency.Observe(d)
+}
+
+// ChunkEmitted records one chunk delivered to the sink taking d.
+func (p *Pipeline) ChunkEmitted(d time.Duration) {
+	if p == nil {
+		return
+	}
+	p.ChunksEmitted.Inc()
+	p.EmitBusy.Add(d)
+}
+
+// AddPlaceWait accumulates placer idle time.
+func (p *Pipeline) AddPlaceWait(d time.Duration) {
+	if p == nil {
+		return
+	}
+	p.PlaceWait.Add(d)
+}
+
+// AddLookupBuild accumulates lookup-table build wall time.
+func (p *Pipeline) AddLookupBuild(d time.Duration) {
+	if p == nil {
+		return
+	}
+	p.LookupBuild.Add(d)
+}
+
+// PrefetchInc records one chunk entering the prefetch buffer and updates the
+// depth high-water mark.
+func (p *Pipeline) PrefetchInc() {
+	if p == nil {
+		return
+	}
+	p.PrefetchHighWater.Observe(p.prefetchNow.Add(1))
+}
+
+// PrefetchDec records one chunk leaving the prefetch buffer.
+func (p *Pipeline) PrefetchDec() {
+	if p == nil {
+		return
+	}
+	p.prefetchNow.Add(-1)
+}
+
+// Sink aggregates one run's telemetry groups. Create one per engine; the
+// engine hands &sink.AMC to the slot manager, &sink.Pool to the worker
+// pool, and updates sink.Pipeline itself. A nil *Sink disables everything.
+type Sink struct {
+	AMC      AMC
+	Pool     Pool
+	Pipeline Pipeline
+}
+
+// NewSink returns an empty sink.
+func NewSink() *Sink { return &Sink{} }
+
+// AMCGroup returns &s.AMC, or nil for a nil sink.
+func (s *Sink) AMCGroup() *AMC {
+	if s == nil {
+		return nil
+	}
+	return &s.AMC
+}
+
+// PoolGroup returns &s.Pool, or nil for a nil sink.
+func (s *Sink) PoolGroup() *Pool {
+	if s == nil {
+		return nil
+	}
+	return &s.Pool
+}
+
+// PipelineGroup returns &s.Pipeline, or nil for a nil sink.
+func (s *Sink) PipelineGroup() *Pipeline {
+	if s == nil {
+		return nil
+	}
+	return &s.Pipeline
+}
