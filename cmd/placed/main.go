@@ -1,0 +1,275 @@
+// Command placed is the long-running placement server: it builds one warm
+// placement engine at startup — reference tree, model, AMC slot manager, and
+// lookup table, all sized by the --maxmem planner — then serves placement
+// requests over HTTP until it is told to drain.
+//
+//	POST /v1/place   aligned-FASTA body in, jplace document out
+//	GET  /healthz    liveness + lock-free request counters
+//	GET  /metrics    the full structured run report (plan, memory, telemetry)
+//
+// Concurrent requests are coalesced by a micro-batcher (--max-batch,
+// --max-latency) into engine batches, the serving-time analogue of EPA-NG's
+// chunked batch processing. Admission control reserves each request's query
+// bytes against the memory budget; requests beyond it receive 429 with a
+// Retry-After header rather than growing the footprint. SIGTERM/SIGINT
+// drains: in-flight requests finish, pending batches flush, and the engine's
+// end-of-run audits run before exit.
+//
+// Usage:
+//
+//	placed --tree ref.nwk --ref-msa ref.fasta --listen :8433
+//	placed --db ref.phydb --maxmem 4G --threads 8
+//	placed ... --max-batch 512 --max-latency 10ms
+//
+// Exit codes follow epang: 0 success, 1 input or usage error, 2 internal
+// invariant violation, 130 interrupted before serving began.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"phylomem/internal/core"
+	"phylomem/internal/jplace"
+	"phylomem/internal/memacct"
+	"phylomem/internal/mlfit"
+	"phylomem/internal/model"
+	"phylomem/internal/phylo"
+	"phylomem/internal/placement"
+	"phylomem/internal/refdb"
+	"phylomem/internal/seq"
+	"phylomem/internal/telemetry"
+	"phylomem/internal/tree"
+)
+
+func main() {
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "placed:", err)
+		os.Exit(exitCode(err))
+	}
+}
+
+// exitCode mirrors epang's failure classes: 1 input or usage error, 2
+// internal invariant violation (accounting leak, overcommit, slot-map
+// corruption), 130 interrupted before the server came up.
+func exitCode(err error) int {
+	switch {
+	case errors.Is(err, core.ErrInvariant),
+		errors.Is(err, memacct.ErrNotDrained),
+		errors.Is(err, memacct.ErrOvercommit):
+		return 2
+	case errors.Is(err, context.Canceled):
+		return 130
+	}
+	return 1
+}
+
+// reference is everything placed needs from the reference data set.
+type reference struct {
+	tr       *tree.Tree
+	msa      *seq.MSA
+	alphabet *seq.Alphabet
+	m        *model.Model
+	rates    *model.RateHet
+	spec     string
+}
+
+// loadReference resolves --db or --tree/--ref-msa/--model into a reference,
+// the same resolution epang performs before a run.
+func loadReference(dbFile, treeFile, refFile, modelSpec, dataType string, empFreqs bool) (*reference, error) {
+	if dbFile != "" {
+		f, err := os.Open(dbFile)
+		if err != nil {
+			return nil, err
+		}
+		ref, err := refdb.Load(f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		return &reference{tr: ref.Tree, msa: ref.MSA, alphabet: ref.Alphabet, m: ref.Model, rates: ref.Rates, spec: ref.Spec}, nil
+	}
+	tdata, err := os.ReadFile(treeFile)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := tree.ParseNewick(strings.TrimSpace(string(tdata)))
+	if err != nil {
+		return nil, err
+	}
+	alphabet := seq.DNA
+	if dataType == "AA" {
+		alphabet = seq.AA
+	} else if dataType != "NT" {
+		return nil, fmt.Errorf("unknown type %q (want NT or AA)", dataType)
+	}
+	f, err := os.Open(refFile)
+	if err != nil {
+		return nil, err
+	}
+	refSeqs, err := seq.ReadFasta(f)
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	msa, err := seq.NewMSA(alphabet, refSeqs)
+	if err != nil {
+		return nil, err
+	}
+	spec := modelSpec
+	if spec == "" {
+		if dataType == "AA" {
+			spec = "SYNAA+G4"
+		} else {
+			spec = "GTR+G4"
+		}
+	}
+	var freqs []float64
+	if empFreqs {
+		freqs, err = mlfit.EmpiricalFreqs(msa)
+		if err != nil {
+			return nil, err
+		}
+	}
+	m, rates, err := model.ParseSpec(spec, freqs)
+	if err != nil {
+		return nil, err
+	}
+	return &reference{tr: tr, msa: msa, alphabet: alphabet, m: m, rates: rates, spec: spec}, nil
+}
+
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("placed", flag.ContinueOnError)
+	var (
+		listen     = fs.String("listen", ":8433", "HTTP listen address")
+		treeFile   = fs.String("tree", "", "reference tree (Newick)")
+		dbFile     = fs.String("db", "", "load the reference (tree+alignment+model) from a refdb file instead of --tree/--ref-msa/--model")
+		refFile    = fs.String("ref-msa", "", "reference alignment (FASTA)")
+		modelSpec  = fs.String("model", "", "substitution model spec, e.g. GTR+G4{0.5} (default: GTR+G4 for NT, SYNAA+G4 for AA)")
+		empFreqs   = fs.Bool("emp-freqs", true, "use empirical stationary frequencies from the reference alignment")
+		dataType   = fs.String("type", "NT", "data type: NT or AA")
+		maxmem     = fs.String("maxmem", "", "memory ceiling, e.g. 4G or 512M (empty = unlimited)")
+		chunkSize  = fs.Int("chunk-size", 5000, "queries per engine chunk")
+		blockSize  = fs.Int("block-size", memacct.DefaultBlockSize, "branches per precompute block")
+		threads    = fs.Int("threads", 1, "placement worker threads")
+		noHeur     = fs.Bool("no-heur", false, "disable the pre-placement lookup table heuristic")
+		strategy   = fs.String("memsave-strategy", "costage", "CLV replacement strategy: cost, costage, lru, fifo, random")
+		maxBatch   = fs.Int("max-batch", 256, "flush a micro-batch once this many queries are pending")
+		maxLatency = fs.Duration("max-latency", 20*time.Millisecond, "flush a micro-batch this long after its first query arrives")
+		reqTimeout = fs.Duration("request-timeout", 30*time.Second, "per-request placement deadline")
+		drainWait  = fs.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for in-flight requests")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dbFile == "" && *treeFile == "" {
+		return fmt.Errorf("--tree (or --db) is required")
+	}
+	if *dbFile == "" && *refFile == "" {
+		return fmt.Errorf("either --db or --ref-msa is required")
+	}
+
+	ref, err := loadReference(*dbFile, *treeFile, *refFile, *modelSpec, *dataType, *empFreqs)
+	if err != nil {
+		return err
+	}
+	comp, err := seq.Compress(ref.msa)
+	if err != nil {
+		return err
+	}
+	part, err := phylo.NewPartition(ref.m, ref.rates, comp, ref.tr)
+	if err != nil {
+		return err
+	}
+
+	cfg := placement.DefaultConfig()
+	cfg.ChunkSize = *chunkSize
+	cfg.BlockSize = *blockSize
+	cfg.Threads = *threads
+	cfg.DisableLookup = *noHeur
+	cfg.Telemetry = telemetry.NewSink()
+	if *maxmem != "" {
+		limit, err := memacct.ParseBytes(*maxmem)
+		if err != nil {
+			return err
+		}
+		cfg.MaxMem = limit
+	}
+	if s := core.StrategyByName(*strategy); s != nil {
+		cfg.Strategy = s
+	} else {
+		return fmt.Errorf("unknown strategy %q", *strategy)
+	}
+
+	eng, err := placement.NewContext(ctx, part, ref.tr, cfg)
+	if err != nil {
+		return err
+	}
+	plan := eng.Plan()
+
+	opts := serverOptions{
+		MaxBatch:       *maxBatch,
+		MaxLatency:     *maxLatency,
+		RequestTimeout: *reqTimeout,
+	}
+	if cfg.MaxMem > 0 {
+		// Admission cap: one chunk's worth of encoded query bytes, half the
+		// planner's doubled per-chunk query reservation. The serving path does
+		// not prefetch, so the other half covers the copy placeChunk accounts
+		// while a flush is in flight; in-flight requests beyond the cap are
+		// told to retry instead of pushing the footprint past --maxmem.
+		opts.InflightBytes = int64(plan.ChunkSize) * int64(ref.msa.Width()) * 4
+	}
+	srv := newServer(eng, ref.alphabet, ref.msa.Width(), jplace.TreeString(ref.tr), cfg.Telemetry, opts)
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		eng.Close()
+		return err
+	}
+	hs := &http.Server{Handler: srv.handler()}
+	fmt.Fprintf(stdout, "placed: serving on %s (model %s, %d leaves; AMC=%v slots=%d planned=%s)\n",
+		ln.Addr(), ref.spec, ref.tr.NumLeaves(), plan.AMC, plan.Slots, memacct.FormatBytes(plan.TotalBytes))
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	var runErr error
+	select {
+	case err := <-serveErr:
+		// Listener failure: nothing to drain, just audit the engine.
+		runErr = err
+	case <-ctx.Done():
+		fmt.Fprintln(stdout, "placed: draining")
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		if err := srv.shutdown(drainCtx, hs); err != nil {
+			runErr = fmt.Errorf("drain: %w", err)
+		}
+		cancel()
+	}
+
+	// End-of-run audit: slot-map invariants and accountant drain, exactly as
+	// the CLIs do. An audit failure never masks the run's own error.
+	if cerr := eng.Close(); cerr != nil && runErr == nil {
+		runErr = cerr
+	}
+	if runErr != nil {
+		return runErr
+	}
+	sv := cfg.Telemetry.ServerGroup()
+	fmt.Fprintf(stdout, "placed: drained; served %d requests (%d rejected), %d queries in %d batches\n",
+		sv.Requests.Load(), sv.Rejected.Load(), sv.QueriesReceived.Load(), sv.Batches.Load())
+	return nil
+}

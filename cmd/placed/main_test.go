@@ -1,0 +1,456 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"phylomem/internal/jplace"
+	"phylomem/internal/model"
+	"phylomem/internal/phylo"
+	"phylomem/internal/placement"
+	"phylomem/internal/seq"
+	"phylomem/internal/telemetry"
+	"phylomem/internal/tree"
+)
+
+// newTestPartition compresses the alignment and builds a JC69+G2 partition,
+// the same lightweight model the placement tests use.
+func newTestPartition(msa *seq.MSA, tr *tree.Tree) (*phylo.Partition, error) {
+	comp, err := seq.Compress(msa)
+	if err != nil {
+		return nil, err
+	}
+	rates, err := model.GammaRates(1.0, 2)
+	if err != nil {
+		return nil, err
+	}
+	return phylo.NewPartition(model.JC69(), rates, comp, tr)
+}
+
+// testFixture is a small in-memory reference plus query material.
+type testFixture struct {
+	tr       *tree.Tree
+	eng      *placement.Engine
+	srv      *server
+	ts       *httptest.Server
+	tel      *telemetry.Sink
+	width    int
+	leafSeqs []seq.Sequence
+}
+
+// newTestFixture builds a warm engine over a random 8-leaf reference and
+// wraps it in a served placement server. Callers must call fx.close.
+func newTestFixture(t *testing.T, opts serverOptions) *testFixture {
+	t.Helper()
+	const n, width = 8, 60
+	rng := rand.New(rand.NewSource(11))
+	tr, err := tree.Random(n, 0.15, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seqs []seq.Sequence
+	for _, leaf := range tr.Leaves() {
+		data := make([]byte, width)
+		for i := range data {
+			data[i] = "ACGT"[rng.Intn(4)]
+		}
+		seqs = append(seqs, seq.Sequence{Label: leaf.Name, Data: data})
+	}
+	msa, err := seq.NewMSA(seq.DNA, seqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := newTestPartition(msa, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := placement.DefaultConfig()
+	cfg.ChunkSize = 16
+	cfg.BlockSize = 4
+	cfg.Telemetry = telemetry.NewSink()
+	eng, err := placement.New(part, tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(eng, seq.DNA, width, jplace.TreeString(tr), cfg.Telemetry, opts)
+	ts := httptest.NewServer(srv.handler())
+	fx := &testFixture{tr: tr, eng: eng, srv: srv, ts: ts, tel: cfg.Telemetry, width: width, leafSeqs: seqs}
+	t.Cleanup(fx.close)
+	return fx
+}
+
+func (fx *testFixture) close() {
+	fx.ts.Close()
+	fx.srv.batcher.Close()
+	_ = fx.eng.Close()
+}
+
+// queryFasta renders nq derived query sequences as FASTA text.
+func (fx *testFixture) queryFasta(seed int64, nq int) string {
+	rng := rand.New(rand.NewSource(seed))
+	var sb strings.Builder
+	for i := 0; i < nq; i++ {
+		src := fx.leafSeqs[rng.Intn(len(fx.leafSeqs))]
+		data := append([]byte(nil), src.Data...)
+		for m := 0; m < 4; m++ {
+			data[rng.Intn(len(data))] = "ACGT"[rng.Intn(4)]
+		}
+		fmt.Fprintf(&sb, ">query_%d_%d\n%s\n", seed, i, data)
+	}
+	return sb.String()
+}
+
+func (fx *testFixture) post(t *testing.T, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(fx.ts.URL+"/v1/place", "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// TestPlaceRoundTrip posts queries and checks the jplace response: every
+// query answered in order, placements on real edges, and the whole exchange
+// deterministic (two identical requests yield byte-identical documents).
+func TestPlaceRoundTrip(t *testing.T) {
+	fx := newTestFixture(t, serverOptions{MaxLatency: 2 * time.Millisecond})
+	body := fx.queryFasta(1, 5)
+
+	resp, data := fx.post(t, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content-type %q", ct)
+	}
+	doc, err := jplace.Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("response is not jplace: %v", err)
+	}
+	if len(doc.Queries) != 5 {
+		t.Fatalf("got %d placed queries, want 5", len(doc.Queries))
+	}
+	for i, q := range doc.Queries {
+		if want := fmt.Sprintf("query_1_%d", i); q.Name != want {
+			t.Errorf("query %d: name %q, want %q (order must be preserved)", i, q.Name, want)
+		}
+		if len(q.Placements) == 0 {
+			t.Errorf("query %q: no placements", q.Name)
+		}
+		for _, p := range q.Placements {
+			if p.EdgeNum < 0 || p.EdgeNum >= fx.tr.NumBranches() {
+				t.Errorf("query %q: edge %d out of range", q.Name, p.EdgeNum)
+			}
+		}
+	}
+
+	resp2, data2 := fx.post(t, body)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second request: status %d", resp2.StatusCode)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Error("identical requests returned different documents")
+	}
+}
+
+// TestConcurrentRequests hammers the server from interleaved goroutines and
+// checks every response individually: coalesced batching must not mix up
+// which placements belong to which request.
+func TestConcurrentRequests(t *testing.T) {
+	fx := newTestFixture(t, serverOptions{MaxBatch: 8, MaxLatency: 5 * time.Millisecond})
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			nq := 1 + c%3
+			resp, err := http.Post(fx.ts.URL+"/v1/place", "text/plain",
+				strings.NewReader(fx.queryFasta(int64(100+c), nq)))
+			if err != nil {
+				errs <- err
+				return
+			}
+			data, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("client %d: status %d: %s", c, resp.StatusCode, data)
+				return
+			}
+			doc, err := jplace.Read(bytes.NewReader(data))
+			if err != nil {
+				errs <- fmt.Errorf("client %d: %v", c, err)
+				return
+			}
+			if len(doc.Queries) != nq {
+				errs <- fmt.Errorf("client %d: got %d queries, want %d", c, len(doc.Queries), nq)
+				return
+			}
+			for i, q := range doc.Queries {
+				if want := fmt.Sprintf("query_%d_%d", 100+c, i); q.Name != want {
+					errs <- fmt.Errorf("client %d: query %d named %q, want %q", c, i, q.Name, want)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	snap := fx.tel.Snapshot()
+	if snap.Server.Requests != clients {
+		t.Errorf("telemetry: %d requests recorded, want %d", snap.Server.Requests, clients)
+	}
+	if snap.Server.Batches == 0 {
+		t.Error("telemetry: no batches recorded")
+	}
+}
+
+// TestBadRequests checks the 400 class: malformed FASTA, duplicate labels
+// (the typed seq error), and wrong-width queries.
+func TestBadRequests(t *testing.T) {
+	fx := newTestFixture(t, serverOptions{MaxLatency: 2 * time.Millisecond})
+	cases := []struct {
+		name, body string
+	}{
+		{"empty", ""},
+		{"not-fasta", "this is not fasta\n"},
+		{"duplicate-labels", ">a\n" + strings.Repeat("A", fx.width) + "\n>a\n" + strings.Repeat("C", fx.width) + "\n"},
+		{"wrong-width", ">a\nACGT\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, data := fx.post(t, tc.body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400; body: %s", resp.StatusCode, data)
+			}
+			var e map[string]string
+			if err := json.Unmarshal(data, &e); err != nil || e["error"] == "" {
+				t.Fatalf("error body not structured: %s", data)
+			}
+		})
+	}
+}
+
+// TestAdmissionControl runs the server with an in-flight budget of exactly
+// one request's query bytes: while the first request is parked in the
+// batcher, a second must get 429 + Retry-After rather than queueing more
+// memory, and once the first completes the budget frees up again.
+func TestAdmissionControl(t *testing.T) {
+	oneReq := fx429Bytes(t)
+	fx := newTestFixture(t, serverOptions{
+		MaxLatency:    300 * time.Millisecond,
+		InflightBytes: oneReq,
+	})
+	body := fx.queryFasta(7, 1)
+
+	firstDone := make(chan struct{})
+	var firstStatus int
+	go func() {
+		defer close(firstDone)
+		resp, _ := fx.post(t, body)
+		firstStatus = resp.StatusCode
+	}()
+
+	// Wait until the first request holds the whole budget.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		fx.srv.admitMu.Lock()
+		held := fx.srv.inflight
+		fx.srv.admitMu.Unlock()
+		if held > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first request never reserved its bytes")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, data := fx.post(t, fx.queryFasta(8, 1))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("concurrent request: status %d, want 429; body: %s", resp.StatusCode, data)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 response missing Retry-After")
+	}
+	<-firstDone
+	if firstStatus != http.StatusOK {
+		t.Fatalf("first request: status %d, want 200", firstStatus)
+	}
+
+	// Budget released: the retry succeeds.
+	resp, data = fx429Retry(t, fx)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("retry after drain: status %d: %s", resp.StatusCode, data)
+	}
+	if fx.tel.Snapshot().Server.Rejected == 0 {
+		t.Error("telemetry: rejection not counted")
+	}
+}
+
+// fx429Bytes computes the reservation of a single one-query request so the
+// admission test can size its budget to exactly one request.
+func fx429Bytes(t *testing.T) int64 {
+	t.Helper()
+	probe := newTestFixture(t, serverOptions{MaxLatency: time.Millisecond})
+	seqs, err := seq.ReadFasta(strings.NewReader(probe.queryFasta(7, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := placement.EncodeQueries(seq.DNA, seqs, probe.width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return placement.QueryBytes(qs)
+}
+
+func fx429Retry(t *testing.T, fx *testFixture) (*http.Response, []byte) {
+	t.Helper()
+	return fx.post(t, fx.queryFasta(8, 1))
+}
+
+// TestHealthzAndMetrics checks the observability endpoints: healthz serves
+// lock-free counters, metrics serves the full structured report with the
+// server telemetry group populated.
+func TestHealthzAndMetrics(t *testing.T) {
+	fx := newTestFixture(t, serverOptions{MaxLatency: 2 * time.Millisecond})
+	if resp, data := fx.post(t, fx.queryFasta(3, 2)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("place: status %d: %s", resp.StatusCode, data)
+	}
+
+	resp, err := http.Get(fx.ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hb healthzBody
+	err = json.NewDecoder(resp.Body).Decode(&hb)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || hb.Status != "ok" {
+		t.Fatalf("healthz: status %d body %+v", resp.StatusCode, hb)
+	}
+	if hb.Requests != 1 || hb.QueriesReceived != 2 {
+		t.Errorf("healthz counters: %+v", hb)
+	}
+
+	resp, err = http.Get(fx.ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report map[string]json.RawMessage
+	err = json.NewDecoder(resp.Body).Decode(&report)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"plan", "memory", "telemetry"} {
+		if _, ok := report[key]; !ok {
+			t.Errorf("metrics report missing %q section", key)
+		}
+	}
+	var tel struct {
+		Server struct {
+			Requests uint64 `json:"requests"`
+		} `json:"server"`
+	}
+	if err := json.Unmarshal(report["telemetry"], &tel); err != nil {
+		t.Fatal(err)
+	}
+	if tel.Server.Requests != 1 {
+		t.Errorf("metrics server.requests = %d, want 1", tel.Server.Requests)
+	}
+}
+
+// TestDrainDoesNotLoseAcceptedQueries exercises the SIGTERM path: a request
+// parked in the batcher when the drain begins must still be answered with
+// its placements, later requests must get 503, and the engine's end-of-run
+// audits must pass (no leaked admission reservations).
+func TestDrainDoesNotLoseAcceptedQueries(t *testing.T) {
+	// MaxLatency far beyond the test's patience: only the drain can flush.
+	fx := newTestFixture(t, serverOptions{MaxLatency: time.Hour})
+	type result struct {
+		status int
+		data   []byte
+	}
+	pending := make(chan result, 1)
+	go func() {
+		resp, data := fx.post(t, fx.queryFasta(5, 3))
+		pending <- result{resp.StatusCode, data}
+	}()
+
+	// Wait until the request is parked in the batcher.
+	deadline := time.Now().Add(5 * time.Second)
+	for fx.tel.ServerGroup().QueriesReceived.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never reached the batcher")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := fx.srv.shutdown(drainCtx, fx.ts.Config); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	res := <-pending
+	if res.status != http.StatusOK {
+		t.Fatalf("parked request: status %d, want 200 (accepted queries must not be lost); body: %s", res.status, res.data)
+	}
+	doc, err := jplace.Read(bytes.NewReader(res.data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Queries) != 3 {
+		t.Fatalf("parked request: %d queries answered, want 3", len(doc.Queries))
+	}
+
+	// The listener is gone; exercise the draining 503 via the handler.
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/v1/place", strings.NewReader(fx.queryFasta(6, 1)))
+	fx.srv.handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain request: status %d, want 503", rec.Code)
+	}
+
+	if err := fx.eng.Close(); err != nil {
+		t.Fatalf("post-drain audit: %v", err)
+	}
+}
+
+// TestRunFlagValidation checks the CLI's input-error paths without binding
+// a socket.
+func TestRunFlagValidation(t *testing.T) {
+	ctx := context.Background()
+	var out strings.Builder
+	if err := run(ctx, []string{}, &out); err == nil {
+		t.Error("no flags: want error")
+	}
+	if err := run(ctx, []string{"--tree", "x.nwk"}, &out); err == nil {
+		t.Error("missing --ref-msa: want error")
+	}
+	if err := run(ctx, []string{"--tree", "no-such-file.nwk", "--ref-msa", "no-such-file.fasta"}, &out); err == nil {
+		t.Error("missing files: want error")
+	}
+}

@@ -1,0 +1,250 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"phylomem/internal/jplace"
+	"phylomem/internal/memacct"
+	"phylomem/internal/placement"
+	"phylomem/internal/seq"
+	"phylomem/internal/telemetry"
+)
+
+// serverOptions parameterize the serving layer around one warm engine.
+type serverOptions struct {
+	// MaxBatch and MaxLatency configure the micro-batcher (see
+	// placement.BatcherConfig).
+	MaxBatch   int
+	MaxLatency time.Duration
+	// RequestTimeout bounds one request's wait for its batch (default 30s).
+	RequestTimeout time.Duration
+	// InflightBytes caps the encoded query bytes admitted but not yet
+	// answered, the serving analogue of the planner's per-chunk query
+	// reservation: requests beyond it get 429 + Retry-After instead of
+	// growing the footprint past the budget. 0 = unlimited.
+	InflightBytes int64
+	// MaxBodyBytes bounds one request body (default 1 GiB).
+	MaxBodyBytes int64
+}
+
+// server is the placement service: one warm engine (reference tree, model,
+// AMC manager, and lookup table built once at startup), a micro-batcher
+// coalescing concurrent requests into engine batches, and memacct-driven
+// admission control in front of both.
+type server struct {
+	eng      *placement.Engine
+	batcher  *placement.Batcher
+	alphabet *seq.Alphabet
+	width    int
+	treeStr  string
+	tel      *telemetry.Sink
+	acct     *memacct.Accountant
+	opts     serverOptions
+	started  time.Time
+
+	// Admission state: inflight is the accepted-but-unanswered query bytes,
+	// guarded together with the accountant reservation so the cap check and
+	// the reservation are one atomic decision.
+	admitMu  sync.Mutex
+	inflight int64
+
+	drainMu  sync.Mutex
+	draining bool
+}
+
+// newServer wraps a constructed engine. The engine's accountant carries the
+// admission reservations (category "server-inflight"), so /metrics shows
+// request bytes alongside the engine's own footprint.
+func newServer(eng *placement.Engine, alphabet *seq.Alphabet, width int, treeStr string, tel *telemetry.Sink, opts serverOptions) *server {
+	if opts.RequestTimeout <= 0 {
+		opts.RequestTimeout = 30 * time.Second
+	}
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = 1 << 30
+	}
+	s := &server{
+		eng:      eng,
+		alphabet: alphabet,
+		width:    width,
+		treeStr:  treeStr,
+		tel:      tel,
+		acct:     eng.Accountant(),
+		opts:     opts,
+		started:  time.Now(),
+	}
+	s.batcher = placement.NewBatcher(eng, placement.BatcherConfig{
+		MaxBatch:   opts.MaxBatch,
+		MaxLatency: opts.MaxLatency,
+		Telemetry:  tel.ServerGroup(),
+	})
+	return s
+}
+
+// handler returns the service's route table.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/place", s.handlePlace)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// admit reserves bytes of in-flight query data, refusing when either the
+// in-flight cap or the accountant's hard limit would be exceeded. The two
+// checks and the reservation are atomic under admitMu, so concurrent
+// handlers cannot jointly overshoot.
+func (s *server) admit(bytes int64) bool {
+	s.admitMu.Lock()
+	defer s.admitMu.Unlock()
+	if s.opts.InflightBytes > 0 && s.inflight+bytes > s.opts.InflightBytes {
+		return false
+	}
+	if !s.acct.TryAlloc("server-inflight", bytes) {
+		return false
+	}
+	s.inflight += bytes
+	return true
+}
+
+// release returns an admitted reservation.
+func (s *server) release(bytes int64) {
+	s.admitMu.Lock()
+	defer s.admitMu.Unlock()
+	s.inflight -= bytes
+	s.acct.Free("server-inflight", bytes)
+}
+
+// httpError writes a JSON error body with the given status.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// handlePlace is POST /v1/place: an aligned-FASTA body in, a jplace
+// document out. Malformed input is the client's fault (400); admission
+// refusal is backpressure (429 + Retry-After); a drain in progress or an
+// expired request deadline is unavailability (503).
+func (s *server) handlePlace(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	if s.isDraining() {
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	seqs, err := seq.ReadFasta(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad fasta body: %v", err)
+		return
+	}
+	queries, err := placement.EncodeQueries(s.alphabet, seqs, s.width)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad query: %v", err)
+		return
+	}
+	bytes := placement.QueryBytes(queries)
+	if !s.admit(bytes) {
+		s.tel.ServerGroup().Reject()
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests,
+			"memory budget exhausted: %s of query data in flight, retry later", memacct.FormatBytes(bytes))
+		return
+	}
+	defer s.release(bytes)
+	s.tel.ServerGroup().Admit(len(queries))
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+	defer cancel()
+	placements, err := s.batcher.Submit(ctx, queries)
+	switch {
+	case err == nil:
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled),
+		errors.Is(err, placement.ErrBatcherClosed), errors.Is(err, placement.ErrEngineClosed):
+		httpError(w, http.StatusServiceUnavailable, "placement unavailable: %v", err)
+		return
+	default:
+		httpError(w, http.StatusInternalServerError, "placement failed: %v", err)
+		return
+	}
+
+	doc := &jplace.Document{
+		Tree:       s.treeStr,
+		Queries:    placements,
+		Invocation: "placed /v1/place",
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := jplace.Write(w, doc); err != nil {
+		// Headers are gone; all we can do is abort the connection.
+		return
+	}
+	s.tel.ServerGroup().RequestDone(time.Since(t0))
+}
+
+// healthzBody is the GET /healthz document.
+type healthzBody struct {
+	Status          string `json:"status"` // "ok" or "draining"
+	UptimeNS        int64  `json:"uptime_ns"`
+	Requests        uint64 `json:"requests"`
+	Rejected        uint64 `json:"rejected"`
+	QueriesReceived uint64 `json:"queries_received"`
+}
+
+// handleHealthz reports liveness from lock-free counters only: it must stay
+// responsive while placements hold the engine's run lock.
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	sv := s.tel.ServerGroup()
+	body := healthzBody{
+		Status:          "ok",
+		UptimeNS:        int64(time.Since(s.started)),
+		Requests:        sv.Requests.Load(),
+		Rejected:        sv.Rejected.Load(),
+		QueriesReceived: sv.QueriesReceived.Load(),
+	}
+	status := http.StatusOK
+	if s.isDraining() {
+		body.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+// handleMetrics serves the engine's full structured report — the same
+// document as the CLIs' --stats-json, with the server telemetry group
+// populated. It serializes briefly with in-flight batches (micro-batch
+// scale), which is acceptable for a scrape endpoint.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.eng.Report())
+}
+
+func (s *server) isDraining() bool {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	return s.draining
+}
+
+// shutdown is the graceful-drain sequence, run on SIGTERM/SIGINT: mark
+// draining (new requests get 503), switch the batcher to immediate flush and
+// flush what is pending, then let the HTTP server wait out in-flight
+// handlers — which now complete without the coalescing delay — and finally
+// close the batcher. No query accepted before the drain began is lost. The
+// engine itself is closed by the caller afterwards, so its end-of-run audits
+// still run.
+func (s *server) shutdown(ctx context.Context, hs *http.Server) error {
+	s.drainMu.Lock()
+	s.draining = true
+	s.drainMu.Unlock()
+	s.batcher.Drain()
+	err := hs.Shutdown(ctx)
+	s.batcher.Close()
+	return err
+}

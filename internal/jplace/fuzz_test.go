@@ -1,0 +1,43 @@
+package jplace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzJplaceRead asserts reader safety and write fidelity on arbitrary
+// bytes: Read never panics, and any document it accepts must survive a
+// Write→Read round trip unchanged (JSON float encoding is shortest-exact,
+// so placement values compare equal, not merely close).
+func FuzzJplaceRead(f *testing.F) {
+	f.Add([]byte(`{"tree":"(a:1{0},b:2{1},c:3{2});","placements":[{"p":[[0,-12.5,0.9,0.01,0.02]],"n":["q1"]}],"fields":["edge_num","likelihood","like_weight_ratio","distal_length","pendant_length"],"version":3,"metadata":{"invocation":"test"}}`))
+	f.Add([]byte(`{"version":3,"fields":["edge_num","likelihood","like_weight_ratio","distal_length","pendant_length"],"placements":[],"tree":";"}`))
+	f.Add([]byte(`{"version":2}`))
+	f.Add([]byte(`{"placements":[{"p":[[0]],"n":["q"]}]}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			return // bound fuzz work, not an invariant
+		}
+		doc, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, doc); err != nil {
+			t.Fatalf("accepted document failed to write: %v", err)
+		}
+		doc2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("written document failed to reparse: %v", err)
+		}
+		if doc2.Tree != doc.Tree || doc2.Invocation != doc.Invocation {
+			t.Fatalf("round trip changed header: %q/%q vs %q/%q", doc.Tree, doc.Invocation, doc2.Tree, doc2.Invocation)
+		}
+		if !reflect.DeepEqual(doc.Queries, doc2.Queries) {
+			t.Fatalf("round trip changed placements:\nbefore: %+v\nafter:  %+v", doc.Queries, doc2.Queries)
+		}
+	})
+}

@@ -99,6 +99,53 @@ func (a *Accountant) Alloc(category string, bytes int64) {
 	}
 }
 
+// TryAlloc records bytes under the category only if they fit: it fails —
+// without recording anything and without arming the sticky overcommit —
+// when a hard limit is set and the allocation would exceed it, or when a
+// sticky failure is already recorded. This is the admission-control
+// primitive: Alloc is for work already committed (detection after the
+// fact), TryAlloc is for work that can still be refused (backpressure
+// before the fact). A successful TryAlloc is released with Free, exactly
+// like Alloc.
+func (a *Accountant) TryAlloc(category string, bytes int64) bool {
+	if bytes < 0 {
+		panic("memacct: negative allocation")
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.fail != nil {
+		return false
+	}
+	if a.limit > 0 && a.current+bytes > a.limit {
+		return false
+	}
+	a.categories[category] += bytes
+	if a.categories[category] >= a.catPeaks[category] {
+		a.catPeaks[category] = a.categories[category]
+	}
+	a.current += bytes
+	if a.current > a.peak {
+		a.peak = a.current
+	}
+	return true
+}
+
+// Headroom returns the bytes still allocatable under the hard limit, or -1
+// when no limit is set. Callers use it to size Retry-After style hints; the
+// value is advisory (another goroutine may allocate in between).
+func (a *Accountant) Headroom() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.limit <= 0 {
+		return -1
+	}
+	h := a.limit - a.current
+	if h < 0 {
+		h = 0
+	}
+	return h
+}
+
 // Free records bytes released under the category. Freeing more than was
 // allocated in a category panics: it indicates an accounting bug of the kind
 // the paper attributes its over-budget data point to.

@@ -132,6 +132,64 @@ func TestAccountantSetLimitOvercommit(t *testing.T) {
 	}
 }
 
+func TestTryAllocAdmission(t *testing.T) {
+	a := NewAccountant()
+	a.SetLimit(1000)
+	if !a.TryAlloc("req", 600) {
+		t.Fatal("fitting reservation refused")
+	}
+	if a.TryAlloc("req", 500) {
+		t.Fatal("over-limit reservation admitted")
+	}
+	// Rejection is side-effect free: no sticky error, no accounting change.
+	if err := a.Err(); err != nil {
+		t.Fatalf("rejected TryAlloc armed the sticky error: %v", err)
+	}
+	if got := a.Current(); got != 600 {
+		t.Fatalf("rejected TryAlloc changed accounting: current = %d", got)
+	}
+	if got := a.Headroom(); got != 400 {
+		t.Fatalf("Headroom = %d, want 400", got)
+	}
+	// Exact fit is admitted; release restores headroom.
+	if !a.TryAlloc("req", 400) {
+		t.Fatal("exact-fit reservation refused")
+	}
+	if a.TryAlloc("req", 1) {
+		t.Fatal("reservation admitted at zero headroom")
+	}
+	a.Free("req", 1000)
+	if err := a.AssertDrained(); err != nil {
+		t.Fatal(err)
+	}
+	if !a.TryAlloc("req", 1000) {
+		t.Fatal("reservation refused after drain")
+	}
+}
+
+func TestTryAllocUnlimited(t *testing.T) {
+	a := NewAccountant()
+	if !a.TryAlloc("req", 1<<40) {
+		t.Fatal("unlimited accountant refused a reservation")
+	}
+	if got := a.Headroom(); got != -1 {
+		t.Fatalf("Headroom without a limit = %d, want -1", got)
+	}
+}
+
+func TestTryAllocRefusesAfterStickyFailure(t *testing.T) {
+	a := NewAccountant()
+	a.SetLimit(100)
+	a.Alloc("x", 200) // arms the sticky overcommit
+	if !errors.Is(a.Err(), ErrOvercommit) {
+		t.Fatal("setup: overcommit not armed")
+	}
+	a.Free("x", 200)
+	if a.TryAlloc("req", 1) {
+		t.Fatal("TryAlloc admitted work on a failed accountant")
+	}
+}
+
 func TestAccountantLimitDisabled(t *testing.T) {
 	a := NewAccountant()
 	a.Alloc("x", 1<<40)

@@ -1,0 +1,253 @@
+package placement
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"phylomem/internal/jplace"
+	"phylomem/internal/telemetry"
+)
+
+// PlaceBatch places one batch of already-encoded queries and returns their
+// placements in input order. It is the reusable concurrent session API the
+// long-running server is built on: unlike PlaceStream's one-shot streaming
+// contract, PlaceBatch may be called repeatedly and from interleaved
+// goroutines over one warm engine — calls serialize on the engine's run
+// lock, sharing the AMC slot manager, lookup table, and worker pool that
+// were built once at construction. Batches larger than Config.ChunkSize are
+// processed in chunk-sized pieces, so one oversized batch cannot exceed the
+// planned per-chunk memory reservation.
+//
+// Results are identical to placing the same queries through Place or
+// PlaceStream: per-query placement is independent of batch composition (the
+// metamorphic suite asserts this), which is what makes request coalescing
+// safe. Cancellation stops between chunks with ctx.Err(); queries of the
+// cancelled batch are not partially reported.
+func (e *Engine) PlaceBatch(ctx context.Context, queries []Query) ([]jplace.Placements, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(queries) == 0 {
+		return nil, nil
+	}
+	e.runMu.Lock()
+	defer e.runMu.Unlock()
+	if e.closed {
+		return nil, ErrEngineClosed
+	}
+	start := time.Now()
+	busy0 := e.pool.BusyTime()
+	defer func() {
+		e.stats.PlaceWall += time.Since(start)
+		e.stats.PoolBusy += e.pool.BusyTime() - busy0
+	}()
+	out := make([]jplace.Placements, 0, len(queries))
+	for off := 0; off < len(queries); off += e.cfg.ChunkSize {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		end := off + e.cfg.ChunkSize
+		if end > len(queries) {
+			end = len(queries)
+		}
+		t0 := time.Now()
+		rs, err := e.placeChunk(ctx, queries[off:end])
+		if err != nil {
+			return nil, err
+		}
+		e.stats.ChunksProcessed++
+		e.stats.QueriesPlaced += len(rs)
+		e.pipe.ChunkPlaced(time.Since(t0))
+		out = append(out, rs...)
+	}
+	return out, nil
+}
+
+// ErrBatcherClosed is returned by Submit after Close: the batcher no longer
+// accepts work (the server is draining).
+var ErrBatcherClosed = errors.New("placement: batcher closed")
+
+// BatcherConfig parameterizes the micro-batcher.
+type BatcherConfig struct {
+	// MaxBatch flushes a batch as soon as this many queries are pending
+	// (default 256). A single submission larger than MaxBatch still flushes
+	// as one batch; PlaceBatch chunks it internally.
+	MaxBatch int
+	// MaxLatency flushes whatever is pending this long after the first
+	// query of the batch arrived (default 20ms) — the bound on the latency
+	// a lone request pays waiting for company.
+	MaxLatency time.Duration
+	// Telemetry, when non-nil, receives batch counts and flush latencies.
+	Telemetry *telemetry.Server
+}
+
+// Batcher coalesces queries from concurrent submitters into engine batches:
+// a batch flushes when MaxBatch queries are pending or MaxLatency after the
+// batch opened, whichever comes first. Coalescing is what lets a resident
+// engine amortize per-chunk overheads (and, under AMC, slot-pool locality)
+// across unrelated requests — the serving-time analogue of EPA-NG's chunked
+// batch processing.
+//
+// The flush is executed by the submitter that trips the size threshold, or
+// by the latency timer's goroutine; either way concurrent flushes serialize
+// on the engine's run lock. Submitters whose context expires while waiting
+// get their context error; their queries may still be placed with the batch
+// and are then discarded.
+type Batcher struct {
+	eng *Engine
+	cfg BatcherConfig
+
+	mu       sync.Mutex
+	pending  []*batchWaiter
+	queued   int // queries across pending
+	timer    *time.Timer
+	draining bool
+	closed   bool
+}
+
+// batchWaiter is one Submit call's stake in the pending batch.
+type batchWaiter struct {
+	queries []Query
+	done    chan batchOutcome // buffered; flush never blocks on a waiter
+}
+
+type batchOutcome struct {
+	placements []jplace.Placements
+	err        error
+}
+
+// NewBatcher wraps eng. Zero config fields get defaults.
+func NewBatcher(eng *Engine, cfg BatcherConfig) *Batcher {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 256
+	}
+	if cfg.MaxLatency <= 0 {
+		cfg.MaxLatency = 20 * time.Millisecond
+	}
+	return &Batcher{eng: eng, cfg: cfg}
+}
+
+// Submit enqueues queries and blocks until their batch is placed, returning
+// the placements in the order of the submitted queries. Submissions after
+// Close fail with ErrBatcherClosed. If ctx expires first, Submit returns
+// ctx.Err() without waiting for the batch.
+func (b *Batcher) Submit(ctx context.Context, queries []Query) ([]jplace.Placements, error) {
+	if len(queries) == 0 {
+		return nil, nil
+	}
+	w := &batchWaiter{queries: queries, done: make(chan batchOutcome, 1)}
+
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, ErrBatcherClosed
+	}
+	b.pending = append(b.pending, w)
+	b.queued += len(queries)
+	var flushNow []*batchWaiter
+	if b.queued >= b.cfg.MaxBatch || b.draining {
+		flushNow = b.takeLocked()
+	} else if b.timer == nil {
+		// First waiter of a fresh batch: arm the latency bound.
+		b.timer = time.AfterFunc(b.cfg.MaxLatency, b.flushTimer)
+	}
+	b.mu.Unlock()
+
+	if flushNow != nil {
+		b.flush(flushNow)
+	}
+	select {
+	case out := <-w.done:
+		return out.placements, out.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// takeLocked detaches the pending batch and disarms the timer. Caller holds
+// b.mu.
+func (b *Batcher) takeLocked() []*batchWaiter {
+	batch := b.pending
+	b.pending = nil
+	b.queued = 0
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	return batch
+}
+
+// flushTimer is the MaxLatency path. A size-triggered flush may have raced
+// the timer and emptied the batch; flushing whatever is pending is always
+// correct ("whichever comes first" bounds latency from above).
+func (b *Batcher) flushTimer() {
+	b.mu.Lock()
+	batch := b.takeLocked()
+	b.mu.Unlock()
+	if len(batch) > 0 {
+		b.flush(batch)
+	}
+}
+
+// flush concatenates the batch's queries, places them in one PlaceBatch
+// session, and distributes each waiter's slice of the results. The flush
+// runs under the background context, not any single waiter's: one request's
+// deadline must not cancel a batch that carries other requests' queries.
+// A failed flush fails every waiter in the batch.
+func (b *Batcher) flush(batch []*batchWaiter) {
+	var all []Query
+	for _, w := range batch {
+		all = append(all, w.queries...)
+	}
+	t0 := time.Now()
+	placements, err := b.eng.PlaceBatch(context.Background(), all)
+	b.cfg.Telemetry.BatchFlush(len(all), len(batch), time.Since(t0))
+	if err == nil && len(placements) != len(all) {
+		err = fmt.Errorf("placement: batch returned %d placements for %d queries", len(placements), len(all))
+	}
+	off := 0
+	for _, w := range batch {
+		if err != nil {
+			w.done <- batchOutcome{err: err}
+			continue
+		}
+		w.done <- batchOutcome{placements: placements[off : off+len(w.queries)]}
+		off += len(w.queries)
+	}
+}
+
+// Drain switches the batcher to immediate-flush mode and flushes anything
+// pending: subsequent Submits place their queries without waiting for
+// MaxLatency's worth of company. It is the first step of a server drain, so
+// shutdown latency excludes the coalescing window; unlike Close it keeps
+// accepting submissions from handlers already past admission.
+func (b *Batcher) Drain() {
+	b.mu.Lock()
+	b.draining = true
+	batch := b.takeLocked()
+	b.mu.Unlock()
+	if len(batch) > 0 {
+		b.flush(batch)
+	}
+}
+
+// Close flushes any pending batch synchronously and rejects all later
+// submissions. It is the drain hook: after the HTTP server has stopped
+// accepting requests, Close guarantees that every query already accepted
+// into the batcher is placed before the engine shuts down.
+func (b *Batcher) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	batch := b.takeLocked()
+	b.mu.Unlock()
+	if len(batch) > 0 {
+		b.flush(batch)
+	}
+}

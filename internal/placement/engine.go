@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"phylomem/internal/core"
@@ -145,6 +146,13 @@ type Engine struct {
 	tel   *telemetry.Sink
 	pipe  *telemetry.Pipeline
 	trace *telemetry.Trace
+
+	// runMu serializes the place paths (PlaceStream, PlaceBatch) and Close:
+	// the pool, per-worker scratches, slot manager, and stats are all
+	// single-run state, so concurrent sessions — the server's interleaved
+	// requests — take turns rather than corrupt each other. Construction
+	// (New) happens before the engine is shared and needs no lock.
+	runMu sync.Mutex
 
 	closed bool
 	stats  RunStats
@@ -371,6 +379,8 @@ func (e *Engine) sitePool() *parallel.Pool {
 // An error from Close wraps core.ErrInvariant or memacct.ErrNotDrained and
 // indicates an internal bug, not bad input.
 func (e *Engine) Close() error {
+	e.runMu.Lock()
+	defer e.runMu.Unlock()
 	if e.closed {
 		return nil
 	}
@@ -419,8 +429,17 @@ func (e *Engine) Plan() memacct.Plan { return e.plan }
 // Accountant exposes the engine's memory accounting.
 func (e *Engine) Accountant() *memacct.Accountant { return e.acct }
 
-// Stats returns a snapshot of the run statistics.
+// ErrEngineClosed marks a placement attempted after Close. The server's
+// drain sequence relies on it: once the engine is closed, late sessions fail
+// fast instead of touching released state.
+var ErrEngineClosed = errors.New("placement: engine closed")
+
+// Stats returns a snapshot of the run statistics. It serializes with the
+// place paths, so a call while a session is in flight blocks until that
+// session's chunk loop returns the lock.
 func (e *Engine) Stats() RunStats {
+	e.runMu.Lock()
+	defer e.runMu.Unlock()
 	s := e.stats
 	if e.mgr != nil {
 		s.CLVStats = e.mgr.Stats()

@@ -122,6 +122,11 @@ func (e *Engine) PlaceStream(ctx context.Context, src QuerySource, sink func(jpl
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	e.runMu.Lock()
+	defer e.runMu.Unlock()
+	if e.closed {
+		return 0, ErrEngineClosed
+	}
 	start := time.Now()
 	busy0 := e.pool.BusyTime()
 	defer func() {

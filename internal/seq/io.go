@@ -3,20 +3,45 @@ package seq
 import (
 	"bufio"
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
 	"strings"
 )
 
+// ErrDuplicateLabel marks an input alignment that names the same sequence
+// twice. Duplicate labels used to be silently accepted, which downstream
+// corrupts anything keyed by label — most visibly per-query jplace
+// attribution, where two results would carry the same name and become
+// indistinguishable. Test with errors.Is; retrieve the offending label with
+// errors.As on *DuplicateLabelError.
+var ErrDuplicateLabel = errors.New("seq: duplicate sequence label")
+
+// DuplicateLabelError identifies the repeated label and the input line of
+// its second occurrence.
+type DuplicateLabelError struct {
+	Label string
+	Line  int // 1-based line of the duplicate occurrence
+}
+
+func (e *DuplicateLabelError) Error() string {
+	return fmt.Sprintf("seq: line %d: duplicate sequence label %q", e.Line, e.Label)
+}
+
+// Unwrap lets errors.Is match the ErrDuplicateLabel sentinel.
+func (e *DuplicateLabelError) Unwrap() error { return ErrDuplicateLabel }
+
 // ReadFasta parses FASTA-formatted sequences from r. Sequence data may span
 // multiple lines; whitespace inside sequence lines is ignored. Labels are the
-// first whitespace-delimited token of the header line.
+// first whitespace-delimited token of the header line and must be unique
+// (a repeated label is a *DuplicateLabelError).
 func ReadFasta(r io.Reader) ([]Sequence, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<26)
 	var seqs []Sequence
 	var cur *Sequence
+	seen := make(map[string]bool)
 	line := 0
 	for sc.Scan() {
 		line++
@@ -29,6 +54,10 @@ func ReadFasta(r io.Reader) ([]Sequence, error) {
 			if len(label) == 0 {
 				return nil, fmt.Errorf("seq: fasta line %d: empty header", line)
 			}
+			if seen[label[0]] {
+				return nil, &DuplicateLabelError{Label: label[0], Line: line}
+			}
+			seen[label[0]] = true
 			seqs = append(seqs, Sequence{Label: label[0]})
 			cur = &seqs[len(seqs)-1]
 			continue
@@ -79,7 +108,8 @@ func WriteFasta(w io.Writer, seqs []Sequence) error {
 // ReadPhylip parses a relaxed sequential PHYLIP alignment: a header line with
 // taxon and site counts, then one "label sequence" record per taxon (the
 // sequence may continue on following lines until the declared width is
-// reached).
+// reached). Labels must be unique (a repeated label is a
+// *DuplicateLabelError).
 func ReadPhylip(r io.Reader) ([]Sequence, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<26)
@@ -101,9 +131,20 @@ func ReadPhylip(r io.Reader) ([]Sequence, error) {
 	if ntax <= 0 || nsites <= 0 {
 		return nil, fmt.Errorf("seq: phylip dimensions must be positive, got %d x %d", ntax, nsites)
 	}
-	seqs := make([]Sequence, 0, ntax)
+	// The header's taxon count is attacker-controlled input: cap the
+	// preallocation so a forged "1000000000 1" header cannot force a
+	// multi-gigabyte slice before any sequence data is read. The slice still
+	// grows to the real record count via append.
+	capHint := ntax
+	if capHint > 1024 {
+		capHint = 1024
+	}
+	seqs := make([]Sequence, 0, capHint)
+	seen := make(map[string]bool, capHint)
 	var cur *Sequence
+	line := 1
 	for sc.Scan() {
+		line++
 		text := strings.TrimSpace(sc.Text())
 		if text == "" {
 			continue
@@ -113,6 +154,10 @@ func ReadPhylip(r io.Reader) ([]Sequence, error) {
 			if len(fields) < 1 {
 				continue
 			}
+			if seen[fields[0]] {
+				return nil, &DuplicateLabelError{Label: fields[0], Line: line}
+			}
+			seen[fields[0]] = true
 			seqs = append(seqs, Sequence{Label: fields[0]})
 			cur = &seqs[len(seqs)-1]
 			text = strings.Join(fields[1:], "")

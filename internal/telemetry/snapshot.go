@@ -15,6 +15,7 @@ type Snapshot struct {
 	AMC      AMCSnapshot      `json:"amc"`
 	Pool     PoolSnapshot     `json:"pool"`
 	Pipeline PipelineSnapshot `json:"pipeline"`
+	Server   ServerSnapshot   `json:"server"`
 }
 
 // AMCSnapshot is the slot manager section of a Snapshot.
@@ -74,6 +75,20 @@ type PipelineSnapshot struct {
 	PlaceLatency      HistogramSnapshot `json:"place_latency"`
 }
 
+// ServerSnapshot is the placement-service section of a Snapshot: request
+// admission, 429 backpressure, and micro-batch coalescing. All-zero for CLI
+// runs (the key set is schema-stable regardless of how the sink was used).
+type ServerSnapshot struct {
+	Requests        uint64            `json:"requests"`
+	Rejected        uint64            `json:"rejected"`
+	QueriesReceived uint64            `json:"queries_received"`
+	Batches         uint64            `json:"batches"`
+	BatchedRequests uint64            `json:"batched_requests"`
+	BatchedQueries  uint64            `json:"batched_queries"`
+	RequestLatency  HistogramSnapshot `json:"request_latency"`
+	BatchLatency    HistogramSnapshot `json:"batch_latency"`
+}
+
 // Snapshot renders the sink's current counter values. Safe to call while
 // the run is still mutating the sink; the values are then advisory. A nil
 // sink yields the zero snapshot (with an empty worker list).
@@ -81,6 +96,8 @@ func (s *Sink) Snapshot() Snapshot {
 	var out Snapshot
 	out.Pool.Workers = []WorkerSnapshot{}
 	out.Pipeline.PlaceLatency.Buckets = make([]uint64, HistBuckets)
+	out.Server.RequestLatency.Buckets = make([]uint64, HistBuckets)
+	out.Server.BatchLatency.Buckets = make([]uint64, HistBuckets)
 	if s == nil {
 		return out
 	}
@@ -114,6 +131,17 @@ func (s *Sink) Snapshot() Snapshot {
 		LookupBuildNS:     int64(p.LookupBuild.Load()),
 		PrefetchHighWater: p.PrefetchHighWater.Load(),
 		PlaceLatency:      p.PlaceLatency.snapshot(),
+	}
+	sv := &s.Server
+	out.Server = ServerSnapshot{
+		Requests:        sv.Requests.Load(),
+		Rejected:        sv.Rejected.Load(),
+		QueriesReceived: sv.QueriesReceived.Load(),
+		Batches:         sv.Batches.Load(),
+		BatchedRequests: sv.BatchedRequests.Load(),
+		BatchedQueries:  sv.BatchedQueries.Load(),
+		RequestLatency:  sv.RequestLatency.snapshot(),
+		BatchLatency:    sv.BatchLatency.snapshot(),
 	}
 	return out
 }

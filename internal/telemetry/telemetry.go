@@ -329,13 +329,68 @@ func (p *Pipeline) PrefetchDec() {
 	p.prefetchNow.Add(-1)
 }
 
+// Server counts a placement service's request-level activity: admissions,
+// 429 backpressure rejections, micro-batch coalescing, and the two latency
+// distributions that matter for serving — per-request (admission to
+// response, what a client sees) and per-batch (inside the engine, what the
+// coalescer amortizes). Handlers and the batcher update it concurrently.
+type Server struct {
+	Requests        Counter // requests admitted past admission control
+	Rejected        Counter // requests refused admission (429 backpressure)
+	QueriesReceived Counter // queries across admitted requests
+	Batches         Counter // engine flushes
+	BatchedRequests Counter // requests coalesced across all flushes
+	BatchedQueries  Counter // queries placed across all flushes
+	RequestLatency  Histogram
+	BatchLatency    Histogram
+}
+
+// Admit records one admitted request carrying n queries.
+func (s *Server) Admit(n int) {
+	if s == nil {
+		return
+	}
+	s.Requests.Inc()
+	s.QueriesReceived.Add(uint64(n))
+}
+
+// Reject records one request refused admission.
+func (s *Server) Reject() {
+	if s == nil {
+		return
+	}
+	s.Rejected.Inc()
+}
+
+// RequestDone records one admitted request's end-to-end latency.
+func (s *Server) RequestDone(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.RequestLatency.Observe(d)
+}
+
+// BatchFlush records one engine flush of nQueries coalesced from nRequests.
+func (s *Server) BatchFlush(nQueries, nRequests int, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.Batches.Inc()
+	s.BatchedRequests.Add(uint64(nRequests))
+	s.BatchedQueries.Add(uint64(nQueries))
+	s.BatchLatency.Observe(d)
+}
+
 // Sink aggregates one run's telemetry groups. Create one per engine; the
 // engine hands &sink.AMC to the slot manager, &sink.Pool to the worker
-// pool, and updates sink.Pipeline itself. A nil *Sink disables everything.
+// pool, and updates sink.Pipeline itself; a placement server updates
+// sink.Server from its handlers and batcher. A nil *Sink disables
+// everything.
 type Sink struct {
 	AMC      AMC
 	Pool     Pool
 	Pipeline Pipeline
+	Server   Server
 }
 
 // NewSink returns an empty sink.
@@ -363,4 +418,12 @@ func (s *Sink) PipelineGroup() *Pipeline {
 		return nil
 	}
 	return &s.Pipeline
+}
+
+// ServerGroup returns &s.Server, or nil for a nil sink.
+func (s *Sink) ServerGroup() *Server {
+	if s == nil {
+		return nil
+	}
+	return &s.Server
 }

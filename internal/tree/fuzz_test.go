@@ -1,0 +1,47 @@
+package tree
+
+import "testing"
+
+// FuzzParseNewick asserts the parser's safety and the writer's fidelity on
+// arbitrary input: parsing never panics, and any tree that parses must
+// survive a write→parse→write round trip byte-identically — WriteNewick's
+// output is the canonical form, so writing what it produced and parsing it
+// back must be a fixed point. This is the invariant that caught unquoted
+// labels: a quoted input name containing Newick syntax characters used to
+// be written bare and then failed (or silently changed) on reparse.
+func FuzzParseNewick(f *testing.F) {
+	seeds := []string{
+		"(a,b,c);",
+		"((a:0.1,b:0.2):0.05,c:0.3,d:0.4);",
+		"((a,b),(c,d));", // rooted: unrooted by merging the root edges
+		"((a:1e-3,b:2.5e2):0.1,c:3,d:0.004);",
+		"('x y':1,'it''s':2,(q,r):0.5);", // quoted labels
+		"(a[comment],b[c2],c);",
+		"(a:,b:0.2,c:xyz);", // malformed lengths fall back to the default
+		"(((a,b):1,(c,d):2):3,e:4,f:5);",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		if len(s) > 1<<16 {
+			return // bound parse depth and fuzz work, not an invariant
+		}
+		tr, err := ParseNewick(s)
+		if err != nil {
+			return
+		}
+		w1 := tr.WriteNewick()
+		tr2, err := ParseNewick(w1)
+		if err != nil {
+			t.Fatalf("canonical output failed to reparse: %v\ninput:  %q\noutput: %q", err, s, w1)
+		}
+		if tr2.NumLeaves() != tr.NumLeaves() || len(tr2.Edges) != len(tr.Edges) {
+			t.Fatalf("round trip changed topology: %d/%d leaves, %d/%d edges\ninput: %q",
+				tr.NumLeaves(), tr2.NumLeaves(), len(tr.Edges), len(tr2.Edges), s)
+		}
+		if w2 := tr2.WriteNewick(); w2 != w1 {
+			t.Fatalf("canonical form is not a fixed point:\nfirst:  %q\nsecond: %q\ninput:  %q", w1, w2, s)
+		}
+	})
+}

@@ -261,9 +261,20 @@ func (t *Tree) WriteNewick() string {
 	return sb.String()
 }
 
+// quoteLabel renders a leaf name in Newick form, quoting it when it
+// contains syntax characters, quotes, or boundary whitespace that unquoted
+// output would not survive reparsing. Quoting follows the input convention:
+// single quotes, with a doubled quote escaping an embedded one.
+func quoteLabel(name string) string {
+	if strings.ContainsAny(name, "():,;['") || name != strings.TrimSpace(name) {
+		return "'" + strings.ReplaceAll(name, "'", "''") + "'"
+	}
+	return name
+}
+
 func writeSubtree(sb *strings.Builder, n *Node, parent *Edge) {
 	if n.IsLeaf() {
-		sb.WriteString(n.Name)
+		sb.WriteString(quoteLabel(n.Name))
 	} else {
 		sb.WriteByte('(')
 		first := true
