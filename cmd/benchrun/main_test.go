@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"phylomem/internal/placement"
 	"phylomem/internal/telemetry"
 )
 
@@ -67,6 +68,83 @@ func TestGate(t *testing.T) {
 	}
 }
 
+// TestGateDup50 covers the redundancy-elimination floor: once the baseline
+// attests the speedup, a fresh run below the floor (or without the dup50
+// configs) fails; a dormant baseline leaves the floor unenforced.
+func TestGateDup50(t *testing.T) {
+	attested := sampleDoc()
+	attested.Dup50Speedup = 2.1
+
+	good := sampleDoc()
+	good.Dup50Speedup = 1.9
+	if err := gate(attested, good, 0.25); err != nil {
+		t.Fatalf("speedup above the floor rejected: %v", err)
+	}
+
+	slow := sampleDoc()
+	slow.Dup50Speedup = 1.2
+	if err := gate(attested, slow, 0.25); err == nil {
+		t.Fatal("speedup below the floor passed")
+	}
+
+	dropped := sampleDoc() // Dup50Speedup zero: dup50 configs absent
+	if err := gate(attested, dropped, 0.25); err == nil {
+		t.Fatal("fresh run without dup50 configs passed an attesting baseline")
+	}
+
+	dormant := sampleDoc()
+	dormant.Dup50Speedup = 1.2 // baseline itself below the floor
+	if err := gate(dormant, slow, 0.25); err != nil {
+		t.Fatalf("dormant baseline enforced the floor: %v", err)
+	}
+}
+
+// TestDup50Speedup checks the ratio arithmetic picks the faster of the two
+// redundancy-eliminating configs and degrades to 0 when any leg is absent.
+func TestDup50Speedup(t *testing.T) {
+	doc := &Doc{Configs: []ConfigResult{
+		{Name: "dup50-nodedup", NsPerQuery: 2000},
+		{Name: "dup50-dedup", NsPerQuery: 1100},
+		{Name: "dup50-cached", NsPerQuery: 1000},
+	}}
+	if got := dup50Speedup(doc); got != 2.0 {
+		t.Fatalf("speedup = %v, want 2.0 (against the faster leg)", got)
+	}
+	doc.Configs = doc.Configs[:2]
+	if got := dup50Speedup(doc); got != 0 {
+		t.Fatalf("speedup with a missing leg = %v, want 0", got)
+	}
+}
+
+// TestDuplicateWorkload: the doubled workload shares code slices with the
+// originals, is deterministically shuffled, and renames the copies.
+func TestDuplicateWorkload(t *testing.T) {
+	qs := []placement.Query{
+		{Name: "a", Codes: []uint32{1}},
+		{Name: "b", Codes: []uint32{2}},
+		{Name: "c", Codes: []uint32{3}},
+	}
+	dup := duplicateWorkload(qs, 9)
+	if len(dup) != 6 {
+		t.Fatalf("got %d queries, want 6", len(dup))
+	}
+	again := duplicateWorkload(qs, 9)
+	for i := range dup {
+		if dup[i].Name != again[i].Name {
+			t.Fatal("duplicateWorkload is not deterministic for a fixed seed")
+		}
+	}
+	names := map[string]int{}
+	for _, q := range dup {
+		names[q.Name]++
+	}
+	for _, q := range qs {
+		if names[q.Name] != 1 || names[q.Name+"+dup"] != 1 {
+			t.Fatalf("name multiset wrong: %v", names)
+		}
+	}
+}
+
 // TestMatrixEndToEnd runs the real matrix at the smallest workload scale and
 // gates the result against itself through the CLI entry point.
 func TestMatrixEndToEnd(t *testing.T) {
@@ -102,6 +180,29 @@ func TestMatrixEndToEnd(t *testing.T) {
 				t.Errorf("%s: AMC configs must be byte-gated", c.Name)
 			}
 		}
+		switch c.Name {
+		case "dup50-nodedup":
+			if c.Dedup || c.DistinctQueries != 0 || c.DuplicatesFolded != 0 {
+				t.Errorf("%s: control leaked dedup metrics: %+v", c.Name, c)
+			}
+		case "dup50-dedup":
+			// At least half the workload folds (the injected duplicates; the
+			// synthetic dataset may contribute natural ones on top), and
+			// distinct + folded covers every query.
+			if !c.Dedup || c.DuplicatesFolded < c.Queries/2 || c.DistinctQueries+c.DuplicatesFolded != c.Queries {
+				t.Errorf("%s: expected ≥%d of %d folded with a full partition, got %+v", c.Name, c.Queries/2, c.Queries, c)
+			}
+		case "dup50-cached":
+			if c.CacheMisses == 0 || c.CacheHits == 0 || c.CacheBytes == 0 {
+				t.Errorf("%s: cache metrics unpopulated: %+v", c.Name, c)
+			}
+			if c.CacheHits+c.CacheMisses != uint64(c.Queries) {
+				t.Errorf("%s: hits %d + misses %d != queries %d", c.Name, c.CacheHits, c.CacheMisses, c.Queries)
+			}
+		}
+	}
+	if doc.Dup50Speedup <= 0 {
+		t.Errorf("dup50 speedup unpopulated: %v", doc.Dup50Speedup)
 	}
 
 	// A doctored baseline with a lower byte budget trips the gate.

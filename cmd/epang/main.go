@@ -86,6 +86,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		blockSize = fs.Int("block-size", memacct.DefaultBlockSize, "branches per precompute block")
 		threads   = fs.Int("threads", 1, "placement worker threads")
 		noHeur    = fs.Bool("no-heur", false, "disable the pre-placement lookup table heuristic")
+		dedup     = fs.Bool("dedup", true, "place one representative per distinct query sequence and fan the result out to duplicates (output is identical either way)")
+		nmOut     = fs.Bool("nm", false, "write jplace nm multiplicity entries: queries sharing identical placements collapse into one record carrying every name with its multiplicity")
 		strict    = fs.Bool("strict", false, "abort on malformed query sequences instead of skipping them")
 		strategy  = fs.String("memsave-strategy", "costage", "CLV replacement strategy: cost, costage, lru, fifo, random")
 		dataType  = fs.String("type", "NT", "data type: NT or AA")
@@ -263,6 +265,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	cfg.BlockSize = *blockSize
 	cfg.Threads = *threads
 	cfg.DisableLookup = *noHeur
+	cfg.NoDedup = !*dedup
 	cfg.SyncPrecompute = *syncPre
 	cfg.NoPipeline = *noPipe
 	cfg.Strict = *strict
@@ -346,9 +349,13 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
+		outQueries := placed
+		if *nmOut {
+			outQueries = jplace.GroupByPlacement(placed)
+		}
 		doc := &jplace.Document{
 			Tree:       jplace.TreeString(tr),
-			Queries:    placed,
+			Queries:    outQueries,
 			Invocation: "epang " + strings.Join(args, " "),
 		}
 		if err := jplace.Write(out, doc); err != nil {
@@ -406,6 +413,10 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		mode := "pipelined"
 		if !st.Pipelined {
 			mode = "synchronous"
+		}
+		if st.QueriesDistinct > 0 {
+			fmt.Fprintf(stdout, "dedup: %d distinct of %d queries (%d folded)\n",
+				st.QueriesDistinct, st.QueriesDistinct+st.QueriesDeduped, st.QueriesDeduped)
 		}
 		fmt.Fprintf(stdout, "chunks: %d processed (%s); read %v, wait %v\n",
 			st.ChunksProcessed, mode, st.ChunkRead.Round(time.Microsecond), st.ChunkWait.Round(time.Microsecond))

@@ -39,6 +39,7 @@ func run(args []string) error {
 		datasets  = fs.String("datasets", "", "comma-separated dataset subset (default all)")
 		maxq      = fs.Int("max-queries", 0, "truncate query sets (0 = all)")
 		noPipe    = fs.Bool("no-pipeline", false, "disable overlapped chunk reading in the measured engines")
+		dedup     = fs.Bool("dedup", true, "in-flight query deduplication in the measured engines")
 		csv       = fs.Bool("csv", false, "emit CSV instead of an aligned table")
 		statsJSON = fs.String("stats-json", "", "write every measured run as a structured JSON document to this file")
 		plot      = fs.Bool("plot", false, "also render figure experiments as terminal plots")
@@ -73,6 +74,7 @@ func run(args []string) error {
 	o.Seed = *seed
 	o.MaxQueries = *maxq
 	o.NoPipeline = *noPipe
+	o.NoDedup = !*dedup
 	if *datasets != "" {
 		o.Datasets = strings.Split(*datasets, ",")
 	}

@@ -1,0 +1,196 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"phylomem/internal/jplace"
+	"phylomem/internal/placement"
+	"phylomem/internal/telemetry"
+)
+
+// cacheFixture builds a served fixture with a result cache of the given
+// size attached (and any extra engine-config tweaks applied).
+func cacheFixture(t *testing.T, cacheBytes int64, cfgEdit func(*placement.Config)) *testFixture {
+	t.Helper()
+	return newTestFixtureCfg(t, serverOptions{}, cfgEdit,
+		func(eng *placement.Engine, tel *telemetry.Sink, opts *serverOptions) {
+			opts.Cache = placement.NewResultCache(eng.Accountant(), cacheBytes,
+				placement.ReferenceKey("test-tree", "test-model"), tel.DedupGroup())
+		})
+}
+
+// TestCacheWarmColdByteIdentical is the serving-path metamorphic check: the
+// same request served cold (all misses) and warm (all hits) must produce
+// byte-identical jplace documents, and the warm pass must not touch the
+// engine.
+func TestCacheWarmColdByteIdentical(t *testing.T) {
+	fx := cacheFixture(t, 1<<20, nil)
+	body := fx.queryFasta(7, 10)
+
+	resp, cold := fx.post(t, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold: status %d: %s", resp.StatusCode, cold)
+	}
+	placedCold := fx.eng.Stats().QueriesPlaced
+	resp, warm := fx.post(t, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm: status %d: %s", resp.StatusCode, warm)
+	}
+	if string(cold) != string(warm) {
+		t.Fatal("warm response differs from cold response")
+	}
+	if placedWarm := fx.eng.Stats().QueriesPlaced; placedWarm != placedCold {
+		t.Fatalf("warm request placed %d queries, want 0", placedWarm-placedCold)
+	}
+	snap := fx.tel.Snapshot().Dedup
+	if snap.CacheMisses != 10 || snap.CacheHits != 10 {
+		t.Fatalf("cache hits=%d misses=%d, want 10/10", snap.CacheHits, snap.CacheMisses)
+	}
+	if snap.CachedEntries != 10 || snap.CachedBytes == 0 {
+		t.Fatalf("cache gauges = %+v", snap)
+	}
+	if snap.CachedBytes != fx.srv.cache.Bytes() {
+		t.Fatal("gauge and cache disagree on bytes")
+	}
+}
+
+// TestCacheDisabledStillServes: a nil cache (size 0) serves identically,
+// with every cache counter at zero.
+func TestCacheDisabledStillServes(t *testing.T) {
+	fx := newTestFixture(t, serverOptions{})
+	body := fx.queryFasta(8, 6)
+	if resp, data := fx.post(t, body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	snap := fx.tel.Snapshot().Dedup
+	if snap.CacheHits != 0 || snap.CacheMisses != 0 || snap.CachedEntries != 0 {
+		t.Fatalf("cache counters moved without a cache: %+v", snap)
+	}
+}
+
+// TestCacheMixedRequest: a request mixing cached and novel queries answers
+// the hits from the cache and only places the misses, and the document
+// preserves the request's query order.
+func TestCacheMixedRequest(t *testing.T) {
+	fx := cacheFixture(t, 1<<20, nil)
+	warmBody := fx.queryFasta(9, 4)
+	if resp, data := fx.post(t, warmBody); resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm-up: status %d: %s", resp.StatusCode, data)
+	}
+	placed0 := fx.eng.Stats().QueriesPlaced
+
+	mixed := warmBody + fx.queryFasta(10, 3)
+	resp, data := fx.post(t, mixed)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mixed: status %d: %s", resp.StatusCode, data)
+	}
+	if placed := fx.eng.Stats().QueriesPlaced - placed0; placed != 3 {
+		t.Fatalf("mixed request placed %d queries, want 3 (the misses)", placed)
+	}
+	doc := decodeJplace(t, data)
+	if len(doc.Queries) != 7 {
+		t.Fatalf("mixed response has %d queries, want 7", len(doc.Queries))
+	}
+	for i, q := range doc.Queries {
+		wantSeed := int64(9)
+		wantIdx := i
+		if i >= 4 {
+			wantSeed, wantIdx = 10, i-4
+		}
+		if want := fmt.Sprintf("query_%d_%d", wantSeed, wantIdx); q.Name != want {
+			t.Fatalf("query %d = %q, want %q (order not preserved)", i, q.Name, want)
+		}
+		if len(q.Placements) == 0 {
+			t.Fatalf("query %q has no placements", q.Name)
+		}
+	}
+}
+
+// TestCacheEvictsUnderPressure: a cache far larger than its budget share
+// stays bounded — inserts evict instead of overcommitting — and admission
+// keeps working (no 429s from cache growth, no sticky accountant error).
+func TestCacheEvictsUnderPressure(t *testing.T) {
+	var capBytes int64 = 2048
+	fx := cacheFixture(t, capBytes, nil)
+	for seed := int64(20); seed < 30; seed++ {
+		resp, data := fx.post(t, fx.queryFasta(seed, 8))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("seed %d: status %d: %s", seed, resp.StatusCode, data)
+		}
+	}
+	if got := fx.srv.cache.Bytes(); got > capBytes {
+		t.Fatalf("cache bytes %d exceed cap %d", got, capBytes)
+	}
+	snap := fx.tel.Snapshot().Dedup
+	if snap.CacheEvictions == 0 {
+		t.Fatal("no evictions despite cache pressure")
+	}
+	if snap.CachedBytes > capBytes {
+		t.Fatalf("cached-bytes gauge %d exceeds cap %d", snap.CachedBytes, capBytes)
+	}
+	if err := fx.eng.Accountant().Err(); err != nil {
+		t.Fatalf("cache pressure tripped the accountant: %v", err)
+	}
+}
+
+// TestMetricsShowsCache: /metrics exposes the dedup/cache telemetry group
+// and the result-cache accounting category.
+func TestMetricsShowsCache(t *testing.T) {
+	fx := cacheFixture(t, 1<<20, nil)
+	if resp, data := fx.post(t, fx.queryFasta(30, 5)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	resp, err := http.Get(fx.ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rep placement.Report
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Telemetry.Dedup.CacheMisses != 5 || rep.Telemetry.Dedup.CachedEntries != 5 {
+		t.Fatalf("metrics dedup = %+v", rep.Telemetry.Dedup)
+	}
+	got, ok := rep.Memory.Breakdown["result-cache"]
+	if !ok {
+		t.Fatal("result-cache missing from memory breakdown")
+	}
+	if got != fx.srv.cache.Bytes() {
+		t.Fatalf("breakdown result-cache = %d, cache reports %d", got, fx.srv.cache.Bytes())
+	}
+}
+
+// TestDedupDisabledServer: --dedup=false routes through the no-dedup engine
+// path; the response for a duplicate-heavy request is still correct.
+func TestDedupDisabledServer(t *testing.T) {
+	fx := newTestFixtureCfg(t, serverOptions{},
+		func(cfg *placement.Config) { cfg.NoDedup = true }, nil)
+	body := fx.queryFasta(31, 4)
+	// Same content under fresh names: FASTA labels must be unique.
+	dup := strings.ReplaceAll(body, ">query_31_", ">dup_31_")
+	resp, data := fx.post(t, body+dup)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	if doc := decodeJplace(t, data); len(doc.Queries) != 8 {
+		t.Fatalf("%d queries in response, want 8", len(doc.Queries))
+	}
+	if snap := fx.tel.Snapshot().Dedup; snap.QueriesSeen != 0 {
+		t.Fatalf("dedup counters moved with dedup off: %+v", snap)
+	}
+}
+
+func decodeJplace(t *testing.T, data []byte) *jplace.Document {
+	t.Helper()
+	doc, err := jplace.Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("bad jplace response: %v\n%s", err, data)
+	}
+	return doc
+}

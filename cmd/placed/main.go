@@ -166,6 +166,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		threads    = fs.Int("threads", 1, "placement worker threads")
 		noHeur     = fs.Bool("no-heur", false, "disable the pre-placement lookup table heuristic")
 		strategy   = fs.String("memsave-strategy", "costage", "CLV replacement strategy: cost, costage, lru, fifo, random")
+		dedup      = fs.Bool("dedup", true, "group each batch's queries by sequence content and place one representative per distinct sequence")
+		cacheSize  = fs.String("result-cache", "64M", "cross-request result cache size, e.g. 64M (0 disables); cache bytes count against --maxmem and are evicted first under pressure")
 		maxBatch   = fs.Int("max-batch", 256, "flush a micro-batch once this many queries are pending")
 		maxLatency = fs.Duration("max-latency", 20*time.Millisecond, "flush a micro-batch this long after its first query arrives")
 		reqTimeout = fs.Duration("request-timeout", 30*time.Second, "per-request placement deadline")
@@ -199,6 +201,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	cfg.BlockSize = *blockSize
 	cfg.Threads = *threads
 	cfg.DisableLookup = *noHeur
+	cfg.NoDedup = !*dedup
 	cfg.Telemetry = telemetry.NewSink()
 	if *maxmem != "" {
 		limit, err := memacct.ParseBytes(*maxmem)
@@ -213,16 +216,29 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		return fmt.Errorf("unknown strategy %q", *strategy)
 	}
 
+	cacheBytes, err := memacct.ParseBytes(*cacheSize)
+	if err != nil {
+		return fmt.Errorf("--result-cache: %w", err)
+	}
+
 	eng, err := placement.NewContext(ctx, part, ref.tr, cfg)
 	if err != nil {
 		return err
 	}
 	plan := eng.Plan()
+	treeStr := jplace.TreeString(ref.tr)
+
+	var cache *placement.ResultCache
+	if cacheBytes > 0 {
+		refKey := placement.ReferenceKey(treeStr, ref.spec)
+		cache = placement.NewResultCache(eng.Accountant(), cacheBytes, refKey, cfg.Telemetry.DedupGroup())
+	}
 
 	opts := serverOptions{
 		MaxBatch:       *maxBatch,
 		MaxLatency:     *maxLatency,
 		RequestTimeout: *reqTimeout,
+		Cache:          cache,
 	}
 	if cfg.MaxMem > 0 {
 		// Admission cap: one chunk's worth of encoded query bytes, half the
@@ -232,7 +248,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		// told to retry instead of pushing the footprint past --maxmem.
 		opts.InflightBytes = int64(plan.ChunkSize) * int64(ref.msa.Width()) * 4
 	}
-	srv := newServer(eng, ref.alphabet, ref.msa.Width(), jplace.TreeString(ref.tr), cfg.Telemetry, opts)
+	srv := newServer(eng, ref.alphabet, ref.msa.Width(), treeStr, cfg.Telemetry, opts)
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -261,7 +277,10 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 
 	// End-of-run audit: slot-map invariants and accountant drain, exactly as
-	// the CLIs do. An audit failure never masks the run's own error.
+	// the CLIs do. The cache is purged first so its accountant category is
+	// drained by the time Close audits the balance. An audit failure never
+	// masks the run's own error.
+	cache.Purge()
 	if cerr := eng.Close(); cerr != nil && runErr == nil {
 		runErr = cerr
 	}
@@ -271,5 +290,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	sv := cfg.Telemetry.ServerGroup()
 	fmt.Fprintf(stdout, "placed: drained; served %d requests (%d rejected), %d queries in %d batches\n",
 		sv.Requests.Load(), sv.Rejected.Load(), sv.QueriesReceived.Load(), sv.Batches.Load())
+	dd := cfg.Telemetry.DedupGroup()
+	fmt.Fprintf(stdout, "placed: dedup folded %d of %d queries; cache %d hits, %d misses, %d evictions\n",
+		dd.DuplicatesFolded.Load(), dd.QueriesSeen.Load(),
+		dd.CacheHits.Load(), dd.CacheMisses.Load(), dd.CacheEvictions.Load())
 	return nil
 }

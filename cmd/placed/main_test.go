@@ -52,6 +52,14 @@ type testFixture struct {
 // wraps it in a served placement server. Callers must call fx.close.
 func newTestFixture(t *testing.T, opts serverOptions) *testFixture {
 	t.Helper()
+	return newTestFixtureCfg(t, opts, nil, nil)
+}
+
+// newTestFixtureCfg is newTestFixture with hooks: cfgEdit mutates the engine
+// config before construction, wire sees the live engine before the server is
+// built (e.g. to attach a result cache to serverOptions).
+func newTestFixtureCfg(t *testing.T, opts serverOptions, cfgEdit func(*placement.Config), wire func(*placement.Engine, *telemetry.Sink, *serverOptions)) *testFixture {
+	t.Helper()
 	const n, width = 8, 60
 	rng := rand.New(rand.NewSource(11))
 	tr, err := tree.Random(n, 0.15, rng)
@@ -78,9 +86,15 @@ func newTestFixture(t *testing.T, opts serverOptions) *testFixture {
 	cfg.ChunkSize = 16
 	cfg.BlockSize = 4
 	cfg.Telemetry = telemetry.NewSink()
+	if cfgEdit != nil {
+		cfgEdit(&cfg)
+	}
 	eng, err := placement.New(part, tr, cfg)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if wire != nil {
+		wire(eng, cfg.Telemetry, &opts)
 	}
 	srv := newServer(eng, seq.DNA, width, jplace.TreeString(tr), cfg.Telemetry, opts)
 	ts := httptest.NewServer(srv.handler())
@@ -92,6 +106,7 @@ func newTestFixture(t *testing.T, opts serverOptions) *testFixture {
 func (fx *testFixture) close() {
 	fx.ts.Close()
 	fx.srv.batcher.Close()
+	fx.srv.cache.Purge()
 	_ = fx.eng.Close()
 }
 

@@ -31,6 +31,10 @@ type serverOptions struct {
 	InflightBytes int64
 	// MaxBodyBytes bounds one request body (default 1 GiB).
 	MaxBodyBytes int64
+	// Cache is the cross-request result cache (nil = disabled): queries
+	// whose content digest hits skip admission and placement entirely, and
+	// under memory pressure the cache shrinks before requests are 429ed.
+	Cache *placement.ResultCache
 }
 
 // server is the placement service: one warm engine (reference tree, model,
@@ -45,6 +49,7 @@ type server struct {
 	treeStr  string
 	tel      *telemetry.Sink
 	acct     *memacct.Accountant
+	cache    *placement.ResultCache
 	opts     serverOptions
 	started  time.Time
 
@@ -75,6 +80,7 @@ func newServer(eng *placement.Engine, alphabet *seq.Alphabet, width int, treeStr
 		treeStr:  treeStr,
 		tel:      tel,
 		acct:     eng.Accountant(),
+		cache:    opts.Cache,
 		opts:     opts,
 		started:  time.Now(),
 	}
@@ -106,7 +112,12 @@ func (s *server) admit(bytes int64) bool {
 		return false
 	}
 	if !s.acct.TryAlloc("server-inflight", bytes) {
-		return false
+		// Budget pressure: cold cached results give way before live work is
+		// refused. Only if eviction freed nothing (or still not enough) does
+		// the request get a 429.
+		if !s.cache.ReleaseHeadroom(bytes) || !s.acct.TryAlloc("server-inflight", bytes) {
+			return false
+		}
 	}
 	s.inflight += bytes
 	return true
@@ -147,34 +158,62 @@ func (s *server) handlePlace(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad query: %v", err)
 		return
 	}
-	bytes := placement.QueryBytes(queries)
-	if !s.admit(bytes) {
-		s.tel.ServerGroup().Reject()
-		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusTooManyRequests,
-			"memory budget exhausted: %s of query data in flight, retry later", memacct.FormatBytes(bytes))
-		return
+	// Cross-request result cache: queries whose content digest hits are
+	// answered directly; only misses are admitted (by their bytes) and
+	// submitted to the batcher. A fully warm request touches neither the
+	// admission budget nor the engine.
+	results := make([]jplace.Placements, len(queries))
+	digests := make([]seq.Digest, len(queries))
+	var missIdx []int
+	for i, q := range queries {
+		digests[i] = seq.DigestCodes(q.Codes)
+		if ps, ok := s.cache.Get(digests[i]); ok {
+			results[i] = jplace.Placements{Name: q.Name, Placements: ps}
+		} else {
+			missIdx = append(missIdx, i)
+		}
 	}
-	defer s.release(bytes)
-	s.tel.ServerGroup().Admit(len(queries))
+	if len(missIdx) > 0 {
+		misses := make([]placement.Query, len(missIdx))
+		for mi, i := range missIdx {
+			misses[mi] = queries[i]
+		}
+		bytes := placement.QueryBytes(misses)
+		if !s.admit(bytes) {
+			s.tel.ServerGroup().Reject()
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusTooManyRequests,
+				"memory budget exhausted: %s of query data in flight, retry later", memacct.FormatBytes(bytes))
+			return
+		}
+		defer s.release(bytes)
+		s.tel.ServerGroup().Admit(len(queries))
 
-	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
-	defer cancel()
-	placements, err := s.batcher.Submit(ctx, queries)
-	switch {
-	case err == nil:
-	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled),
-		errors.Is(err, placement.ErrBatcherClosed), errors.Is(err, placement.ErrEngineClosed):
-		httpError(w, http.StatusServiceUnavailable, "placement unavailable: %v", err)
-		return
-	default:
-		httpError(w, http.StatusInternalServerError, "placement failed: %v", err)
-		return
+		ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+		defer cancel()
+		placements, err := s.batcher.Submit(ctx, misses)
+		switch {
+		case err == nil:
+		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled),
+			errors.Is(err, placement.ErrBatcherClosed), errors.Is(err, placement.ErrEngineClosed):
+			httpError(w, http.StatusServiceUnavailable, "placement unavailable: %v", err)
+			return
+		default:
+			httpError(w, http.StatusInternalServerError, "placement failed: %v", err)
+			return
+		}
+		for mi, i := range missIdx {
+			results[i] = placements[mi]
+			s.cache.Put(digests[i], placements[mi].Placements)
+		}
+	} else {
+		// Fully warm request: every query answered from the cache.
+		s.tel.ServerGroup().Admit(len(queries))
 	}
 
 	doc := &jplace.Document{
 		Tree:       s.treeStr,
-		Queries:    placements,
+		Queries:    results,
 		Invocation: "placed /v1/place",
 	}
 	w.Header().Set("Content-Type", "application/json")

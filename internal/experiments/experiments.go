@@ -38,6 +38,9 @@ type Options struct {
 	// NoPipeline disables the placement engines' overlapped chunk reader,
 	// so every run uses the synchronous read-place-emit loop.
 	NoPipeline bool
+	// NoDedup disables in-flight query deduplication in every experiment
+	// engine (see placement.Config.NoDedup).
+	NoDedup bool
 }
 
 // engineConfig returns the placement configuration every experiment starts
@@ -45,6 +48,7 @@ type Options struct {
 func (o Options) engineConfig() placement.Config {
 	cfg := placement.DefaultConfig()
 	cfg.NoPipeline = o.NoPipeline
+	cfg.NoDedup = o.NoDedup
 	return cfg
 }
 

@@ -24,9 +24,22 @@ type Placement struct {
 	PendantLength   float64
 }
 
-// QueryResult groups a query's candidate placements, best first.
+// NameMult is one (read name, multiplicity) pair of an nm-style placement
+// entry (jplace "nm" field, Matsen et al. 2012): one placement record
+// standing for several reads at once.
+type NameMult struct {
+	Name         string
+	Multiplicity float64
+}
+
+// QueryResult groups a query's candidate placements, best first. Exactly one
+// of Name / NM is the record's identity: when NM is non-empty the entry is
+// written with the jplace "nm" field (multiple reads sharing one placement,
+// each with a multiplicity) instead of "n"; Name is then a convenience
+// mirror of the first NM entry.
 type Placements struct {
 	Name       string
+	NM         []NameMult
 	Placements []Placement
 }
 
@@ -45,9 +58,14 @@ type jsonDoc struct {
 	Metadata   map[string]any  `json:"metadata"`
 }
 
+// jsonPlacement carries exactly one of n / nm. Both are omitempty so a
+// classic n-style document's bytes are unchanged by the nm feature (n is
+// always length 1 when used) and an nm-style entry never emits a spurious
+// null n.
 type jsonPlacement struct {
-	P [][]float64 `json:"p"`
-	N []string    `json:"n"`
+	P  [][]float64 `json:"p"`
+	N  []string    `json:"n,omitempty"`
+	NM [][]any     `json:"nm,omitempty"`
 }
 
 // TreeString renders the tree in jplace newick form, with {edge_num} tags
@@ -110,7 +128,14 @@ func Write(w io.Writer, doc *Document) error {
 		},
 	}
 	for _, q := range doc.Queries {
-		jp := jsonPlacement{N: []string{q.Name}}
+		var jp jsonPlacement
+		if len(q.NM) > 0 {
+			for _, nm := range q.NM {
+				jp.NM = append(jp.NM, []any{nm.Name, nm.Multiplicity})
+			}
+		} else {
+			jp.N = []string{q.Name}
+		}
 		for _, p := range q.Placements {
 			jp.P = append(jp.P, []float64{
 				float64(p.EdgeNum), p.LogLikelihood, p.LikeWeightRatio, p.DistalLength, p.PendantLength,
@@ -145,10 +170,26 @@ func Read(r io.Reader) (*Document, error) {
 		doc.Invocation = inv
 	}
 	for _, jp := range jd.Placements {
-		if len(jp.N) != 1 {
-			return nil, fmt.Errorf("jplace: placement with %d names", len(jp.N))
+		var q Placements
+		switch {
+		case len(jp.NM) > 0 && len(jp.N) == 0:
+			for _, row := range jp.NM {
+				if len(row) != 2 {
+					return nil, fmt.Errorf("jplace: nm entry with %d values", len(row))
+				}
+				name, okN := row[0].(string)
+				mult, okM := row[1].(float64)
+				if !okN || !okM {
+					return nil, fmt.Errorf("jplace: malformed nm entry %v", row)
+				}
+				q.NM = append(q.NM, NameMult{Name: name, Multiplicity: mult})
+			}
+			q.Name = q.NM[0].Name
+		case len(jp.N) == 1 && len(jp.NM) == 0:
+			q.Name = jp.N[0]
+		default:
+			return nil, fmt.Errorf("jplace: placement with %d names and %d nm entries", len(jp.N), len(jp.NM))
 		}
-		q := Placements{Name: jp.N[0]}
 		for _, row := range jp.P {
 			if len(row) != len(Fields) {
 				return nil, fmt.Errorf("jplace: placement row with %d values", len(row))

@@ -1,0 +1,63 @@
+package jplace
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// GroupByPlacement merges queries whose placement vectors are bit-identical
+// into single nm-style entries: one placement record carrying every read
+// name with its multiplicity (the number of times that name occurred).
+// Groups appear in first-occurrence order, names within a group likewise, so
+// the output is deterministic. Queries with unique placements become
+// single-entry nm groups — a jplace consumer then sees a uniformly nm-style
+// document. Comparison is on exact float bits, which is the right notion
+// here: the dedup layer fans identical results out of one scored
+// representative, so duplicates match exactly or not at all.
+func GroupByPlacement(qs []Placements) []Placements {
+	type group struct {
+		idx   int // index into out
+		names map[string]int
+	}
+	groups := make(map[string]*group)
+	var out []Placements
+	for _, q := range qs {
+		key := placementKey(q.Placements)
+		g, ok := groups[key]
+		if !ok {
+			g = &group{idx: len(out), names: make(map[string]int)}
+			groups[key] = g
+			out = append(out, Placements{Name: q.Name, Placements: q.Placements})
+		}
+		if g.names[q.Name] == 0 {
+			p := &out[g.idx]
+			p.NM = append(p.NM, NameMult{Name: q.Name})
+		}
+		g.names[q.Name]++
+	}
+	for _, g := range groups {
+		p := &out[g.idx]
+		for i := range p.NM {
+			p.NM[i].Multiplicity = float64(g.names[p.NM[i].Name])
+		}
+	}
+	return out
+}
+
+// placementKey renders a placement vector's exact bit pattern as a map key.
+func placementKey(ps []Placement) string {
+	buf := make([]byte, 0, len(ps)*40)
+	var b [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(b[:], v)
+		buf = append(buf, b[:]...)
+	}
+	for _, p := range ps {
+		put(uint64(p.EdgeNum))
+		put(math.Float64bits(p.LogLikelihood))
+		put(math.Float64bits(p.LikeWeightRatio))
+		put(math.Float64bits(p.DistalLength))
+		put(math.Float64bits(p.PendantLength))
+	}
+	return string(buf)
+}

@@ -1,0 +1,98 @@
+package jplace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func nmDoc() *Document {
+	shared := []Placement{{EdgeNum: 2, LogLikelihood: -10.5, LikeWeightRatio: 0.9, DistalLength: 0.05, PendantLength: 0.1}}
+	other := []Placement{{EdgeNum: 4, LogLikelihood: -11.5, LikeWeightRatio: 0.8, DistalLength: 0.01, PendantLength: 0.2}}
+	return &Document{
+		Tree: "(A:0.1{0},B:0.2{1});",
+		Queries: []Placements{
+			{Name: "r1", Placements: shared},
+			{Name: "r2", Placements: other},
+			{Name: "r3", Placements: shared},
+			{Name: "r1", Placements: shared}, // same name again → multiplicity 2
+		},
+	}
+}
+
+func TestGroupByPlacement(t *testing.T) {
+	got := GroupByPlacement(nmDoc().Queries)
+	if len(got) != 2 {
+		t.Fatalf("groups = %d, want 2", len(got))
+	}
+	// First-occurrence order: the shared group (seeded by r1) first.
+	g := got[0]
+	if g.Name != "r1" || len(g.NM) != 2 {
+		t.Fatalf("group 0 = %+v", g)
+	}
+	if g.NM[0] != (NameMult{Name: "r1", Multiplicity: 2}) || g.NM[1] != (NameMult{Name: "r3", Multiplicity: 1}) {
+		t.Fatalf("group 0 nm = %+v", g.NM)
+	}
+	if got[1].NM[0] != (NameMult{Name: "r2", Multiplicity: 1}) {
+		t.Fatalf("group 1 nm = %+v", got[1].NM)
+	}
+	if got[0].Placements[0].EdgeNum != 2 || got[1].Placements[0].EdgeNum != 4 {
+		t.Fatal("groups carry wrong placement vectors")
+	}
+}
+
+func TestNMRoundTrip(t *testing.T) {
+	doc := nmDoc()
+	doc.Queries = GroupByPlacement(doc.Queries)
+	var buf bytes.Buffer
+	if err := Write(&buf, doc); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"nm"`) {
+		t.Fatal("nm-style document has no nm field")
+	}
+	if strings.Contains(buf.String(), `"n"`+":") {
+		t.Fatal("nm-style entry also emitted an n field")
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Queries) != 2 {
+		t.Fatalf("round-trip queries = %d", len(got.Queries))
+	}
+	q := got.Queries[0]
+	if q.Name != "r1" || len(q.NM) != 2 || q.NM[0].Multiplicity != 2 {
+		t.Fatalf("round-trip group 0 = %+v", q)
+	}
+}
+
+// TestNStyleBytesUnchanged guards the format compatibility promise: adding
+// nm support must not change a single byte of classic n-style output.
+func TestNStyleBytesUnchanged(t *testing.T) {
+	doc := nmDoc()
+	var buf bytes.Buffer
+	if err := Write(&buf, doc); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "nm") {
+		t.Fatal("n-style document mentions nm")
+	}
+	if !strings.Contains(buf.String(), `"n": [`) {
+		t.Fatal("n field missing from n-style output")
+	}
+}
+
+func TestReadRejectsMixedNames(t *testing.T) {
+	const header = `{"version":3,"tree":"","fields":["edge_num","likelihood","like_weight_ratio","distal_length","pendant_length"],"placements":[`
+	for _, bad := range []string{
+		header + `{"p":[[1,2,3,4,5]],"n":["x"],"nm":[["y",1]]}]}`, // both
+		header + `{"p":[[1,2,3,4,5]]}]}`,                          // neither
+		header + `{"p":[[1,2,3,4,5]],"nm":[["y"]]}]}`,             // short nm row
+		header + `{"p":[[1,2,3,4,5]],"nm":[[1,"y"]]}]}`,           // swapped types
+	} {
+		if _, err := Read(strings.NewReader(bad)); err == nil {
+			t.Errorf("accepted malformed document: %s", bad)
+		}
+	}
+}

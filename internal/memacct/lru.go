@@ -1,0 +1,129 @@
+package memacct
+
+import "container/list"
+
+// LRU is a byte-accounted least-recently-used cache. Every entry's cost is
+// reserved through an Accountant category, so the cache competes for the
+// same budget as everything else the accountant governs (CLV slots,
+// admission headroom): an insert that would push the accountant over its
+// limit evicts cold entries first and is refused outright if eviction
+// cannot make room. ReleaseHeadroom lets an external admission path shrink
+// the cache on demand — the "evict before rejecting work" ordering the
+// serving layer wants.
+//
+// LRU is not internally synchronized; callers guard it with their own lock
+// (the result cache in internal/placement wraps it in a mutex).
+type LRU[K comparable, V any] struct {
+	acct     *Accountant
+	category string
+	maxBytes int64
+	bytes    int64
+	order    *list.List // front = most recent
+	entries  map[K]*list.Element
+}
+
+type lruEntry[K comparable, V any] struct {
+	key   K
+	value V
+	cost  int64
+}
+
+// NewLRU creates an accounted LRU holding at most maxBytes of entry cost
+// (and never more than the accountant admits). The category is registered
+// immediately with a zero-byte allocation so it appears in the accountant's
+// peak breakdown even if the cache never fills.
+func NewLRU[K comparable, V any](acct *Accountant, category string, maxBytes int64) *LRU[K, V] {
+	acct.Alloc(category, 0)
+	return &LRU[K, V]{
+		acct:     acct,
+		category: category,
+		maxBytes: maxBytes,
+		order:    list.New(),
+		entries:  make(map[K]*list.Element),
+	}
+}
+
+// Get returns the cached value and marks it most-recently-used.
+func (c *LRU[K, V]) Get(key K) (V, bool) {
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		return el.Value.(*lruEntry[K, V]).value, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Add inserts or refreshes key at the given byte cost. It evicts
+// least-recently-used entries until both the cache's own maxBytes cap and
+// the accountant admit the new entry; if even an empty cache cannot fit it,
+// the insert is refused (added=false). Returns how many entries were
+// evicted to make room.
+func (c *LRU[K, V]) Add(key K, value V, cost int64) (added bool, evicted int) {
+	if el, ok := c.entries[key]; ok {
+		// Refresh: drop the old entry first so cost changes account
+		// cleanly. Not counted as a pressure eviction.
+		c.removeElement(el)
+	}
+	if cost > c.maxBytes {
+		return false, 0
+	}
+	for c.bytes+cost > c.maxBytes && c.order.Len() > 0 {
+		c.evictOldest()
+		evicted++
+	}
+	for !c.acct.TryAlloc(c.category, cost) {
+		if c.order.Len() == 0 {
+			return false, evicted
+		}
+		c.evictOldest()
+		evicted++
+	}
+	el := c.order.PushFront(&lruEntry[K, V]{key: key, value: value, cost: cost})
+	c.entries[key] = el
+	c.bytes += cost
+	return true, evicted
+}
+
+// ReleaseHeadroom evicts entries until the accountant has at least `need`
+// bytes of headroom or the cache is empty. Returns how many entries were
+// evicted and whether the headroom was reached.
+func (c *LRU[K, V]) ReleaseHeadroom(need int64) (evicted int, ok bool) {
+	for c.acct.Headroom() < need {
+		if c.order.Len() == 0 {
+			return evicted, false
+		}
+		c.evictOldest()
+		evicted++
+	}
+	return evicted, true
+}
+
+// Purge evicts everything, returning the cache's accounted bytes to the
+// accountant. After Purge the category is drained (AssertDrained passes).
+func (c *LRU[K, V]) Purge() {
+	for c.order.Len() > 0 {
+		c.evictOldest()
+	}
+}
+
+// Bytes returns the cache's current accounted entry cost.
+func (c *LRU[K, V]) Bytes() int64 { return c.bytes }
+
+// Len returns the number of cached entries.
+func (c *LRU[K, V]) Len() int { return c.order.Len() }
+
+func (c *LRU[K, V]) evictOldest() {
+	el := c.order.Back()
+	if el == nil {
+		return
+	}
+	c.removeElement(el)
+}
+
+func (c *LRU[K, V]) removeElement(el *list.Element) {
+	e := el.Value.(*lruEntry[K, V])
+	c.order.Remove(el)
+	delete(c.entries, e.key)
+	c.bytes -= e.cost
+	c.acct.Free(c.category, e.cost)
+}

@@ -1,0 +1,140 @@
+package memacct
+
+import "testing"
+
+func TestLRUBasic(t *testing.T) {
+	a := NewAccountant()
+	c := NewLRU[string, int](a, "cache", 100)
+	if _, ok := c.Get("x"); ok {
+		t.Fatal("empty cache returned a hit")
+	}
+	if added, ev := c.Add("x", 1, 40); !added || ev != 0 {
+		t.Fatalf("add x: added=%v evicted=%d", added, ev)
+	}
+	if v, ok := c.Get("x"); !ok || v != 1 {
+		t.Fatalf("get x = %d,%v", v, ok)
+	}
+	if c.Bytes() != 40 || c.Len() != 1 {
+		t.Fatalf("bytes=%d len=%d", c.Bytes(), c.Len())
+	}
+	if a.Breakdown()["cache"] != 40 {
+		t.Fatalf("accountant sees %d cache bytes", a.Breakdown()["cache"])
+	}
+}
+
+func TestLRUEvictsOldestAtCap(t *testing.T) {
+	a := NewAccountant()
+	c := NewLRU[string, int](a, "cache", 100)
+	c.Add("a", 1, 40)
+	c.Add("b", 2, 40)
+	c.Get("a") // a is now more recent than b
+	if added, ev := c.Add("c", 3, 40); !added || ev != 1 {
+		t.Fatalf("add c: added=%v evicted=%d, want eviction of b", added, ev)
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived; LRU order not respected")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a evicted despite recent use")
+	}
+	if c.Bytes() != 80 {
+		t.Fatalf("bytes=%d, want 80", c.Bytes())
+	}
+}
+
+func TestLRUOversizedEntryRefused(t *testing.T) {
+	a := NewAccountant()
+	c := NewLRU[string, int](a, "cache", 100)
+	c.Add("a", 1, 60)
+	if added, _ := c.Add("big", 2, 150); added {
+		t.Fatal("entry above maxBytes was admitted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("refused insert evicted existing entries")
+	}
+}
+
+func TestLRURefreshReplacesCost(t *testing.T) {
+	a := NewAccountant()
+	c := NewLRU[string, int](a, "cache", 100)
+	c.Add("a", 1, 40)
+	if added, ev := c.Add("a", 2, 60); !added || ev != 0 {
+		t.Fatalf("refresh: added=%v evicted=%d", added, ev)
+	}
+	if v, _ := c.Get("a"); v != 2 {
+		t.Fatalf("refreshed value = %d", v)
+	}
+	if c.Bytes() != 60 || c.Len() != 1 {
+		t.Fatalf("bytes=%d len=%d after refresh", c.Bytes(), c.Len())
+	}
+	if a.Breakdown()["cache"] != 60 {
+		t.Fatalf("accountant sees %d", a.Breakdown()["cache"])
+	}
+}
+
+// TestLRUAccountantPressure is the budget-fairness property: with a tight
+// accountant limit shared with another category, the cache evicts itself to
+// fit rather than tripping ErrOvercommit, and refuses inserts once empty
+// eviction can't help.
+func TestLRUAccountantPressure(t *testing.T) {
+	a := NewAccountant()
+	a.SetLimit(100)
+	a.Alloc("other", 50)
+	c := NewLRU[string, int](a, "cache", 1000) // own cap is not the binding one
+	c.Add("a", 1, 30)
+	// 30 cached + 50 other = 80; adding 40 exceeds the limit → evict a.
+	if added, ev := c.Add("b", 2, 40); !added || ev != 1 {
+		t.Fatalf("add b: added=%v evicted=%d", added, ev)
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("a survived accountant pressure")
+	}
+	// 60 needed but only 50 can ever be free: refuse, drain fully.
+	if added, _ := c.Add("huge", 3, 60); added {
+		t.Fatal("insert beyond achievable headroom was admitted")
+	}
+	if err := a.Err(); err != nil {
+		t.Fatalf("cache pressure tripped the accountant: %v", err)
+	}
+	a.Free("other", 50)
+}
+
+func TestLRUReleaseHeadroom(t *testing.T) {
+	a := NewAccountant()
+	a.SetLimit(100)
+	c := NewLRU[string, int](a, "cache", 1000)
+	c.Add("a", 1, 40)
+	c.Add("b", 2, 40)
+	if a.Headroom() != 20 {
+		t.Fatalf("headroom = %d", a.Headroom())
+	}
+	ev, ok := c.ReleaseHeadroom(50)
+	if !ok || ev != 1 {
+		t.Fatalf("release: ok=%v evicted=%d", ok, ev)
+	}
+	if _, hit := c.Get("a"); hit {
+		t.Fatal("oldest entry survived ReleaseHeadroom")
+	}
+	// More than the whole budget can't be released.
+	if _, ok := c.ReleaseHeadroom(200); ok {
+		t.Fatal("released more headroom than the limit allows")
+	}
+}
+
+func TestLRUPurgeDrains(t *testing.T) {
+	a := NewAccountant()
+	c := NewLRU[string, int](a, "cache", 100)
+	c.Add("a", 1, 30)
+	c.Add("b", 2, 30)
+	c.Purge()
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Fatalf("len=%d bytes=%d after purge", c.Len(), c.Bytes())
+	}
+	if err := a.AssertDrained("cache"); err != nil {
+		t.Fatalf("category not drained after purge: %v", err)
+	}
+	// The zero-byte registration keeps the category visible in peaks.
+	if _, ok := a.PeakBreakdown()["cache"]; !ok {
+		t.Fatal("cache category missing from peak breakdown")
+	}
+}

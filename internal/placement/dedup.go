@@ -1,0 +1,25 @@
+package placement
+
+import "phylomem/internal/seq"
+
+// groupByContent partitions a chunk by encoded sequence content. It returns
+// the chunk indices of the representatives (first occurrence of each
+// distinct sequence, in chunk order — so the distinct sub-chunk preserves
+// the original relative order and placement stays deterministic) and, for
+// every chunk index, the position of its representative within reps.
+func groupByContent(chunk []Query) (reps []int, owner []int) {
+	reps = make([]int, 0, len(chunk))
+	owner = make([]int, len(chunk))
+	seen := make(map[seq.Digest]int, len(chunk))
+	for qi, q := range chunk {
+		d := seq.DigestCodes(q.Codes)
+		rep, ok := seen[d]
+		if !ok {
+			rep = len(reps)
+			seen[d] = rep
+			reps = append(reps, qi)
+		}
+		owner[qi] = rep
+	}
+	return reps, owner
+}

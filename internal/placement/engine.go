@@ -67,6 +67,14 @@ type Config struct {
 	// FilterMax bounds the number of placements reported per query
 	// (default 7, EPA-NG's --filter-max).
 	FilterMax int
+	// NoDedup disables in-flight query deduplication. By default every
+	// chunk's queries are grouped by encoded sequence content, one
+	// representative per distinct sequence is placed, and the scored result
+	// is fanned back out to every duplicate — byte-identical to the
+	// non-deduped output (placement is a pure function of the encoded
+	// codes), at a fraction of the work when traffic is redundant. The
+	// opt-out exists for measurement and debugging.
+	NoDedup bool
 	// NoPipeline disables the overlapped chunk reader (which decodes and
 	// validates chunk N+1 while chunk N is being placed) and processes
 	// chunks strictly synchronously. Placement output is identical either
@@ -142,9 +150,10 @@ type Engine struct {
 	blkBufs [2]*branchBlock
 
 	// tel and trace mirror Config.Telemetry / Config.Trace; both may be nil
-	// (disabled). pipe caches tel.PipelineGroup() for the streaming paths.
+	// (disabled). pipe and dedup cache the sink's groups for the hot paths.
 	tel   *telemetry.Sink
 	pipe  *telemetry.Pipeline
+	dedup *telemetry.Dedup
 	trace *telemetry.Trace
 
 	// runMu serializes the place paths (PlaceStream, PlaceBatch) and Close:
@@ -162,6 +171,8 @@ type Engine struct {
 type RunStats struct {
 	QueriesPlaced   int
 	QueriesSkipped  int // malformed queries skipped (lenient mode)
+	QueriesDistinct int // distinct sequences scored by the dedup layer (0 when dedup is off)
+	QueriesDeduped  int // duplicate queries served by fan-out instead of scoring
 	Phase1          time.Duration
 	Phase2          time.Duration
 	Precompute      time.Duration
@@ -279,6 +290,7 @@ func NewContext(ctx context.Context, part *phylo.Partition, tr *tree.Tree, cfg C
 	e.pool = parallel.New(poolWorkers)
 	e.tel = cfg.Telemetry
 	e.pipe = e.tel.PipelineGroup()
+	e.dedup = e.tel.DedupGroup()
 	e.trace = cfg.Trace
 	if e.tel != nil {
 		e.tel.Pool.Init(e.pool.Size())
@@ -299,7 +311,10 @@ func NewContext(ctx context.Context, part *phylo.Partition, tr *tree.Tree, cfg C
 	// breakdown maps carry the same key set regardless of whether the
 	// pipelined reader ran — the stats-json schema must depend only on the
 	// code version, never on the execution mode.
-	for _, cat := range []string{"chunk-queries", "chunk-scores", "chunk-prefetch"} {
+	// "result-cache" is likewise seeded even though only the serving path
+	// attaches a ResultCache: the breakdown's key set must not depend on
+	// how the engine is driven.
+	for _, cat := range []string{"chunk-queries", "chunk-scores", "chunk-prefetch", resultCacheCategory} {
 		e.acct.Alloc(cat, 0)
 	}
 

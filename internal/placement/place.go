@@ -45,6 +45,16 @@ type candidate struct {
 	pend   float64
 }
 
+// placeChunk is the single choke point of every placement path (PlaceStream
+// sync and pipelined, PlaceBatch, and therefore the server's Batcher
+// flushes). It validates the chunk, accounts its resident query bytes, and —
+// unless Config.NoDedup — groups the queries by encoded sequence content,
+// places one representative per distinct sequence via placeDistinct, and
+// fans the scored results back out in the chunk's original order. Because
+// placement is a pure deterministic function of a query's codes, the
+// fanned-out output is byte-identical to placing every duplicate
+// individually; only the work (and the per-chunk score-matrix footprint,
+// accounted under "chunk-scores" for representatives only) shrinks.
 func (e *Engine) placeChunk(ctx context.Context, chunk []Query) ([]jplace.Placements, error) {
 	for _, q := range chunk {
 		if len(q.Codes) != e.part.Comp.OriginalWidth() {
@@ -52,13 +62,48 @@ func (e *Engine) placeChunk(ctx context.Context, chunk []Query) ([]jplace.Placem
 				q.Name, len(q.Codes), e.part.Comp.OriginalWidth())
 		}
 	}
+	// The full chunk is resident regardless of dedup — duplicates still hold
+	// their code slices until fan-out — so query bytes are accounted here,
+	// for the whole chunk, not per representative.
+	qBytes := QueryBytes(chunk)
+	e.acct.Alloc("chunk-queries", qBytes)
+	defer e.acct.Free("chunk-queries", qBytes)
+
+	if e.cfg.NoDedup {
+		return e.placeDistinct(ctx, chunk)
+	}
+	reps, owner := groupByContent(chunk)
+	e.dedup.ObserveChunk(len(chunk), len(reps))
+	e.stats.QueriesDistinct += len(reps)
+	e.stats.QueriesDeduped += len(chunk) - len(reps)
+	if len(reps) == len(chunk) {
+		// Nothing folded; place the chunk as-is.
+		return e.placeDistinct(ctx, chunk)
+	}
+	distinct := make([]Query, len(reps))
+	for i, qi := range reps {
+		distinct[i] = chunk[qi]
+	}
+	res, err := e.placeDistinct(ctx, distinct)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]jplace.Placements, len(chunk))
+	for qi := range chunk {
+		// Duplicates share the representative's placement slice: it is
+		// read-only from here on (serialization, nm grouping).
+		out[qi] = jplace.Placements{Name: chunk[qi].Name, Placements: res[owner[qi]].Placements}
+	}
+	return out, nil
+}
+
+// placeDistinct runs the two placement phases over a chunk whose queries are
+// assumed distinct (or dedup is off).
+func (e *Engine) placeDistinct(ctx context.Context, chunk []Query) ([]jplace.Placements, error) {
 	nb := e.tr.NumBranches()
 	scoresBytes := int64(len(chunk)) * int64(nb) * 8
 	e.acct.Alloc("chunk-scores", scoresBytes)
 	defer e.acct.Free("chunk-scores", scoresBytes)
-	qBytes := QueryBytes(chunk)
-	e.acct.Alloc("chunk-queries", qBytes)
-	defer e.acct.Free("chunk-queries", qBytes)
 	// The chunk's allocations are in place: abort before the expensive
 	// phases if the accountant detected an overcommit.
 	if err := e.acct.Err(); err != nil {

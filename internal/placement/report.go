@@ -21,6 +21,8 @@ type Report struct {
 type RunStatsReport struct {
 	QueriesPlaced     int     `json:"queries_placed"`
 	QueriesSkipped    int     `json:"queries_skipped"`
+	QueriesDistinct   int     `json:"queries_distinct"`
+	QueriesDeduped    int     `json:"queries_deduped"`
 	ChunksProcessed   int     `json:"chunks_processed"`
 	Phase1NS          int64   `json:"phase1_ns"`
 	Phase2NS          int64   `json:"phase2_ns"`
@@ -78,6 +80,8 @@ func (e *Engine) Report() Report {
 		RunStats: RunStatsReport{
 			QueriesPlaced:     s.QueriesPlaced,
 			QueriesSkipped:    s.QueriesSkipped,
+			QueriesDistinct:   s.QueriesDistinct,
+			QueriesDeduped:    s.QueriesDeduped,
 			ChunksProcessed:   s.ChunksProcessed,
 			Phase1NS:          int64(s.Phase1),
 			Phase2NS:          int64(s.Phase2),

@@ -1,0 +1,156 @@
+package placement
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+
+	"phylomem/internal/jplace"
+	"phylomem/internal/memacct"
+	"phylomem/internal/seq"
+	"phylomem/internal/telemetry"
+)
+
+// ReferenceKey fingerprints the placement context a cached result depends
+// on: the jplace-rendered reference tree (topology, branch lengths, edge
+// numbering) and the model description. Results are only valid for the exact
+// (tree, model) pair they were computed under, so the fingerprint is part of
+// every cache key.
+func ReferenceKey(treeStr, model string) string {
+	h := sha256.New()
+	h.Write([]byte(treeStr))
+	h.Write([]byte{0})
+	h.Write([]byte(model))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// ResultCache is the cross-request level of the redundancy-elimination
+// layer: a content-addressed LRU over placement results, keyed by
+// (reference fingerprint, encoded-sequence digest). Its bytes are reserved
+// through the engine accountant's "result-cache" category, so cached results
+// compete for the same --maxmem budget as CLV slots and admission headroom —
+// and under pressure the cache shrinks (ReleaseHeadroom) before the server
+// rejects work. A nil *ResultCache is a valid always-miss cache, so callers
+// need no branches for the disabled case. All methods are safe for
+// concurrent use.
+type ResultCache struct {
+	mu     sync.Mutex
+	lru    *memacct.LRU[resultKey, []jplace.Placement]
+	refKey string
+	tel    *telemetry.Dedup
+}
+
+type resultKey struct {
+	ref    string
+	digest seq.Digest
+}
+
+// resultCacheCategory is the accountant category cache bytes live under.
+const resultCacheCategory = "result-cache"
+
+// perPlacementCost is the accounted size of one jplace.Placement (five
+// 8-byte fields), and entryOverheadCost covers the key, the list element,
+// and map bookkeeping per entry. The estimates are deliberately on the
+// logical side, like every other accountant category: the budget governs
+// intent, Go's allocator governs truth.
+const (
+	perPlacementCost  = 40
+	entryOverheadCost = 160
+)
+
+// NewResultCache creates a cache bounded by maxBytes (and by whatever the
+// accountant admits). refKey scopes every entry to one (tree, model) pair;
+// tel (nil ok) receives hit/miss/eviction counters and size gauges.
+func NewResultCache(acct *memacct.Accountant, maxBytes int64, refKey string, tel *telemetry.Dedup) *ResultCache {
+	return &ResultCache{
+		lru:    memacct.NewLRU[resultKey, []jplace.Placement](acct, resultCacheCategory, maxBytes),
+		refKey: refKey,
+		tel:    tel,
+	}
+}
+
+// Get returns the cached placements for a query's content, or (nil, false).
+// The returned slice is shared and must be treated as read-only.
+func (c *ResultCache) Get(digest seq.Digest) ([]jplace.Placement, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ps, ok := c.lru.Get(resultKey{ref: c.refKey, digest: digest})
+	if ok {
+		c.tel.CacheHit()
+	} else {
+		c.tel.CacheMiss()
+	}
+	return ps, ok
+}
+
+// Put caches a query's placements, evicting cold entries if the cache cap or
+// the accountant budget demands it. An entry the budget cannot fit even
+// after evicting everything is silently not cached — the cache never causes
+// an overcommit.
+func (c *ResultCache) Put(digest seq.Digest, ps []jplace.Placement) {
+	if c == nil {
+		return
+	}
+	cost := int64(entryOverheadCost + perPlacementCost*len(ps))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	added, evicted := c.lru.Add(resultKey{ref: c.refKey, digest: digest}, ps, cost)
+	if added {
+		c.tel.CacheInsert()
+	}
+	c.tel.CacheEvict(evicted)
+	c.tel.SetCacheSize(c.lru.Bytes(), c.lru.Len())
+}
+
+// ReleaseHeadroom evicts entries until the accountant has at least `need`
+// bytes of headroom or the cache is empty, and reports whether anything was
+// evicted. The server's admission path calls this before rejecting a
+// request with 429: cold cached results are the first thing to give way.
+func (c *ResultCache) ReleaseHeadroom(need int64) bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	evicted, _ := c.lru.ReleaseHeadroom(need)
+	if evicted > 0 {
+		c.tel.CacheEvict(evicted)
+		c.tel.SetCacheSize(c.lru.Bytes(), c.lru.Len())
+	}
+	return evicted > 0
+}
+
+// Purge evicts everything, draining the cache's accountant category (so the
+// engine's Close audit sees zero balance). Idempotent.
+func (c *ResultCache) Purge() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lru.Purge()
+	c.tel.SetCacheSize(0, 0)
+}
+
+// Bytes returns the cache's current accounted footprint.
+func (c *ResultCache) Bytes() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Bytes()
+}
+
+// Len returns the number of cached results.
+func (c *ResultCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

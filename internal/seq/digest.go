@@ -1,0 +1,39 @@
+package seq
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// Digest is a content address for an encoded sequence: the SHA-256 of its
+// state-bitmask codes. Two queries with the same digest are guaranteed to
+// produce identical placements (placement is a pure function of the encoded
+// codes given a fixed tree and model), which is what makes both in-flight
+// dedup and cross-request result caching sound. The digest is computed over
+// the encoded codes, not the raw characters, so spellings that encode
+// identically (e.g. case differences, '-' vs '?') dedup together.
+type Digest [sha256.Size]byte
+
+// DigestCodes hashes an encoded sequence. Codes are serialized
+// little-endian so the digest is stable across platforms.
+func DigestCodes(codes []uint32) Digest {
+	h := sha256.New()
+	var buf [8]byte
+	for len(codes) >= 2 {
+		binary.LittleEndian.PutUint32(buf[0:4], codes[0])
+		binary.LittleEndian.PutUint32(buf[4:8], codes[1])
+		h.Write(buf[:8])
+		codes = codes[2:]
+	}
+	if len(codes) == 1 {
+		binary.LittleEndian.PutUint32(buf[0:4], codes[0])
+		h.Write(buf[:4])
+	}
+	var d Digest
+	h.Sum(d[:0])
+	return d
+}
+
+// String returns the digest as lowercase hex.
+func (d Digest) String() string { return hex.EncodeToString(d[:]) }

@@ -1,0 +1,46 @@
+package seq
+
+import "testing"
+
+func TestDigestCodes(t *testing.T) {
+	a := []uint32{1, 2, 3, 4, 5}
+	b := []uint32{1, 2, 3, 4, 5}
+	if DigestCodes(a) != DigestCodes(b) {
+		t.Fatal("equal code slices digest differently")
+	}
+	if DigestCodes(a) == DigestCodes([]uint32{1, 2, 3, 4, 6}) {
+		t.Fatal("different codes share a digest")
+	}
+	// Length matters even with shared prefixes (odd vs even tail path).
+	if DigestCodes([]uint32{1, 2, 3}) == DigestCodes([]uint32{1, 2}) {
+		t.Fatal("prefix digests collide")
+	}
+	if DigestCodes(nil) != DigestCodes([]uint32{}) {
+		t.Fatal("nil and empty digest differently")
+	}
+}
+
+// TestDigestMatchesEncoding checks the property the dedup layer relies on:
+// raw spellings that encode to the same state masks share a digest.
+func TestDigestMatchesEncoding(t *testing.T) {
+	enc := func(s string) []uint32 {
+		codes, err := DNA.Encode([]byte(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return codes
+	}
+	if DigestCodes(enc("ACGT")) != DigestCodes(enc("acgt")) {
+		t.Fatal("case-insensitive spellings digest differently")
+	}
+	if DigestCodes(enc("ACGT")) == DigestCodes(enc("ACGA")) {
+		t.Fatal("distinct sequences share a digest")
+	}
+}
+
+func TestDigestString(t *testing.T) {
+	s := DigestCodes([]uint32{7}).String()
+	if len(s) != 64 {
+		t.Fatalf("hex digest length = %d, want 64", len(s))
+	}
+}

@@ -16,6 +16,7 @@ type Snapshot struct {
 	Pool     PoolSnapshot     `json:"pool"`
 	Pipeline PipelineSnapshot `json:"pipeline"`
 	Server   ServerSnapshot   `json:"server"`
+	Dedup    DedupSnapshot    `json:"dedup"`
 }
 
 // AMCSnapshot is the slot manager section of a Snapshot.
@@ -89,6 +90,41 @@ type ServerSnapshot struct {
 	BatchLatency    HistogramSnapshot `json:"batch_latency"`
 }
 
+// DedupSnapshot is the redundancy-elimination section of a Snapshot:
+// in-flight query dedup plus the content-addressed result cache. All-zero
+// when dedup is disabled or no cache is configured (the key set is
+// schema-stable regardless).
+type DedupSnapshot struct {
+	QueriesSeen      uint64 `json:"queries_seen"`
+	QueriesDistinct  uint64 `json:"queries_distinct"`
+	DuplicatesFolded uint64 `json:"duplicates_folded"`
+	CacheHits        uint64 `json:"cache_hits"`
+	CacheMisses      uint64 `json:"cache_misses"`
+	CacheInserts     uint64 `json:"cache_inserts"`
+	CacheEvictions   uint64 `json:"cache_evictions"`
+	CachedBytes      int64  `json:"cached_bytes"`
+	CachedEntries    int64  `json:"cached_entries"`
+}
+
+// DedupRatio returns QueriesSeen / QueriesDistinct, or 0 with no queries:
+// the average number of requesters each placed representative served.
+func (d DedupSnapshot) DedupRatio() float64 {
+	if d.QueriesDistinct == 0 {
+		return 0
+	}
+	return float64(d.QueriesSeen) / float64(d.QueriesDistinct)
+}
+
+// CacheHitRate returns CacheHits / (CacheHits + CacheMisses), or 0 with no
+// lookups.
+func (d DedupSnapshot) CacheHitRate() float64 {
+	total := d.CacheHits + d.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(d.CacheHits) / float64(total)
+}
+
 // Snapshot renders the sink's current counter values. Safe to call while
 // the run is still mutating the sink; the values are then advisory. A nil
 // sink yields the zero snapshot (with an empty worker list).
@@ -142,6 +178,18 @@ func (s *Sink) Snapshot() Snapshot {
 		BatchedQueries:  sv.BatchedQueries.Load(),
 		RequestLatency:  sv.RequestLatency.snapshot(),
 		BatchLatency:    sv.BatchLatency.snapshot(),
+	}
+	d := &s.Dedup
+	out.Dedup = DedupSnapshot{
+		QueriesSeen:      d.QueriesSeen.Load(),
+		QueriesDistinct:  d.QueriesDistinct.Load(),
+		DuplicatesFolded: d.DuplicatesFolded.Load(),
+		CacheHits:        d.CacheHits.Load(),
+		CacheMisses:      d.CacheMisses.Load(),
+		CacheInserts:     d.CacheInserts.Load(),
+		CacheEvictions:   d.CacheEvictions.Load(),
+		CachedBytes:      d.CachedBytes.Load(),
+		CachedEntries:    d.CachedEntries.Load(),
 	}
 	return out
 }

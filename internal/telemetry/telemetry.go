@@ -46,6 +46,19 @@ func (c *Counter) Inc() { c.v.Add(1) }
 // Load returns the current count.
 func (c *Counter) Load() uint64 { return c.v.Load() }
 
+// Gauge tracks a current value (a level, not an event count): cached bytes,
+// entry counts. Unlike MaxGauge it can go down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
 // MaxGauge tracks the maximum value ever observed (a high-water mark).
 type MaxGauge struct{ v atomic.Int64 }
 
@@ -381,16 +394,91 @@ func (s *Server) BatchFlush(nQueries, nRequests int, d time.Duration) {
 	s.BatchLatency.Observe(d)
 }
 
+// Dedup counts the redundancy-elimination layer's activity, on both levels:
+// in-flight dedup (the engine groups each chunk's queries by encoded
+// sequence content and places one representative per distinct sequence) and
+// the cross-request content-addressed result cache. QueriesSeen −
+// QueriesDistinct = DuplicatesFolded is work converted from a full placement
+// into a fan-out copy; CacheHits is work converted into an O(1) lookup.
+// CachedBytes/CachedEntries are levels (the cache's current accounted
+// footprint), not event counts — the cache shrinks under memory pressure, so
+// they go down as well as up.
+type Dedup struct {
+	QueriesSeen      Counter
+	QueriesDistinct  Counter
+	DuplicatesFolded Counter
+
+	CacheHits      Counter
+	CacheMisses    Counter
+	CacheInserts   Counter
+	CacheEvictions Counter
+	CachedBytes    Gauge
+	CachedEntries  Gauge
+}
+
+// ObserveChunk records one deduped chunk: total queries seen, distinct
+// representatives placed.
+func (d *Dedup) ObserveChunk(total, distinct int) {
+	if d == nil {
+		return
+	}
+	d.QueriesSeen.Add(uint64(total))
+	d.QueriesDistinct.Add(uint64(distinct))
+	d.DuplicatesFolded.Add(uint64(total - distinct))
+}
+
+// CacheHit records one result served from the cache.
+func (d *Dedup) CacheHit() {
+	if d == nil {
+		return
+	}
+	d.CacheHits.Inc()
+}
+
+// CacheMiss records one lookup that fell through to placement.
+func (d *Dedup) CacheMiss() {
+	if d == nil {
+		return
+	}
+	d.CacheMisses.Inc()
+}
+
+// CacheInsert records one result added to the cache.
+func (d *Dedup) CacheInsert() {
+	if d == nil {
+		return
+	}
+	d.CacheInserts.Inc()
+}
+
+// CacheEvict records n entries evicted (capacity or memory pressure).
+func (d *Dedup) CacheEvict(n int) {
+	if d == nil || n <= 0 {
+		return
+	}
+	d.CacheEvictions.Add(uint64(n))
+}
+
+// SetCacheSize records the cache's current accounted footprint.
+func (d *Dedup) SetCacheSize(bytes int64, entries int) {
+	if d == nil {
+		return
+	}
+	d.CachedBytes.Set(bytes)
+	d.CachedEntries.Set(int64(entries))
+}
+
 // Sink aggregates one run's telemetry groups. Create one per engine; the
 // engine hands &sink.AMC to the slot manager, &sink.Pool to the worker
-// pool, and updates sink.Pipeline itself; a placement server updates
-// sink.Server from its handlers and batcher. A nil *Sink disables
-// everything.
+// pool, and updates sink.Pipeline and sink.Dedup itself; a placement server
+// updates sink.Server from its handlers and batcher and sink.Dedup from its
+// result cache. A nil *Sink disables everything.
 type Sink struct {
 	AMC      AMC
 	Pool     Pool
 	Pipeline Pipeline
 	Server   Server
+	Dedup    Dedup
 }
 
 // NewSink returns an empty sink.
@@ -426,4 +514,12 @@ func (s *Sink) ServerGroup() *Server {
 		return nil
 	}
 	return &s.Server
+}
+
+// DedupGroup returns &s.Dedup, or nil for a nil sink.
+func (s *Sink) DedupGroup() *Dedup {
+	if s == nil {
+		return nil
+	}
+	return &s.Dedup
 }
