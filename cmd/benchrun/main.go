@@ -26,6 +26,7 @@ import (
 	"phylomem/internal/experiments"
 	"phylomem/internal/memacct"
 	"phylomem/internal/placement"
+	"phylomem/internal/prof"
 	"phylomem/internal/seq"
 	"phylomem/internal/telemetry"
 	"phylomem/internal/workload"
@@ -57,13 +58,18 @@ type ConfigResult struct {
 	Queries int `json:"queries"`
 	Reps    int `json:"reps"`
 
-	NsPerQuery   int64   `json:"ns_per_query"` // min over reps: place wall / queries
-	SetupNS      int64   `json:"setup_ns"`     // min over reps: engine construction incl. lookup build
-	PlannedBytes int64   `json:"planned_bytes"`
-	PeakBytes    int64   `json:"peak_bytes"` // max over reps, accounted
-	BytesGated   bool    `json:"bytes_gated"`
-	SlotMissRate float64 `json:"slot_miss_rate"` // recomputes / (hits + recomputes)
-	Evictions    uint64  `json:"evictions"`
+	// Phase-1 tile dimension overrides (0 = the engine's automatic sizes).
+	TileQueries  int `json:"tile_queries"`
+	TileBranches int `json:"tile_branches"`
+
+	NsPerQuery       int64   `json:"ns_per_query"`        // min over reps: place wall / queries
+	Phase1NsPerQuery int64   `json:"phase1_ns_per_query"` // min over reps: phase-1 (pre-placement) wall / queries
+	SetupNS          int64   `json:"setup_ns"`            // min over reps: engine construction incl. lookup build
+	PlannedBytes     int64   `json:"planned_bytes"`
+	PeakBytes        int64   `json:"peak_bytes"` // max over reps, accounted
+	BytesGated       bool    `json:"bytes_gated"`
+	SlotMissRate     float64 `json:"slot_miss_rate"` // recomputes / (hits + recomputes)
+	Evictions        uint64  `json:"evictions"`
 
 	// Redundancy-elimination metrics (dup50 configs; zero elsewhere).
 	Dedup            bool   `json:"dedup"`
@@ -87,12 +93,28 @@ type Doc struct {
 	// config over the dup50-nodedup control (0 when the dup50 configs are
 	// absent). The gate requires at least minDup50Speedup.
 	Dup50Speedup float64 `json:"dup50_speedup"`
+
+	// TileSpeedupReference/TileSpeedupAMCLookup are phase-1 ns/query of the
+	// tile1 (per-cell-shaped) control over the tiled default for the two
+	// lookup-table configs (0 when the tile1 controls are absent). Phase 1 is
+	// the (query × branch) pre-placement scan the tiled kernels restructure;
+	// gating its time directly keeps the metric independent of the phase-2
+	// candidate-optimization share of total runtime. The gate requires at
+	// least minTileSpeedup once the committed baseline attests the workload
+	// demonstrates it.
+	TileSpeedupReference float64 `json:"tile_speedup_reference"`
+	TileSpeedupAMCLookup float64 `json:"tile_speedup_amc_lookup"`
 }
 
 // minDup50Speedup is the floor the gate enforces on Dup50Speedup: on a
 // 50%-duplicate workload, folding duplicates must pay for its bookkeeping
 // at least 1.8 times over.
 const minDup50Speedup = 1.8
+
+// minTileSpeedup is the floor the gate enforces on the tiled kernels: the
+// default tile sizes must beat the tile1 (per-cell-shaped) control by at
+// least 1.3x phase-1 ns/query on both lookup-table configs.
+const minTileSpeedup = 1.3
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("benchrun", flag.ContinueOnError)
@@ -104,10 +126,21 @@ func run(args []string) error {
 		scale       = fs.Int("scale", 64, "workload scale divisor (pinned; changing it invalidates the baseline)")
 		seed        = fs.Int64("seed", 9, "workload synthesis seed (pinned)")
 		compareOnly = fs.String("compare-only", "", "skip the benchmark run and gate this existing document against --baseline")
+		only        = fs.String("only", "", "run only the named matrix config (diagnostics; the resulting document fails the full gate)")
+		cpuProf     = fs.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.Start(*cpuProf, "")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(os.Stderr, "benchrun:", perr)
+		}
+	}()
 
 	if *compareOnly != "" {
 		if *baseline == "" {
@@ -124,7 +157,7 @@ func run(args []string) error {
 		return gate(base, fresh, *tolerance)
 	}
 
-	doc, err := runMatrix(*scale, *seed, *reps)
+	doc, err := runMatrix(*scale, *seed, *reps, *only)
 	if err != nil {
 		return err
 	}
@@ -167,6 +200,12 @@ type benchConfig struct {
 	noDedup   bool
 	cached    bool
 	chunkSize int
+
+	// tileQ/tileB override the phase-1 tile dimensions (0 = automatic). The
+	// tile1 controls pin both to 1, degenerating the tiled kernels to the
+	// per-query, per-branch shape the tiling replaced.
+	tileQ int
+	tileB int
 }
 
 // matrix is the pinned configuration set. The two reference configs measure
@@ -183,12 +222,26 @@ func matrix() []benchConfig {
 			wantAMC: false, wantLookup: true,
 		},
 		{
+			name: "reference-tile1", threads: 4, pipelined: true,
+			tileQ: 1, tileB: 1,
+			maxMem:  func(memacct.PlanConfig, int64) int64 { return 0 },
+			wantAMC: false, wantLookup: true,
+		},
+		{
 			name: "reference-nolookup", threads: 4, disableLkp: true,
 			maxMem:  func(memacct.PlanConfig, int64) int64 { return 0 },
 			wantAMC: false, wantLookup: false,
 		},
 		{
 			name: "amc-lookup", threads: 1,
+			maxMem: func(pc memacct.PlanConfig, clvBytes int64) int64 {
+				return memacct.LookupFloorBytes(pc) + 8*clvBytes
+			},
+			wantAMC: true, wantLookup: true,
+		},
+		{
+			name: "amc-lookup-tile1", threads: 1,
+			tileQ: 1, tileB: 1,
 			maxMem: func(pc memacct.PlanConfig, clvBytes int64) int64 {
 				return memacct.LookupFloorBytes(pc) + 8*clvBytes
 			},
@@ -249,7 +302,7 @@ func duplicateWorkload(qs []placement.Query, seed int64) []placement.Query {
 	return out
 }
 
-func runMatrix(scale int, seed int64, reps int) (*Doc, error) {
+func runMatrix(scale int, seed int64, reps int, only string) (*Doc, error) {
 	if reps <= 0 {
 		reps = 1
 	}
@@ -264,6 +317,9 @@ func runMatrix(scale int, seed int64, reps int) (*Doc, error) {
 	dupQueries := duplicateWorkload(prep.Queries, seed)
 	doc := &Doc{SchemaVersion: 1, Dataset: ds.Name, Scale: scale, Seed: seed}
 	for _, bc := range matrix() {
+		if only != "" && bc.name != only {
+			continue
+		}
 		cfg := placement.DefaultConfig()
 		cfg.ChunkSize = 200
 		if bc.chunkSize > 0 {
@@ -273,6 +329,8 @@ func runMatrix(scale int, seed int64, reps int) (*Doc, error) {
 		cfg.NoPipeline = !bc.pipelined
 		cfg.DisableLookup = bc.disableLkp
 		cfg.NoDedup = bc.noDedup
+		cfg.TileQueries = bc.tileQ
+		cfg.TileBranches = bc.tileB
 		cfg.MaxMem = bc.maxMem(prep.PlanConfigFor(cfg), prep.Part.CLVBytes())
 
 		queries := prep.Queries
@@ -289,6 +347,7 @@ func runMatrix(scale int, seed int64, reps int) (*Doc, error) {
 			Reps:        reps,
 			BytesGated:  !bc.pipelined,
 			Dedup:       !bc.noDedup,
+			TileQueries: bc.tileQ, TileBranches: bc.tileB,
 		}
 		for r := 0; r < reps; r++ {
 			var sink *telemetry.Sink
@@ -326,6 +385,10 @@ func runMatrix(scale int, seed int64, reps int) (*Doc, error) {
 				return nil, fmt.Errorf("%s: no queries placed", bc.name)
 			}
 			nsq := st.PlaceWall.Nanoseconds() / int64(st.QueriesPlaced)
+			p1nsq := st.Phase1.Nanoseconds() / int64(st.QueriesPlaced)
+			if r == 0 || p1nsq < res.Phase1NsPerQuery {
+				res.Phase1NsPerQuery = p1nsq
+			}
 			if bc.cached {
 				// Serving shape: wall time covers cache lookups + engine
 				// placement of the misses, amortized over every query served.
@@ -360,7 +423,27 @@ func runMatrix(scale int, seed int64, reps int) (*Doc, error) {
 		doc.Configs = append(doc.Configs, res)
 	}
 	doc.Dup50Speedup = dup50Speedup(doc)
+	doc.TileSpeedupReference = tileSpeedup(doc, "reference", "reference-tile1")
+	doc.TileSpeedupAMCLookup = tileSpeedup(doc, "amc-lookup", "amc-lookup-tile1")
 	return doc, nil
+}
+
+// tileSpeedup computes phase-1 ns/query of the tile1 control over the tiled
+// default for one config pair; 0 when either is absent from the document.
+func tileSpeedup(d *Doc, tiled, control string) float64 {
+	var tiledNS, controlNS int64
+	for _, c := range d.Configs {
+		switch c.Name {
+		case tiled:
+			tiledNS = c.Phase1NsPerQuery
+		case control:
+			controlNS = c.Phase1NsPerQuery
+		}
+	}
+	if tiledNS == 0 || controlNS == 0 {
+		return 0
+	}
+	return float64(controlNS) / float64(tiledNS)
 }
 
 // serveCached replays the workload in dup50RequestSize batches through a
@@ -478,6 +561,27 @@ func gate(base, fresh *Doc, tolerance float64) error {
 				fresh.Dup50Speedup, minDup50Speedup))
 		}
 	}
+	// Same attested-floor pattern for the tiled-kernel speedups: once the
+	// committed baseline shows the default tiles beating the tile1 control by
+	// the floor, a fresh run below it is a regression.
+	for _, ts := range []struct {
+		name        string
+		base, fresh float64
+	}{
+		{"tile-speedup(reference)", base.TileSpeedupReference, fresh.TileSpeedupReference},
+		{"tile-speedup(amc-lookup)", base.TileSpeedupAMCLookup, fresh.TileSpeedupAMCLookup},
+	} {
+		if ts.base < minTileSpeedup {
+			continue
+		}
+		switch {
+		case ts.fresh == 0:
+			failures = append(failures, fmt.Sprintf("%s: baseline records a speedup but the fresh run lacks the config pair", ts.name))
+		case ts.fresh < minTileSpeedup:
+			failures = append(failures, fmt.Sprintf("%s: tiled-kernel speedup %.2fx below the %.1fx floor",
+				ts.name, ts.fresh, minTileSpeedup))
+		}
+	}
 	if len(failures) > 0 {
 		for _, f := range failures {
 			fmt.Fprintln(os.Stderr, "benchrun: GATE FAIL:", f)
@@ -499,5 +603,11 @@ func printDoc(d *Doc) {
 	}
 	if d.Dup50Speedup > 0 {
 		fmt.Printf("dup50 redundancy-elimination speedup: %.2fx (floor %.1fx)\n", d.Dup50Speedup, minDup50Speedup)
+	}
+	if d.TileSpeedupReference > 0 {
+		fmt.Printf("tiled-kernel phase-1 speedup (reference): %.2fx (floor %.1fx)\n", d.TileSpeedupReference, minTileSpeedup)
+	}
+	if d.TileSpeedupAMCLookup > 0 {
+		fmt.Printf("tiled-kernel phase-1 speedup (amc-lookup): %.2fx (floor %.1fx)\n", d.TileSpeedupAMCLookup, minTileSpeedup)
 	}
 }

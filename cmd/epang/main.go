@@ -86,6 +86,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		blockSize = fs.Int("block-size", memacct.DefaultBlockSize, "branches per precompute block")
 		threads   = fs.Int("threads", 1, "placement worker threads")
 		noHeur    = fs.Bool("no-heur", false, "disable the pre-placement lookup table heuristic")
+		tileQ     = fs.Int("tile-queries", 0, "phase-1 query-tile size (0 = auto from the cache-size estimate)")
+		tileB     = fs.Int("tile-branches", 0, "phase-1 branch-tile size (0 = auto: the precompute block size)")
+		fastMath  = fs.Bool("fast-math", false, "reordered block accumulation in the placement kernels: deterministic, but not bit-identical to the default per-site FP order")
 		dedup     = fs.Bool("dedup", true, "place one representative per distinct query sequence and fan the result out to duplicates (output is identical either way)")
 		nmOut     = fs.Bool("nm", false, "write jplace nm multiplicity entries: queries sharing identical placements collapse into one record carrying every name with its multiplicity")
 		strict    = fs.Bool("strict", false, "abort on malformed query sequences instead of skipping them")
@@ -265,6 +268,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	cfg.BlockSize = *blockSize
 	cfg.Threads = *threads
 	cfg.DisableLookup = *noHeur
+	cfg.TileQueries = *tileQ
+	cfg.TileBranches = *tileB
+	cfg.FastMath = *fastMath
 	cfg.NoDedup = !*dedup
 	cfg.SyncPrecompute = *syncPre
 	cfg.NoPipeline = *noPipe

@@ -40,6 +40,9 @@ func run(args []string) error {
 		maxq      = fs.Int("max-queries", 0, "truncate query sets (0 = all)")
 		noPipe    = fs.Bool("no-pipeline", false, "disable overlapped chunk reading in the measured engines")
 		dedup     = fs.Bool("dedup", true, "in-flight query deduplication in the measured engines")
+		tileQ     = fs.Int("tile-queries", 0, "phase-1 query-tile size in the measured engines (0 = automatic)")
+		tileB     = fs.Int("tile-branches", 0, "phase-1 branch-tile size in the measured engines (0 = automatic)")
+		fastMath  = fs.Bool("fast-math", false, "reordered fast-math accumulation in the measured engines")
 		csv       = fs.Bool("csv", false, "emit CSV instead of an aligned table")
 		statsJSON = fs.String("stats-json", "", "write every measured run as a structured JSON document to this file")
 		plot      = fs.Bool("plot", false, "also render figure experiments as terminal plots")
@@ -75,6 +78,9 @@ func run(args []string) error {
 	o.MaxQueries = *maxq
 	o.NoPipeline = *noPipe
 	o.NoDedup = !*dedup
+	o.TileQueries = *tileQ
+	o.TileBranches = *tileB
+	o.FastMath = *fastMath
 	if *datasets != "" {
 		o.Datasets = strings.Split(*datasets, ",")
 	}

@@ -165,6 +165,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		blockSize  = fs.Int("block-size", memacct.DefaultBlockSize, "branches per precompute block")
 		threads    = fs.Int("threads", 1, "placement worker threads")
 		noHeur     = fs.Bool("no-heur", false, "disable the pre-placement lookup table heuristic")
+		tileQ      = fs.Int("tile-queries", 0, "phase-1 query-tile size (0 = automatic)")
+		tileB      = fs.Int("tile-branches", 0, "phase-1 branch-tile size (0 = automatic, matches the precompute block size)")
+		fastMath   = fs.Bool("fast-math", false, "reordered fast-math accumulation (faster, deterministic, but not bit-identical to the default kernels)")
 		strategy   = fs.String("memsave-strategy", "costage", "CLV replacement strategy: cost, costage, lru, fifo, random")
 		dedup      = fs.Bool("dedup", true, "group each batch's queries by sequence content and place one representative per distinct sequence")
 		cacheSize  = fs.String("result-cache", "64M", "cross-request result cache size, e.g. 64M (0 disables); cache bytes count against --maxmem and are evicted first under pressure")
@@ -201,6 +204,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	cfg.BlockSize = *blockSize
 	cfg.Threads = *threads
 	cfg.DisableLookup = *noHeur
+	cfg.TileQueries = *tileQ
+	cfg.TileBranches = *tileB
+	cfg.FastMath = *fastMath
 	cfg.NoDedup = !*dedup
 	cfg.Telemetry = telemetry.NewSink()
 	if *maxmem != "" {

@@ -41,6 +41,13 @@ type Options struct {
 	// NoDedup disables in-flight query deduplication in every experiment
 	// engine (see placement.Config.NoDedup).
 	NoDedup bool
+	// TileQueries/TileBranches override the phase-1 tile dimensions in every
+	// experiment engine (0 = automatic; see placement.Config).
+	TileQueries  int
+	TileBranches int
+	// FastMath opts every experiment engine into the reordered fast-math
+	// accumulation (see placement.Config.FastMath).
+	FastMath bool
 }
 
 // engineConfig returns the placement configuration every experiment starts
@@ -49,6 +56,9 @@ func (o Options) engineConfig() placement.Config {
 	cfg := placement.DefaultConfig()
 	cfg.NoPipeline = o.NoPipeline
 	cfg.NoDedup = o.NoDedup
+	cfg.TileQueries = o.TileQueries
+	cfg.TileBranches = o.TileBranches
+	cfg.FastMath = o.FastMath
 	return cfg
 }
 

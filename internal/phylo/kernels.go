@@ -48,6 +48,14 @@ type Scratch struct {
 	// π-folded pendant matrices for QueryLogLikScratch.
 	piP []float64
 
+	// Blocked-kernel buffers (see queryblock.go): the site-major query code
+	// block, the per-query output accumulator, and the fast-math running
+	// product / scale-penalty accumulators.
+	blkCodes []uint32
+	blkOut   []float64
+	blkProd  []float64
+	blkPen   []float64
+
 	// Caller-reusable buffers, grown on demand (see P and CLV).
 	pbufs   [][]float64
 	clvbufs [][]float64

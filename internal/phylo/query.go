@@ -36,21 +36,12 @@ func (p *Partition) QueryLogLikScratch(bclv []float64, bscale []int32, query []u
 		panic(fmt.Sprintf("phylo: query has %d sites, alignment has %d", len(query), p.Comp.OriginalWidth()))
 	}
 	S, R := p.states, p.nrates
-	pi := p.Model.Freqs()
 	gap := p.Comp.Alphabet.GapMask()
 
 	// piP[r][s'][s] = π_s · P^r_ss': with this transposed, π-folded view the
 	// per-site work becomes Σ_r f_r Σ_{s'∈code} Σ_s piP[r][s'][s]·bclv[s],
 	// and the inner Σ_s is a dense dot product regardless of ambiguity.
-	sc.piP = grow(sc.piP, R*S*S)
-	piP := sc.piP
-	for r := 0; r < R; r++ {
-		for s := 0; s < S; s++ {
-			for sp := 0; sp < S; sp++ {
-				piP[(r*S+sp)*S+s] = pi[s] * ppend[(r*S+s)*S+sp]
-			}
-		}
-	}
+	piP := foldPendant(p, ppend, sc)
 
 	total := 0.0
 	for site, pat := range p.Comp.SiteToPattern {

@@ -1,0 +1,229 @@
+package phylo
+
+import (
+	"math"
+	"testing"
+)
+
+// blockFixture builds a prescore row, a branch CLV, and a set of random
+// queries (some gappy) on the shared placement fixture.
+type blockFixture struct {
+	fx      *placementFixture
+	row     []float64
+	bclv    []float64
+	bscale  []int32
+	ppend   []float64
+	queries [][]uint32
+}
+
+func newBlockFixture(t *testing.T, seed int64, nq int) *blockFixture {
+	t.Helper()
+	fx := newFixture(t, seed, 9, 70)
+	ppend := make([]float64, fx.p.PLen())
+	fx.p.FillP(ppend, 0.07)
+	e := fx.tr.Edges[3]
+	bclv, bscale := fx.insertionCLV(e)
+	row := make([]float64, fx.p.PrescoreRowLen())
+	fx.p.BuildPrescoreRow(row, bclv, ppend)
+	queries := make([][]uint32, nq)
+	for i := range queries {
+		queries[i] = fx.randomQuery(fx.p.Comp.OriginalWidth(), 0.25)
+	}
+	return &blockFixture{fx: fx, row: row, bclv: bclv, bscale: bscale, ppend: ppend, queries: queries}
+}
+
+// TestPrescoreQueryBlockBitIdentical: the block kernel must reproduce the
+// per-query kernel bit for bit, for any block size and both gap modes.
+func TestPrescoreQueryBlockBitIdentical(t *testing.T) {
+	bf := newBlockFixture(t, 101, 17)
+	p := bf.fx.p
+	for _, skipGaps := range []bool{true, false} {
+		for _, nq := range []int{1, 2, 5, 17} {
+			qs := bf.queries[:nq]
+			block := make([]uint32, p.QueryBlockLen(nq))
+			p.FillQueryBlock(block, qs)
+			out := make([]float64, nq)
+			p.PrescoreQueryBlock(bf.row, bf.bscale, block, nq, skipGaps, out)
+			for q := 0; q < nq; q++ {
+				want := p.PrescoreQuery(bf.row, bf.bscale, qs[q], skipGaps)
+				if out[q] != want {
+					t.Fatalf("skipGaps=%v nq=%d q=%d: block %v != per-query %v (diff %g)",
+						skipGaps, nq, q, out[q], want, out[q]-want)
+				}
+			}
+		}
+	}
+}
+
+// TestQueryLogLikBlockBitIdentical: same invariant for the non-lookup path.
+func TestQueryLogLikBlockBitIdentical(t *testing.T) {
+	bf := newBlockFixture(t, 103, 11)
+	p := bf.fx.p
+	sc := p.NewScratch()
+	scRef := p.NewScratch()
+	for _, skipGaps := range []bool{true, false} {
+		for _, nq := range []int{1, 3, 11} {
+			qs := bf.queries[:nq]
+			block := make([]uint32, p.QueryBlockLen(nq))
+			p.FillQueryBlock(block, qs)
+			out := make([]float64, nq)
+			p.QueryLogLikBlockScratch(bf.bclv, bf.bscale, block, nq, bf.ppend, skipGaps, sc, out)
+			for q := 0; q < nq; q++ {
+				want := p.QueryLogLikScratch(bf.bclv, bf.bscale, qs[q], bf.ppend, skipGaps, scRef)
+				if out[q] != want {
+					t.Fatalf("skipGaps=%v nq=%d q=%d: block %v != per-query %v (diff %g)",
+						skipGaps, nq, q, out[q], want, out[q]-want)
+				}
+			}
+		}
+	}
+}
+
+// TestFastMathKernelsDeterministicAndClose: fast-math results must be
+// independent of the block size (determinism across tilings) and numerically
+// close to the default kernels (same math, different rounding).
+func TestFastMathKernelsDeterministicAndClose(t *testing.T) {
+	bf := newBlockFixture(t, 107, 13)
+	p := bf.fx.p
+	sc := p.NewScratch()
+	nq := len(bf.queries)
+
+	// Reference: fast-math with the whole set in one block.
+	block := make([]uint32, p.QueryBlockLen(nq))
+	p.FillQueryBlock(block, bf.queries)
+	fastPre := make([]float64, nq)
+	p.PrescoreQueryBlockFast(bf.row, bf.bscale, block, nq, true, sc, fastPre)
+	fastLL := make([]float64, nq)
+	p.QueryLogLikBlockFastScratch(bf.bclv, bf.bscale, block, nq, bf.ppend, true, sc, fastLL)
+
+	// Any other block partition must reproduce those values exactly.
+	for _, bs := range []int{1, 4, 5} {
+		for lo := 0; lo < nq; lo += bs {
+			hi := lo + bs
+			if hi > nq {
+				hi = nq
+			}
+			n := hi - lo
+			sub := make([]uint32, p.QueryBlockLen(n))
+			p.FillQueryBlock(sub, bf.queries[lo:hi])
+			out := make([]float64, n)
+			p.PrescoreQueryBlockFast(bf.row, bf.bscale, sub, n, true, sc, out)
+			for i := 0; i < n; i++ {
+				if out[i] != fastPre[lo+i] {
+					t.Fatalf("fast prescore not block-size invariant: bs=%d q=%d: %v != %v", bs, lo+i, out[i], fastPre[lo+i])
+				}
+			}
+			p.QueryLogLikBlockFastScratch(bf.bclv, bf.bscale, sub, n, bf.ppend, true, sc, out)
+			for i := 0; i < n; i++ {
+				if out[i] != fastLL[lo+i] {
+					t.Fatalf("fast loglik not block-size invariant: bs=%d q=%d: %v != %v", bs, lo+i, out[i], fastLL[lo+i])
+				}
+			}
+		}
+	}
+
+	// And agree with the default kernels to tight relative tolerance.
+	for q, codes := range bf.queries {
+		want := p.PrescoreQuery(bf.row, bf.bscale, codes, true)
+		if math.Abs(fastPre[q]-want) > 1e-9*(1+math.Abs(want)) {
+			t.Fatalf("fast prescore q=%d: %v vs default %v", q, fastPre[q], want)
+		}
+		wantLL := p.QueryLogLik(bf.bclv, bf.bscale, codes, bf.ppend, true)
+		if math.Abs(fastLL[q]-wantLL) > 1e-9*(1+math.Abs(wantLL)) {
+			t.Fatalf("fast loglik q=%d: %v vs default %v", q, fastLL[q], wantLL)
+		}
+	}
+}
+
+// TestFastMathKernelsTinySiteLikelihoods: under heavy CLV scaling the
+// branch-side values can make every per-site likelihood minuscule (~1e-50),
+// so one multiply from just inside the flush bound can overshoot the whole
+// float64 denormal range. The fast kernels must flush the well-conditioned
+// factors instead of the overshot product — a regression here shows up as
+// scores biased by several log units per flush, or -Inf outright.
+func TestFastMathKernelsTinySiteLikelihoods(t *testing.T) {
+	bf := newBlockFixture(t, 113, 9)
+	p := bf.fx.p
+	sc := p.NewScratch()
+	nq := len(bf.queries)
+	const shrink = 1e-45 // per-site sums land around 1e-46; ~6 sites per flush
+	row := make([]float64, len(bf.row))
+	for i, v := range bf.row {
+		row[i] = v * shrink
+	}
+	bclv := make([]float64, len(bf.bclv))
+	for i, v := range bf.bclv {
+		bclv[i] = v * shrink
+	}
+
+	block := make([]uint32, p.QueryBlockLen(nq))
+	p.FillQueryBlock(block, bf.queries)
+	fastPre := make([]float64, nq)
+	p.PrescoreQueryBlockFast(row, bf.bscale, block, nq, true, sc, fastPre)
+	fastLL := make([]float64, nq)
+	p.QueryLogLikBlockFastScratch(bclv, bf.bscale, block, nq, bf.ppend, true, sc, fastLL)
+	for q, codes := range bf.queries {
+		want := p.PrescoreQuery(row, bf.bscale, codes, true)
+		if math.IsInf(fastPre[q], 0) || math.Abs(fastPre[q]-want) > 1e-9*(1+math.Abs(want)) {
+			t.Fatalf("fast prescore q=%d: %v vs default %v", q, fastPre[q], want)
+		}
+		wantLL := p.QueryLogLik(bclv, bf.bscale, codes, bf.ppend, true)
+		if math.IsInf(fastLL[q], 0) || math.Abs(fastLL[q]-wantLL) > 1e-9*(1+math.Abs(wantLL)) {
+			t.Fatalf("fast loglik q=%d: %v vs default %v", q, fastLL[q], wantLL)
+		}
+	}
+}
+
+// TestFillQueryBlockLayout pins the site-major SoA layout.
+func TestFillQueryBlockLayout(t *testing.T) {
+	bf := newBlockFixture(t, 109, 3)
+	p := bf.fx.p
+	nq := 3
+	block := make([]uint32, p.QueryBlockLen(nq))
+	p.FillQueryBlock(block, bf.queries[:nq])
+	width := p.Comp.OriginalWidth()
+	for q := 0; q < nq; q++ {
+		for site := 0; site < width; site++ {
+			if block[site*nq+q] != bf.queries[q][site] {
+				t.Fatalf("layout mismatch at site=%d q=%d", site, q)
+			}
+		}
+	}
+}
+
+func BenchmarkPrescoreQueryBlock(b *testing.B) {
+	bf := newBlockFixtureB(b)
+	p := bf.fx.p
+	nq := len(bf.queries)
+	block := make([]uint32, p.QueryBlockLen(nq))
+	p.FillQueryBlock(block, bf.queries)
+	out := make([]float64, nq)
+	b.Run("per-query", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range bf.queries {
+				p.PrescoreQuery(bf.row, bf.bscale, q, true)
+			}
+		}
+	})
+	b.Run("block", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p.PrescoreQueryBlock(bf.row, bf.bscale, block, nq, true, out)
+		}
+	})
+	b.Run("block-fast", func(b *testing.B) {
+		sc := p.NewScratch()
+		for i := 0; i < b.N; i++ {
+			p.PrescoreQueryBlockFast(bf.row, bf.bscale, block, nq, true, sc, out)
+		}
+	})
+}
+
+func newBlockFixtureB(b *testing.B) *blockFixture {
+	b.Helper()
+	var t testing.T
+	bf := newBlockFixture(&t, 111, 32)
+	if t.Failed() {
+		b.Fatal("fixture construction failed")
+	}
+	return bf
+}

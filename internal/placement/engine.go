@@ -67,6 +67,21 @@ type Config struct {
 	// FilterMax bounds the number of placements reported per query
 	// (default 7, EPA-NG's --filter-max).
 	FilterMax int
+	// TileQueries overrides the phase-1 query-tile size (0 = auto: sized so a
+	// tile's site-major code block and accumulators fit the per-core cache
+	// estimate alongside one streaming prescore row or branch CLV).
+	TileQueries int
+	// TileBranches overrides the phase-1 branch-tile size (0 = auto:
+	// BlockSize, keeping the lookup-path tiles coherent with the AMC
+	// precompute blocks).
+	TileBranches int
+	// FastMath opts into reordered block accumulation in the phase-1 kernels:
+	// per-site likelihoods are multiplied into a running product that is
+	// log-flushed near the float64 range limits, replacing one log per site
+	// with one log per flush. Output is still deterministic and independent
+	// of tile sizes and thread count, but its FP rounding differs from the
+	// default bit-identical per-cell order. Off by default.
+	FastMath bool
 	// NoDedup disables in-flight query deduplication. By default every
 	// chunk's queries are grouped by encoded sequence content, one
 	// representative per distinct sequence is placed, and the scored result
@@ -149,11 +164,38 @@ type Engine struct {
 	// and reused across every runBlocks call and the AMC lookup build.
 	blkBufs [2]*branchBlock
 
+	// tileQ and tileB are the resolved phase-1 tile dimensions (see
+	// chooseTiles); phase 1 walks the score matrix branch-tile-outer /
+	// query-tile-inner so a tile's prescore rows (or its CLV block under AMC)
+	// stay cache-resident across the whole query block.
+	tileQ, tileB int
+
+	// Engine-held per-chunk buffers, reused across chunks. scores is the
+	// phase-1 score matrix; the buffer persists but its footprint is
+	// accounted per chunk under "chunk-scores" (the budget planner already
+	// reserves chunk×branches×8 for it). The candidate arena and its flat (query,
+	// rank) / per-branch index replace the former pointer-heavy
+	// [][]*candidate fan-out: candidate holds no pointers, so the GC never
+	// scans phase 2's work lists. Like the former per-chunk []*candidate
+	// slices, the arena is not accounted — it is bounded by
+	// chunk × keepMax × sizeof(candidate).
+	scores      []float64
+	arena       []candidate
+	candCount   []int32 // per query: candidates in its arena stripe
+	branchStart []int32 // per branch: start offset into candIdx (len nb+1)
+	candCursor  []int32 // scratch cursor for the counting sort (len nb)
+	candIdx     []int32 // arena indices grouped by branch, query order
+	p2tasks     []phase2Task
+	candEdges   []*tree.Edge
+	wrefs       [][][]uint32 // per-worker query-tile code refs for FillQueryBlock
+
 	// tel and trace mirror Config.Telemetry / Config.Trace; both may be nil
-	// (disabled). pipe and dedup cache the sink's groups for the hot paths.
+	// (disabled). pipe, dedup, and ktel cache the sink's groups for the hot
+	// paths.
 	tel   *telemetry.Sink
 	pipe  *telemetry.Pipeline
 	dedup *telemetry.Dedup
+	ktel  *telemetry.Kernel
 	trace *telemetry.Trace
 
 	// runMu serializes the place paths (PlaceStream, PlaceBatch) and Close:
@@ -291,7 +333,10 @@ func NewContext(ctx context.Context, part *phylo.Partition, tr *tree.Tree, cfg C
 	e.tel = cfg.Telemetry
 	e.pipe = e.tel.PipelineGroup()
 	e.dedup = e.tel.DedupGroup()
+	e.ktel = e.tel.KernelGroup()
 	e.trace = cfg.Trace
+	e.tileQ, e.tileB = chooseTiles(cfg, part, plan)
+	e.ktel.Configure(e.tileQ, e.tileB, cfg.FastMath)
 	if e.tel != nil {
 		e.tel.Pool.Init(e.pool.Size())
 		e.pool.SetTelemetry(e.tel.PoolGroup())
@@ -301,6 +346,7 @@ func NewContext(ctx context.Context, part *phylo.Partition, tr *tree.Tree, cfg C
 		e.wscratch[i] = part.NewScratch()
 	}
 	e.wsel = make([][]int, e.pool.Size())
+	e.wrefs = make([][][]uint32, e.pool.Size())
 	e.avgBranch = tr.TotalBranchLength() / float64(tr.NumBranches())
 	e.pendant0 = e.avgBranch / 2
 	if e.pendant0 <= 0 {

@@ -10,7 +10,6 @@ import (
 	"phylomem/internal/jplace"
 	"phylomem/internal/numeric"
 	"phylomem/internal/phylo"
-	"phylomem/internal/tree"
 )
 
 // Result is the outcome of placing a set of queries.
@@ -99,29 +98,70 @@ func (e *Engine) placeChunk(ctx context.Context, chunk []Query) ([]jplace.Placem
 
 // placeDistinct runs the two placement phases over a chunk whose queries are
 // assumed distinct (or dedup is off).
+//
+// Phase 1 walks the (query × branch) score matrix in query-tile ×
+// branch-tile blocks, branch-tile-outer: within one task, each branch's
+// prescore row (or midpoint CLV under AMC) streams through the cache exactly
+// once while the tile's site-major query-code block and accumulators stay
+// resident — instead of re-streaming every row from DRAM once per query.
+// Every cell is still computed by exactly one worker with the per-cell FP
+// operations of the per-query kernels in the same site order, so the output
+// is bit-identical across tile sizes and thread counts (and to the former
+// untiled loop) unless Config.FastMath opts into reordered accumulation.
 func (e *Engine) placeDistinct(ctx context.Context, chunk []Query) ([]jplace.Placements, error) {
+	nq := len(chunk)
 	nb := e.tr.NumBranches()
-	scoresBytes := int64(len(chunk)) * int64(nb) * 8
-	e.acct.Alloc("chunk-scores", scoresBytes)
-	defer e.acct.Free("chunk-scores", scoresBytes)
-	// The chunk's allocations are in place: abort before the expensive
-	// phases if the accountant detected an overcommit.
-	if err := e.acct.Err(); err != nil {
+	scores, releaseScores, err := e.chunkScores(nq * nb)
+	if err != nil {
 		return nil, err
 	}
-
-	scores := make([]float64, len(chunk)*nb)
+	defer releaseScores()
 
 	// Phase 1: pre-placement.
 	start := time.Now()
+	width := e.part.Comp.OriginalWidth()
+	tq := e.tileQ
+	if tq > nq {
+		tq = nq
+	}
+	nqt := (nq + tq - 1) / tq
 	if e.lookup != nil {
-		err := e.pool.ForEachContext(ctx, len(chunk), func(qi, _ int) {
-			q := chunk[qi]
-			row := scores[qi*nb : (qi+1)*nb]
-			for b := 0; b < nb; b++ {
-				lr, ls := e.lookupRow(b)
-				row[b] = e.part.PrescoreQuery(lr, ls, q.Codes, e.cfg.SkipGaps)
+		tb := e.tileB
+		if tb > nb {
+			tb = nb
+		}
+		nbt := (nb + tb - 1) / tb
+		rowBytes := int64(e.part.PrescoreRowLen()) * 8
+		// Task index order is branch-tile-major: consecutive tasks share a
+		// branch tile, so workers running neighboring tasks stream the same
+		// lookup rows through the shared cache.
+		err := e.pool.ForEachContext(ctx, nbt*nqt, func(ti, worker int) {
+			bt, qt := ti/nqt, ti%nqt
+			qlo, qhi := qt*tq, (qt+1)*tq
+			if qhi > nq {
+				qhi = nq
 			}
+			blo, bhi := bt*tb, (bt+1)*tb
+			if bhi > nb {
+				bhi = nb
+			}
+			n := qhi - qlo
+			sc := e.wscratch[worker]
+			block := sc.QueryBlockCodes(n * width)
+			e.part.FillQueryBlock(block, e.queryTileRefs(worker, chunk, qlo, qhi))
+			out := sc.BlockOut(n)
+			for b := blo; b < bhi; b++ {
+				lr, ls := e.lookupRow(b)
+				if e.cfg.FastMath {
+					e.part.PrescoreQueryBlockFast(lr, ls, block, n, e.cfg.SkipGaps, sc, out)
+				} else {
+					e.part.PrescoreQueryBlock(lr, ls, block, n, e.cfg.SkipGaps, out)
+				}
+				for i := 0; i < n; i++ {
+					scores[(qlo+i)*nb+b] = out[i]
+				}
+			}
+			e.ktel.TileDone(bhi-blo, int64(n*width)*4+int64(n)*8+rowBytes)
 		})
 		if err != nil {
 			return nil, err
@@ -129,13 +169,34 @@ func (e *Engine) placeDistinct(ctx context.Context, chunk []Query) ([]jplace.Pla
 	} else {
 		ppend := make([]float64, e.part.PLen())
 		e.part.FillP(ppend, e.pendant0)
+		clvBytes := int64(e.part.CLVLen()) * 8
+		// The branch tile IS the precomputed block here (runBlocks partitions
+		// by plan.BlockSize), so the snapshotted CLV block of the current tile
+		// is the only branch-side data the query tiles stream.
 		err := e.runBlocks(ctx, e.branchOrder, func(blk *branchBlock) error {
-			e.pool.ForEach(len(chunk), func(qi, worker int) {
-				q := chunk[qi]
-				sc := e.wscratch[worker]
-				for _, ent := range blk.entries {
-					scores[qi*nb+ent.edge.ID] = e.part.QueryLogLikScratch(ent.m, ent.ms, q.Codes, ppend, e.cfg.SkipGaps, sc)
+			e.pool.ForEach(nqt, func(qt, worker int) {
+				qlo, qhi := qt*tq, (qt+1)*tq
+				if qhi > nq {
+					qhi = nq
 				}
+				n := qhi - qlo
+				sc := e.wscratch[worker]
+				block := sc.QueryBlockCodes(n * width)
+				e.part.FillQueryBlock(block, e.queryTileRefs(worker, chunk, qlo, qhi))
+				out := sc.BlockOut(n)
+				for i := range blk.entries {
+					ent := &blk.entries[i]
+					if e.cfg.FastMath {
+						e.part.QueryLogLikBlockFastScratch(ent.m, ent.ms, block, n, ppend, e.cfg.SkipGaps, sc, out)
+					} else {
+						e.part.QueryLogLikBlockScratch(ent.m, ent.ms, block, n, ppend, e.cfg.SkipGaps, sc, out)
+					}
+					id := ent.edge.ID
+					for i2 := 0; i2 < n; i2++ {
+						scores[(qlo+i2)*nb+id] = out[i2]
+					}
+				}
+				e.ktel.TileDone(len(blk.entries), int64(n*width)*4+int64(n)*8+clvBytes)
 			})
 			return nil
 		})
@@ -164,10 +225,14 @@ func (e *Engine) placeDistinct(ctx context.Context, chunk []Query) ([]jplace.Pla
 	// O(nb·log keepMax)) replaces the former full sort of all nb branches.
 	// The selection buffer is per-worker scratch — no per-query allocation.
 	// The LWR normalizer sums over all branches in ascending index order,
-	// which is a fixed order independent of the worker count.
-	byBranch := make([][]*candidate, nb)
-	perQuery := make([][]*candidate, len(chunk))
-	e.pool.ForEach(len(chunk), func(qi, worker int) {
+	// which is a fixed order independent of the worker count. Candidates land
+	// in the engine-held arena indexed by (query, rank): workers write
+	// disjoint per-query stripes, so the fill is race-free, and the struct is
+	// pointer-free, so phase 2's fan-out adds no GC scan work.
+	e.ensureCandBufs(nq, keepMax, nb)
+	arena := e.arena[:nq*keepMax]
+	counts := e.candCount[:nq]
+	e.pool.ForEach(nq, func(qi, worker int) {
 		row := scores[qi*nb : (qi+1)*nb]
 		sel := numeric.TopKIndices(row, keepMax, e.wsel[worker])
 		e.wsel[worker] = sel
@@ -176,51 +241,73 @@ func (e *Engine) placeDistinct(ctx context.Context, chunk []Query) ([]jplace.Pla
 		for b := 0; b < nb; b++ {
 			total += math.Exp(row[b] - best)
 		}
-		cands := make([]*candidate, 0, 8)
+		stripe := arena[qi*keepMax:]
+		ncand := 0
 		acc := 0.0
 		for _, b := range sel {
-			cands = append(cands, &candidate{query: qi, edgeID: b, loglik: math.Inf(-1)})
+			stripe[ncand] = candidate{query: qi, edgeID: b, loglik: math.Inf(-1)}
+			ncand++
 			acc += math.Exp(row[b]-best) / total
-			if len(cands) >= 2 && acc >= e.cfg.PrescoreThreshold {
+			if ncand >= 2 && acc >= e.cfg.PrescoreThreshold {
 				break
 			}
 		}
-		perQuery[qi] = cands
+		counts[qi] = int32(ncand)
 	})
-	// Group candidates by branch serially, in query order: phase 2's work
-	// list is then deterministic (the former mutex-guarded appends depended
-	// on goroutine scheduling — harmless for results, but needless).
-	for _, cands := range perQuery {
-		for _, c := range cands {
-			byBranch[c.edgeID] = append(byBranch[c.edgeID], c)
+	// Group candidates by branch with a serial counting sort over the arena,
+	// in query order: phase 2's work list is deterministic and the per-branch
+	// groups are contiguous ranges of candIdx instead of per-branch slices.
+	branchStart := e.branchStart[:nb+1]
+	for i := range branchStart {
+		branchStart[i] = 0
+	}
+	for qi := 0; qi < nq; qi++ {
+		stripe := arena[qi*keepMax : qi*keepMax+int(counts[qi])]
+		for i := range stripe {
+			branchStart[stripe[i].edgeID+1]++
+		}
+	}
+	for b := 0; b < nb; b++ {
+		branchStart[b+1] += branchStart[b]
+	}
+	cursor := e.candCursor[:nb]
+	copy(cursor, branchStart[:nb])
+	candIdx := e.candIdx[:branchStart[nb]]
+	for qi := 0; qi < nq; qi++ {
+		base := qi * keepMax
+		for i := 0; i < int(counts[qi]); i++ {
+			b := arena[base+i].edgeID
+			candIdx[cursor[b]] = int32(base + i)
+			cursor[b]++
 		}
 	}
 
 	// Phase 2: thorough scoring of candidates, grouped into branch blocks in
 	// DFS order for slot locality.
 	start = time.Now()
-	var candEdges []*tree.Edge
+	candEdges := e.candEdges[:0]
 	for _, edge := range e.branchOrder {
-		if len(byBranch[edge.ID]) > 0 {
+		if branchStart[edge.ID+1] > branchStart[edge.ID] {
 			candEdges = append(candEdges, edge)
 		}
 	}
-	err := e.runBlocks(ctx, candEdges, func(blk *branchBlock) error {
-		// Flatten the block's tasks for even worker distribution.
-		type task struct {
-			ent  *branchEntry
-			cand *candidate
-		}
-		var tasks []task
+	e.candEdges = candEdges
+	err = e.runBlocks(ctx, candEdges, func(blk *branchBlock) error {
+		// Flatten the block's tasks for even worker distribution; the task
+		// list is engine-held and reused across blocks and chunks.
+		tasks := e.p2tasks[:0]
 		for i := range blk.entries {
 			ent := &blk.entries[i]
-			for _, c := range byBranch[ent.edge.ID] {
-				tasks = append(tasks, task{ent: ent, cand: c})
+			id := ent.edge.ID
+			for _, ci := range candIdx[branchStart[id]:branchStart[id+1]] {
+				tasks = append(tasks, phase2Task{ent: ent, cand: ci})
 			}
 		}
+		e.p2tasks = tasks
 		e.pool.ForEach(len(tasks), func(ti, worker int) {
 			t := tasks[ti]
-			e.scoreCandidate(t.ent, chunk[t.cand.query].Codes, t.cand, e.wscratch[worker])
+			c := &arena[t.cand]
+			e.scoreCandidate(t.ent, chunk[c.query].Codes, c, e.wscratch[worker])
 		})
 		return nil
 	})
@@ -230,9 +317,9 @@ func (e *Engine) placeDistinct(ctx context.Context, chunk []Query) ([]jplace.Pla
 	e.stats.Phase2 += time.Since(start)
 
 	// Likelihood weight ratios and output filtering per query.
-	out := make([]jplace.Placements, len(chunk))
-	e.pool.ForEach(len(chunk), func(qi, _ int) {
-		out[qi] = e.filterPlacements(chunk[qi].Name, perQuery[qi])
+	out := make([]jplace.Placements, nq)
+	e.pool.ForEach(nq, func(qi, _ int) {
+		out[qi] = e.filterPlacements(chunk[qi].Name, arena[qi*keepMax:qi*keepMax+int(counts[qi])])
 	})
 	return out, nil
 }
@@ -305,10 +392,11 @@ func operandOf(oc operandCopy) phylo.Operand {
 	return phylo.CLVOperand(oc.clv, oc.scale)
 }
 
-// filterPlacements converts a query's scored candidates into the reported
-// placement list: sorted by likelihood, annotated with likelihood weight
-// ratios, cut off at the accumulated-LWR threshold and the maximum count.
-func (e *Engine) filterPlacements(name string, cands []*candidate) jplace.Placements {
+// filterPlacements converts a query's scored candidates (its arena stripe,
+// sorted in place — phase 2 is done with it) into the reported placement
+// list: sorted by likelihood, annotated with likelihood weight ratios, cut
+// off at the accumulated-LWR threshold and the maximum count.
+func (e *Engine) filterPlacements(name string, cands []candidate) jplace.Placements {
 	sort.Slice(cands, func(a, b int) bool {
 		if cands[a].loglik != cands[b].loglik {
 			return cands[a].loglik > cands[b].loglik

@@ -51,11 +51,11 @@ func assertNoGoroutineLeak(t *testing.T, baseline int) {
 // back to zero and the accountant as a whole is at its pre-stream level.
 func assertTransientsDrained(t *testing.T, eng *Engine, base int64) {
 	t.Helper()
-	if err := eng.Accountant().AssertDrained("chunk-prefetch", "chunk-scores", "chunk-queries"); err != nil {
+	if err := eng.Accountant().AssertDrained("chunk-prefetch", "chunk-queries", "chunk-scores"); err != nil {
 		t.Fatalf("transient accounting not drained: %v", err)
 	}
 	if cur := eng.Accountant().Current(); cur != base {
-		t.Fatalf("accountant at %d bytes, pre-stream baseline was %d", cur, base)
+		t.Fatalf("accountant at %d bytes, pre-stream baseline %d", cur, base)
 	}
 }
 

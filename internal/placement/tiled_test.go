@@ -1,0 +1,148 @@
+package placement
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"testing"
+
+	"phylomem/internal/jplace"
+	"phylomem/internal/telemetry"
+)
+
+// renderStream places the fixture's queries under cfg and serializes the
+// jplace document — the byte-level artifact every determinism test compares.
+func renderStream(t *testing.T, fx *fixture, cfg Config) []byte {
+	t.Helper()
+	eng, err := New(fx.part, fx.tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	var placed []jplace.Placements
+	if _, err := eng.PlaceStream(context.Background(), NewSliceSource(fx.queries), func(p jplace.Placements) error {
+		placed = append(placed, p)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	doc := &jplace.Document{Tree: jplace.TreeString(fx.tr), Queries: placed, Invocation: "test"}
+	if err := jplace.Write(&buf, doc); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTileByteIdentity: placement output must be byte-identical across tile
+// sizes (including the degenerate per-query shape), thread counts, AMC
+// on/off, and the lookup-less fallback path — the tiled kernels replicate
+// the per-cell FP order exactly.
+func TestTileByteIdentity(t *testing.T) {
+	fx := newFixture(t, 47, 16, 120, 21)
+	base := testConfig()
+	base.ChunkSize = 6
+	amcMem := tightMaxMem(t, fx, base, true)
+
+	ref := renderStream(t, fx, base) // auto tile sizes, full memory
+	for _, tile := range []int{1, 3, 64} {
+		for _, threads := range []int{1, 8} {
+			for _, amc := range []bool{false, true} {
+				for _, noLookup := range []bool{false, true} {
+					cfg := base
+					cfg.TileQueries = tile
+					cfg.TileBranches = tile
+					cfg.Threads = threads
+					cfg.DisableLookup = noLookup
+					if amc {
+						cfg.MaxMem = amcMem
+					}
+					out := renderStream(t, fx, cfg)
+					if !bytes.Equal(out, ref) {
+						t.Fatalf("output differs at tile=%d threads=%d amc=%v noLookup=%v",
+							tile, threads, amc, noLookup)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFastMathDeterministicAcrossTiles: fast-math output is a different FP
+// rounding than the default path, but it must itself be byte-identical
+// across tile sizes and thread counts, and its likelihoods must agree with
+// the default path to tight tolerance.
+func TestFastMathDeterministicAcrossTiles(t *testing.T) {
+	fx := newFixture(t, 53, 14, 100, 17)
+	base := testConfig()
+	base.ChunkSize = 5
+
+	def := renderStream(t, fx, base)
+
+	fast := base
+	fast.FastMath = true
+	ref := renderStream(t, fx, fast)
+	for _, tile := range []int{1, 4, 64} {
+		for _, threads := range []int{1, 8} {
+			for _, noLookup := range []bool{false, true} {
+				cfg := fast
+				cfg.TileQueries = tile
+				cfg.TileBranches = tile
+				cfg.Threads = threads
+				cfg.DisableLookup = noLookup
+				out := renderStream(t, fx, cfg)
+				if !bytes.Equal(out, ref) {
+					t.Fatalf("fast-math output differs at tile=%d threads=%d noLookup=%v",
+						tile, threads, noLookup)
+				}
+			}
+		}
+	}
+
+	defDoc, err := jplace.Read(bytes.NewReader(def))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fastDoc, err := jplace.Read(bytes.NewReader(ref))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fastDoc.Queries) != len(defDoc.Queries) {
+		t.Fatalf("fast-math placed %d queries, default %d", len(fastDoc.Queries), len(defDoc.Queries))
+	}
+	for i := range defDoc.Queries {
+		d, f := defDoc.Queries[i], fastDoc.Queries[i]
+		if d.Name != f.Name || len(d.Placements) == 0 || len(f.Placements) == 0 {
+			t.Fatalf("query %d: name/placement mismatch", i)
+		}
+		dl, fl := d.Placements[0].LogLikelihood, f.Placements[0].LogLikelihood
+		if math.Abs(dl-fl) > 1e-6*(1+math.Abs(dl)) {
+			t.Fatalf("query %s: best loglik %v (default) vs %v (fast-math)", d.Name, dl, fl)
+		}
+	}
+}
+
+// TestKernelTelemetryPopulated: a tiled run must report its tile dimensions
+// and activity through the kernel telemetry group.
+func TestKernelTelemetryPopulated(t *testing.T) {
+	fx := newFixture(t, 59, 12, 80, 9)
+	cfg := testConfig()
+	cfg.ChunkSize = 4
+	cfg.TileQueries = 3
+	cfg.TileBranches = 5
+	cfg.Telemetry = telemetry.NewSink()
+	rep, _ := placeWithSink(t, fx, cfg)
+	k := rep.Telemetry.Kernel
+	if k.TileQueries != 3 || k.TileBranches != 5 {
+		t.Fatalf("tile dims not reported: %+v", k)
+	}
+	if k.FastMath != 0 {
+		t.Fatalf("fast_math should be 0 by default: %+v", k)
+	}
+	if k.TilesExecuted == 0 || k.BlockKernelCalls == 0 || k.BlockResidentBytes == 0 {
+		t.Fatalf("kernel activity not reported: %+v", k)
+	}
+	if k.BlockKernelCalls < k.TilesExecuted {
+		t.Fatalf("fewer block calls (%d) than tiles (%d)", k.BlockKernelCalls, k.TilesExecuted)
+	}
+}

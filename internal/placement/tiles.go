@@ -1,0 +1,108 @@
+package placement
+
+import (
+	"phylomem/internal/memacct"
+	"phylomem/internal/phylo"
+)
+
+// tileCacheBytes is the per-core cache working set the automatic tile sizes
+// aim for: roughly an L2's worth. A query tile's resident footprint — its
+// site-major code block plus the per-query accumulators — is held to half of
+// this, leaving the other half for the branch-side data streaming through
+// the tile (one prescore row or branch CLV at a time).
+const tileCacheBytes = 1 << 20
+
+// tileQueriesMin/Max clamp the automatic query-tile size: below ~8 queries
+// per tile the row-reuse win fades into loop overhead, above a few hundred
+// the tiles get too coarse to load-balance across workers.
+const (
+	tileQueriesMin = 8
+	tileQueriesMax = 256
+)
+
+// chooseTiles resolves the phase-1 tile dimensions from the alignment width
+// and the memory plan, honoring the Config overrides. The branch tile
+// defaults to the plan's block size so lookup-path tiles stay coherent with
+// the AMC precompute blocks (under AMC the branch tile IS the precomputed
+// block).
+func chooseTiles(cfg Config, part *phylo.Partition, plan memacct.Plan) (tileQ, tileB int) {
+	width := part.Comp.OriginalWidth()
+	// Codes (4 bytes/site) plus three float64 accumulators (out, and the
+	// fast-math product/penalty pair) per query.
+	perQuery := width*4 + 3*8
+	tileQ = tileCacheBytes / 2 / perQuery
+	if tileQ < tileQueriesMin {
+		tileQ = tileQueriesMin
+	}
+	if tileQ > tileQueriesMax {
+		tileQ = tileQueriesMax
+	}
+	if cfg.TileQueries > 0 {
+		tileQ = cfg.TileQueries
+	}
+	tileB = plan.BlockSize
+	if cfg.TileBranches > 0 {
+		tileB = cfg.TileBranches
+	}
+	if tileB < 1 {
+		tileB = 1
+	}
+	return tileQ, tileB
+}
+
+// chunkScores returns the engine-held phase-1 score matrix with at least n
+// values. The buffer itself persists across chunks (no per-chunk make), but
+// its accounting stays per-chunk transient — n×8 bytes allocated here and
+// released by the returned func when the chunk's phases are done — so the
+// accounted footprint sequence is exactly the former per-chunk allocation's.
+// Returns the accountant's sticky error so a detected overcommit aborts the
+// chunk before the expensive phases.
+func (e *Engine) chunkScores(n int) ([]float64, func(), error) {
+	if cap(e.scores) < n {
+		e.scores = make([]float64, n)
+	}
+	bytes := int64(n) * 8
+	e.acct.Alloc("chunk-scores", bytes)
+	release := func() { e.acct.Free("chunk-scores", bytes) }
+	if err := e.acct.Err(); err != nil {
+		release()
+		return nil, nil, err
+	}
+	return e.scores[:n], release, nil
+}
+
+// ensureCandBufs sizes the candidate arena and its flat per-branch index for
+// a chunk of nq queries keeping at most keepMax candidates each, over nb
+// branches. All buffers are engine-held and pointer-free, so the GC scans
+// none of them.
+func (e *Engine) ensureCandBufs(nq, keepMax, nb int) {
+	if n := nq * keepMax; cap(e.arena) < n {
+		e.arena = make([]candidate, n)
+		e.candIdx = make([]int32, n)
+	}
+	if cap(e.candCount) < nq {
+		e.candCount = make([]int32, nq)
+	}
+	if cap(e.branchStart) < nb+1 {
+		e.branchStart = make([]int32, nb+1)
+		e.candCursor = make([]int32, nb)
+	}
+}
+
+// phase2Task is one (branch entry, candidate) pair of a phase-2 block's
+// flattened work list; cand indexes the chunk's candidate arena.
+type phase2Task struct {
+	ent  *branchEntry
+	cand int32
+}
+
+// queryTileRefs collects the code slices of chunk[qlo:qhi] into the worker's
+// reusable reference buffer for phylo.FillQueryBlock.
+func (e *Engine) queryTileRefs(worker int, chunk []Query, qlo, qhi int) [][]uint32 {
+	refs := e.wrefs[worker][:0]
+	for i := qlo; i < qhi; i++ {
+		refs = append(refs, chunk[i].Codes)
+	}
+	e.wrefs[worker] = refs
+	return refs
+}

@@ -17,6 +17,7 @@ type Snapshot struct {
 	Pipeline PipelineSnapshot `json:"pipeline"`
 	Server   ServerSnapshot   `json:"server"`
 	Dedup    DedupSnapshot    `json:"dedup"`
+	Kernel   KernelSnapshot   `json:"kernel"`
 }
 
 // AMCSnapshot is the slot manager section of a Snapshot.
@@ -125,6 +126,19 @@ func (d DedupSnapshot) CacheHitRate() float64 {
 	return float64(d.CacheHits) / float64(total)
 }
 
+// KernelSnapshot is the tiled placement-kernel section of a Snapshot: the
+// resolved tile dimensions, whether fast-math reordering was on, and the
+// tile/call/resident-bytes activity of phase 1. All-zero when the engine
+// placed no queries (the key set is schema-stable regardless).
+type KernelSnapshot struct {
+	TileQueries        int64  `json:"tile_queries"`
+	TileBranches       int64  `json:"tile_branches"`
+	FastMath           int64  `json:"fast_math"`
+	TilesExecuted      uint64 `json:"tiles_executed"`
+	BlockKernelCalls   uint64 `json:"block_kernel_calls"`
+	BlockResidentBytes int64  `json:"block_resident_bytes"`
+}
+
 // Snapshot renders the sink's current counter values. Safe to call while
 // the run is still mutating the sink; the values are then advisory. A nil
 // sink yields the zero snapshot (with an empty worker list).
@@ -190,6 +204,15 @@ func (s *Sink) Snapshot() Snapshot {
 		CacheEvictions:   d.CacheEvictions.Load(),
 		CachedBytes:      d.CachedBytes.Load(),
 		CachedEntries:    d.CachedEntries.Load(),
+	}
+	k := &s.Kernel
+	out.Kernel = KernelSnapshot{
+		TileQueries:        k.TileQueries.Load(),
+		TileBranches:       k.TileBranches.Load(),
+		FastMath:           k.FastMath.Load(),
+		TilesExecuted:      k.TilesExecuted.Load(),
+		BlockKernelCalls:   k.BlockKernelCalls.Load(),
+		BlockResidentBytes: k.BlockResidentBytes.Load(),
 	}
 	return out
 }

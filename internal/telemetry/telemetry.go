@@ -468,6 +468,46 @@ func (d *Dedup) SetCacheSize(bytes int64, entries int) {
 	d.CachedEntries.Set(int64(entries))
 }
 
+// Kernel counts the tiled phase-1 placement kernels' activity: the resolved
+// tile dimensions and fast-math mode (levels, set once at engine
+// construction), the number of query-tile × branch-tile tasks executed, the
+// number of block-kernel invocations (one per branch per query tile), and the
+// high-water mark of the bytes a tile keeps cache-resident (its SoA code
+// block, accumulators, and one prescore row or branch CLV).
+type Kernel struct {
+	TileQueries        Gauge
+	TileBranches       Gauge
+	FastMath           Gauge // 0 = bit-identical default order, 1 = reordered
+	TilesExecuted      Counter
+	BlockKernelCalls   Counter
+	BlockResidentBytes MaxGauge
+}
+
+// Configure records the engine's resolved tile dimensions and fast-math mode.
+func (k *Kernel) Configure(tileQ, tileB int, fastMath bool) {
+	if k == nil {
+		return
+	}
+	k.TileQueries.Set(int64(tileQ))
+	k.TileBranches.Set(int64(tileB))
+	if fastMath {
+		k.FastMath.Set(1)
+	} else {
+		k.FastMath.Set(0)
+	}
+}
+
+// TileDone records one executed tile: its block-kernel call count and its
+// cache-resident byte footprint.
+func (k *Kernel) TileDone(calls int, residentBytes int64) {
+	if k == nil {
+		return
+	}
+	k.TilesExecuted.Inc()
+	k.BlockKernelCalls.Add(uint64(calls))
+	k.BlockResidentBytes.Observe(residentBytes)
+}
+
 // Sink aggregates one run's telemetry groups. Create one per engine; the
 // engine hands &sink.AMC to the slot manager, &sink.Pool to the worker
 // pool, and updates sink.Pipeline and sink.Dedup itself; a placement server
@@ -479,6 +519,7 @@ type Sink struct {
 	Pipeline Pipeline
 	Server   Server
 	Dedup    Dedup
+	Kernel   Kernel
 }
 
 // NewSink returns an empty sink.
@@ -522,4 +563,12 @@ func (s *Sink) DedupGroup() *Dedup {
 		return nil
 	}
 	return &s.Dedup
+}
+
+// KernelGroup returns &s.Kernel, or nil for a nil sink.
+func (s *Sink) KernelGroup() *Kernel {
+	if s == nil {
+		return nil
+	}
+	return &s.Kernel
 }

@@ -228,11 +228,24 @@ func TestSnapshotSchemaStable(t *testing.T) {
 	big := NewSink()
 	big.Pool.Init(9) // threads=8
 	big.PipelineGroup().ChunkPlaced(time.Millisecond)
+	// Kernel activity (tiled engine) versus an untouched kernel group must
+	// not change the key set either.
+	big.KernelGroup().Configure(32, 64, true)
+	big.KernelGroup().TileDone(64, 1<<20)
 
 	b, c := shape(small.Snapshot()), shape(big.Snapshot())
 	if b != c {
 		t.Fatalf("snapshot schema varies across worker counts:\n 2w: %s\n 9w: %s", b, c)
 	}
+
+	ks := big.Snapshot().Kernel
+	if ks.TileQueries != 32 || ks.TileBranches != 64 || ks.FastMath != 1 ||
+		ks.TilesExecuted != 1 || ks.BlockKernelCalls != 64 || ks.BlockResidentBytes != 1<<20 {
+		t.Fatalf("kernel snapshot mismatch: %+v", ks)
+	}
+	// Nil-receiver safety for the hot-path methods.
+	(*Kernel)(nil).Configure(1, 1, false)
+	(*Kernel)(nil).TileDone(1, 1)
 }
 
 func TestTraceRoundTrip(t *testing.T) {
