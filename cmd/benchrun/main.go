@@ -23,6 +23,7 @@ import (
 	"os"
 	"time"
 
+	"phylomem/internal/core"
 	"phylomem/internal/experiments"
 	"phylomem/internal/memacct"
 	"phylomem/internal/placement"
@@ -71,6 +72,16 @@ type ConfigResult struct {
 	SlotMissRate     float64 `json:"slot_miss_rate"` // recomputes / (hits + recomputes)
 	Evictions        uint64  `json:"evictions"`
 
+	// Tiered-eviction metrics (amc-spill configs; zero elsewhere).
+	// RecomputeLeafWork is the leaf-proportional recompute cost the run
+	// actually paid — the quantity the spill tier exists to reduce.
+	SpillPolicy        string `json:"spill_policy"`
+	RecomputeLeafWork  uint64 `json:"recompute_leaf_work"`
+	SpillWrites        uint64 `json:"spill_writes"`
+	SpillReloads       uint64 `json:"spill_reloads"`
+	SpillErrors        uint64 `json:"spill_errors"`
+	SpillLeafWorkSaved uint64 `json:"spill_reload_leaf_work_saved"`
+
 	// Redundancy-elimination metrics (dup50 configs; zero elsewhere).
 	Dedup            bool   `json:"dedup"`
 	DistinctQueries  int    `json:"distinct_queries"`
@@ -104,6 +115,13 @@ type Doc struct {
 	// demonstrates it.
 	TileSpeedupReference float64 `json:"tile_speedup_reference"`
 	TileSpeedupAMCLookup float64 `json:"tile_speedup_amc_lookup"`
+
+	// SpillLeafWorkReduction is recompute leaf-work of the discard-only
+	// slot-floor config over the hybrid spill config (0 when either is
+	// absent). The tiered eviction path must convert enough recomputes into
+	// reloads to reduce leaf work by at least minSpillLeafWorkReduction once
+	// the committed baseline attests the workload demonstrates it.
+	SpillLeafWorkReduction float64 `json:"spill_leaf_work_reduction"`
 }
 
 // minDup50Speedup is the floor the gate enforces on Dup50Speedup: on a
@@ -115,6 +133,11 @@ const minDup50Speedup = 1.8
 // default tile sizes must beat the tile1 (per-cell-shaped) control by at
 // least 1.3x phase-1 ns/query on both lookup-table configs.
 const minTileSpeedup = 1.3
+
+// minSpillLeafWorkReduction is the floor the gate enforces on the tiered
+// eviction path: at the slot floor, the hybrid policy must cut recompute
+// leaf work to at most 1/1.5 of the discard-only control's.
+const minSpillLeafWorkReduction = 1.5
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("benchrun", flag.ContinueOnError)
@@ -206,6 +229,12 @@ type benchConfig struct {
 	// per-query, per-branch shape the tiling replaced.
 	tileQ int
 	tileB int
+
+	// spillPolicy attaches a temporary spill store with the named policy to
+	// the engine's CLV manager ("" = no tier). The amc-spill pair runs the
+	// same slot-floor budget as amc-nolookup: discard is the control that
+	// carries the store but never uses it, hybrid is the measured tier.
+	spillPolicy string
 }
 
 // matrix is the pinned configuration set. The two reference configs measure
@@ -249,6 +278,20 @@ func matrix() []benchConfig {
 		},
 		{
 			name: "amc-nolookup", threads: 1,
+			maxMem: func(pc memacct.PlanConfig, clvBytes int64) int64 {
+				return memacct.MinFeasibleBytes(pc) + 2*clvBytes
+			},
+			wantAMC: true, wantLookup: false,
+		},
+		{
+			name: "amc-spill-discard", threads: 1, spillPolicy: "discard",
+			maxMem: func(pc memacct.PlanConfig, clvBytes int64) int64 {
+				return memacct.MinFeasibleBytes(pc) + 2*clvBytes
+			},
+			wantAMC: true, wantLookup: false,
+		},
+		{
+			name: "amc-spill-hybrid", threads: 1, spillPolicy: "hybrid",
 			maxMem: func(pc memacct.PlanConfig, clvBytes int64) int64 {
 				return memacct.MinFeasibleBytes(pc) + 2*clvBytes
 			},
@@ -331,6 +374,12 @@ func runMatrix(scale int, seed int64, reps int, only string) (*Doc, error) {
 		cfg.NoDedup = bc.noDedup
 		cfg.TileQueries = bc.tileQ
 		cfg.TileBranches = bc.tileB
+		if bc.spillPolicy != "" {
+			cfg.SpillPolicy = core.SpillPolicyByName(bc.spillPolicy)
+			if cfg.SpillPolicy == nil {
+				return nil, fmt.Errorf("%s: unknown spill policy %q", bc.name, bc.spillPolicy)
+			}
+		}
 		cfg.MaxMem = bc.maxMem(prep.PlanConfigFor(cfg), prep.Part.CLVBytes())
 
 		queries := prep.Queries
@@ -348,6 +397,7 @@ func runMatrix(scale int, seed int64, reps int, only string) (*Doc, error) {
 			BytesGated:  !bc.pipelined,
 			Dedup:       !bc.noDedup,
 			TileQueries: bc.tileQ, TileBranches: bc.tileB,
+			SpillPolicy: bc.spillPolicy,
 		}
 		for r := 0; r < reps; r++ {
 			var sink *telemetry.Sink
@@ -411,6 +461,11 @@ func runMatrix(scale int, seed int64, reps int, only string) (*Doc, error) {
 			if total := st.CLVStats.Hits + st.CLVStats.Recomputes; total > 0 {
 				res.SlotMissRate = float64(st.CLVStats.Recomputes) / float64(total)
 			}
+			res.RecomputeLeafWork = st.CLVStats.RecomputeLeafWork
+			res.SpillWrites = st.CLVStats.SpillWrites
+			res.SpillReloads = st.CLVStats.SpillReloads
+			res.SpillErrors = st.CLVStats.SpillErrors
+			res.SpillLeafWorkSaved = st.CLVStats.ReloadLeafWorkSaved
 			res.DistinctQueries = st.QueriesDistinct
 			res.DuplicatesFolded = st.QueriesDeduped
 			res.CacheHits = cacheSnap.CacheHits
@@ -425,7 +480,27 @@ func runMatrix(scale int, seed int64, reps int, only string) (*Doc, error) {
 	doc.Dup50Speedup = dup50Speedup(doc)
 	doc.TileSpeedupReference = tileSpeedup(doc, "reference", "reference-tile1")
 	doc.TileSpeedupAMCLookup = tileSpeedup(doc, "amc-lookup", "amc-lookup-tile1")
+	doc.SpillLeafWorkReduction = spillLeafWorkReduction(doc)
 	return doc, nil
+}
+
+// spillLeafWorkReduction computes recompute leaf-work of the discard-only
+// slot-floor control over the hybrid spill config; 0 when either is absent
+// or did no recompute work.
+func spillLeafWorkReduction(d *Doc) float64 {
+	var control, hybrid uint64
+	for _, c := range d.Configs {
+		switch c.Name {
+		case "amc-spill-discard":
+			control = c.RecomputeLeafWork
+		case "amc-spill-hybrid":
+			hybrid = c.RecomputeLeafWork
+		}
+	}
+	if control == 0 || hybrid == 0 {
+		return 0
+	}
+	return float64(control) / float64(hybrid)
 }
 
 // tileSpeedup computes phase-1 ns/query of the tile1 control over the tiled
@@ -582,6 +657,18 @@ func gate(base, fresh *Doc, tolerance float64) error {
 				ts.name, ts.fresh, minTileSpeedup))
 		}
 	}
+	// Same attested-floor pattern for the tiered eviction path: once the
+	// committed baseline shows hybrid spilling cutting recompute leaf work by
+	// the floor at the slot floor, a fresh run below it is a regression.
+	if base.SpillLeafWorkReduction >= minSpillLeafWorkReduction {
+		switch {
+		case fresh.SpillLeafWorkReduction == 0:
+			failures = append(failures, "spill: baseline records a leaf-work reduction but the fresh run lacks the amc-spill config pair")
+		case fresh.SpillLeafWorkReduction < minSpillLeafWorkReduction:
+			failures = append(failures, fmt.Sprintf("spill: hybrid leaf-work reduction %.2fx below the %.1fx floor",
+				fresh.SpillLeafWorkReduction, minSpillLeafWorkReduction))
+		}
+	}
 	if len(failures) > 0 {
 		for _, f := range failures {
 			fmt.Fprintln(os.Stderr, "benchrun: GATE FAIL:", f)
@@ -609,5 +696,8 @@ func printDoc(d *Doc) {
 	}
 	if d.TileSpeedupAMCLookup > 0 {
 		fmt.Printf("tiled-kernel phase-1 speedup (amc-lookup): %.2fx (floor %.1fx)\n", d.TileSpeedupAMCLookup, minTileSpeedup)
+	}
+	if d.SpillLeafWorkReduction > 0 {
+		fmt.Printf("hybrid spill recompute leaf-work reduction: %.2fx (floor %.1fx)\n", d.SpillLeafWorkReduction, minSpillLeafWorkReduction)
 	}
 }

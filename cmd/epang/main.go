@@ -93,6 +93,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		nmOut     = fs.Bool("nm", false, "write jplace nm multiplicity entries: queries sharing identical placements collapse into one record carrying every name with its multiplicity")
 		strict    = fs.Bool("strict", false, "abort on malformed query sequences instead of skipping them")
 		strategy  = fs.String("memsave-strategy", "costage", "CLV replacement strategy: cost, costage, lru, fifo, random")
+		clvSpill  = fs.Bool("clv-spill", false, "spill evicted CLVs to a disk tier and reload them instead of recomputing (AMC only; output is byte-identical)")
+		spillPath = fs.String("clv-spill-path", "", "spill store file (empty = temporary file, removed on exit)")
+		spillPol  = fs.String("clv-spill-policy", "", "per-victim spill decision: discard, spill, or hybrid (implies --clv-spill; default hybrid)")
 		dataType  = fs.String("type", "NT", "data type: NT or AA")
 		syncPre   = fs.Bool("sync-precompute", false, "synchronous across-site branch-block precompute (experimental)")
 		noPipe    = fs.Bool("no-pipeline", false, "disable overlapped chunk reading (decode chunk N+1 while placing chunk N)")
@@ -289,6 +292,18 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		cfg.Strategy = s
 	} else {
 		return fmt.Errorf("unknown strategy %q", *strategy)
+	}
+	if *clvSpill || *spillPol != "" {
+		name := *spillPol
+		if name == "" {
+			name = "hybrid"
+		}
+		p := core.SpillPolicyByName(name)
+		if p == nil {
+			return fmt.Errorf("unknown spill policy %q (want discard, spill, or hybrid)", name)
+		}
+		cfg.SpillPolicy = p
+		cfg.SpillPath = *spillPath
 	}
 	if *statsJSON != "" {
 		cfg.Telemetry = telemetry.NewSink()

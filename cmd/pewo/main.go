@@ -43,6 +43,9 @@ func run(args []string) error {
 		tileQ     = fs.Int("tile-queries", 0, "phase-1 query-tile size in the measured engines (0 = automatic)")
 		tileB     = fs.Int("tile-branches", 0, "phase-1 branch-tile size in the measured engines (0 = automatic)")
 		fastMath  = fs.Bool("fast-math", false, "reordered fast-math accumulation in the measured engines")
+		clvSpill  = fs.Bool("clv-spill", false, "spill evicted CLVs to a disk tier in the measured AMC engines")
+		spillPath = fs.String("clv-spill-path", "", "spill store file for the measured engines (empty = temporary)")
+		spillPol  = fs.String("clv-spill-policy", "", "spill policy: discard, spill, or hybrid (implies --clv-spill; default hybrid)")
 		csv       = fs.Bool("csv", false, "emit CSV instead of an aligned table")
 		statsJSON = fs.String("stats-json", "", "write every measured run as a structured JSON document to this file")
 		plot      = fs.Bool("plot", false, "also render figure experiments as terminal plots")
@@ -81,6 +84,18 @@ func run(args []string) error {
 	o.TileQueries = *tileQ
 	o.TileBranches = *tileB
 	o.FastMath = *fastMath
+	if *clvSpill || *spillPol != "" {
+		name := *spillPol
+		if name == "" {
+			name = "hybrid"
+		}
+		if experiments.ValidSpillPolicy(name) {
+			o.SpillPolicy = name
+			o.SpillPath = *spillPath
+		} else {
+			return fmt.Errorf("unknown spill policy %q (want discard, spill, or hybrid)", name)
+		}
+	}
 	if *datasets != "" {
 		o.Datasets = strings.Split(*datasets, ",")
 	}

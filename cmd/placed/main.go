@@ -169,6 +169,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		tileB      = fs.Int("tile-branches", 0, "phase-1 branch-tile size (0 = automatic, matches the precompute block size)")
 		fastMath   = fs.Bool("fast-math", false, "reordered fast-math accumulation (faster, deterministic, but not bit-identical to the default kernels)")
 		strategy   = fs.String("memsave-strategy", "costage", "CLV replacement strategy: cost, costage, lru, fifo, random")
+		clvSpill   = fs.Bool("clv-spill", false, "spill evicted CLVs to a disk tier and reload them instead of recomputing (AMC only; output is byte-identical)")
+		spillPath  = fs.String("clv-spill-path", "", "spill store file (empty = temporary file, removed on shutdown)")
+		spillPol   = fs.String("clv-spill-policy", "", "per-victim spill decision: discard, spill, or hybrid (implies --clv-spill; default hybrid)")
 		dedup      = fs.Bool("dedup", true, "group each batch's queries by sequence content and place one representative per distinct sequence")
 		cacheSize  = fs.String("result-cache", "64M", "cross-request result cache size, e.g. 64M (0 disables); cache bytes count against --maxmem and are evicted first under pressure")
 		maxBatch   = fs.Int("max-batch", 256, "flush a micro-batch once this many queries are pending")
@@ -220,6 +223,18 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		cfg.Strategy = s
 	} else {
 		return fmt.Errorf("unknown strategy %q", *strategy)
+	}
+	if *clvSpill || *spillPol != "" {
+		name := *spillPol
+		if name == "" {
+			name = "hybrid"
+		}
+		p := core.SpillPolicyByName(name)
+		if p == nil {
+			return fmt.Errorf("unknown spill policy %q (want discard, spill, or hybrid)", name)
+		}
+		cfg.SpillPolicy = p
+		cfg.SpillPath = *spillPath
 	}
 
 	cacheBytes, err := memacct.ParseBytes(*cacheSize)

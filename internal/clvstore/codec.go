@@ -1,4 +1,4 @@
-package pplacer
+package clvstore
 
 import "math"
 

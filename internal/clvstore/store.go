@@ -1,0 +1,251 @@
+// Package clvstore provides fixed-size CLV record stores (the float64 CLV
+// plus its int32 scale counters, addressed by dense index) shared by the
+// pplacer baseline's precomputed-CLV mode and the AMC spill tier.
+//
+// Both stores validate every access and are safe for concurrent use on
+// distinct records: MemStore records are disjoint slices, and FileStore
+// serializes through per-call pooled buffers over positional ReadAt/WriteAt,
+// so concurrent readers (the pplacer optimization workers, the spill tier
+// under a parallel engine) never share mutable state. Concurrent accesses to
+// the *same* record index are the caller's responsibility to order, exactly
+// as with any shared array.
+package clvstore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrIndexRange reports a record index outside [0, n).
+var ErrIndexRange = errors.New("clvstore: record index out of range")
+
+// ErrRecordSize reports a clv or scale slice whose length does not match the
+// store's record geometry. Short slices would silently truncate (or, for the
+// in-memory store's raw copy, corrupt the accounting of) a record; long ones
+// would spill into the neighbor. Both are caller bugs, surfaced loudly.
+var ErrRecordSize = errors.New("clvstore: record slice length mismatch")
+
+// Store stores fixed-size CLV records addressed by dense index.
+type Store interface {
+	// Write stores the record at index idx.
+	Write(idx int, clv []float64, scale []int32) error
+	// Read fills clv and scale from the record at idx.
+	Read(idx int, clv []float64, scale []int32) error
+	// Bytes returns the store's main-memory footprint (a file-backed store
+	// reports only its buffers, not the file size).
+	Bytes() int64
+	// Close releases resources.
+	Close() error
+}
+
+// checkRecord validates an access against the store geometry.
+func checkRecord(n, clvLen, scaleLen, idx int, clv []float64, scale []int32) error {
+	if idx < 0 || idx >= n {
+		return fmt.Errorf("%w: %d not in [0,%d)", ErrIndexRange, idx, n)
+	}
+	if len(clv) != clvLen || len(scale) != scaleLen {
+		return fmt.Errorf("%w: clv %d / scale %d, want %d / %d",
+			ErrRecordSize, len(clv), len(scale), clvLen, scaleLen)
+	}
+	return nil
+}
+
+// MemStore keeps every record in RAM — pplacer's default mode.
+type MemStore struct {
+	n                int
+	clvLen, scaleLen int
+	clvs             []float64
+	scales           []int32
+}
+
+// NewMemStore allocates an in-memory store for n records.
+func NewMemStore(n, clvLen, scaleLen int) *MemStore {
+	return &MemStore{
+		n:        n,
+		clvLen:   clvLen,
+		scaleLen: scaleLen,
+		clvs:     make([]float64, n*clvLen),
+		scales:   make([]int32, n*scaleLen),
+	}
+}
+
+// Write implements Store.
+func (s *MemStore) Write(idx int, clv []float64, scale []int32) error {
+	if err := checkRecord(s.n, s.clvLen, s.scaleLen, idx, clv, scale); err != nil {
+		return err
+	}
+	copy(s.clvs[idx*s.clvLen:(idx+1)*s.clvLen], clv)
+	copy(s.scales[idx*s.scaleLen:(idx+1)*s.scaleLen], scale)
+	return nil
+}
+
+// Read implements Store.
+func (s *MemStore) Read(idx int, clv []float64, scale []int32) error {
+	if err := checkRecord(s.n, s.clvLen, s.scaleLen, idx, clv, scale); err != nil {
+		return err
+	}
+	copy(clv, s.clvs[idx*s.clvLen:(idx+1)*s.clvLen])
+	copy(scale, s.scales[idx*s.scaleLen:(idx+1)*s.scaleLen])
+	return nil
+}
+
+// Bytes implements Store.
+func (s *MemStore) Bytes() int64 {
+	return int64(len(s.clvs))*8 + int64(len(s.scales))*4
+}
+
+// Close implements Store.
+func (s *MemStore) Close() error { return nil }
+
+// FileStore keeps records in a file, the portable stand-in for pplacer's
+// memory-mapped allocation and the backing tier of AMC spill: peak RAM drops
+// to the in-flight record buffers, and runtime becomes dependent on
+// file-system latency and bandwidth.
+//
+// Every call encodes through its own buffer (recycled via a pool) over
+// positional ReadAt/WriteAt, so concurrent Reads and Writes to distinct
+// records are safe.
+type FileStore struct {
+	f                *os.File
+	n                int
+	recBytes         int64
+	clvLen, scaleLen int
+	path             string
+	removeOnC        bool
+
+	bufs sync.Pool
+	// bufLive / bufHighWater track how many record buffers are in flight at
+	// once, so Bytes can report the store's real peak RAM footprint instead
+	// of pretending a single shared buffer exists.
+	bufLive      atomic.Int64
+	bufHighWater atomic.Int64
+}
+
+// NewFileStore creates a file-backed store for n records at path. An empty
+// path uses a temporary file that is removed on Close; any error after the
+// temporary file is created removes it before returning.
+func NewFileStore(path string, n, clvLen, scaleLen int) (*FileStore, error) {
+	var f *os.File
+	var err error
+	remove := false
+	if path == "" {
+		f, err = os.CreateTemp("", "clvstore-*.bin")
+		remove = true
+	} else {
+		f, err = os.Create(path)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("clvstore: creating CLV file: %w", err)
+	}
+	rec := int64(clvLen)*8 + int64(scaleLen)*4
+	if err := f.Truncate(rec * int64(n)); err != nil {
+		f.Close()
+		if remove {
+			os.Remove(f.Name())
+		}
+		return nil, fmt.Errorf("clvstore: sizing CLV file: %w", err)
+	}
+	s := &FileStore{
+		f:         f,
+		n:         n,
+		recBytes:  rec,
+		clvLen:    clvLen,
+		scaleLen:  scaleLen,
+		path:      f.Name(),
+		removeOnC: remove,
+	}
+	s.bufs.New = func() any {
+		b := make([]byte, rec)
+		return &b
+	}
+	return s, nil
+}
+
+// getBuf takes a record buffer for one call, tracking the in-flight
+// high-water mark for Bytes.
+func (s *FileStore) getBuf() *[]byte {
+	live := s.bufLive.Add(1)
+	for {
+		hw := s.bufHighWater.Load()
+		if live <= hw || s.bufHighWater.CompareAndSwap(hw, live) {
+			break
+		}
+	}
+	return s.bufs.Get().(*[]byte)
+}
+
+func (s *FileStore) putBuf(b *[]byte) {
+	s.bufs.Put(b)
+	s.bufLive.Add(-1)
+}
+
+// Write implements Store.
+func (s *FileStore) Write(idx int, clv []float64, scale []int32) error {
+	if err := checkRecord(s.n, s.clvLen, s.scaleLen, idx, clv, scale); err != nil {
+		return err
+	}
+	bp := s.getBuf()
+	defer s.putBuf(bp)
+	b := *bp
+	for i, v := range clv {
+		putU64(b[i*8:], f64bits(v))
+	}
+	off := s.clvLen * 8
+	for i, v := range scale {
+		putU32(b[off+i*4:], uint32(v))
+	}
+	if _, err := s.f.WriteAt(b, int64(idx)*s.recBytes); err != nil {
+		return fmt.Errorf("clvstore: writing CLV %d: %w", idx, err)
+	}
+	return nil
+}
+
+// Read implements Store.
+func (s *FileStore) Read(idx int, clv []float64, scale []int32) error {
+	if err := checkRecord(s.n, s.clvLen, s.scaleLen, idx, clv, scale); err != nil {
+		return err
+	}
+	bp := s.getBuf()
+	defer s.putBuf(bp)
+	b := *bp
+	if _, err := s.f.ReadAt(b, int64(idx)*s.recBytes); err != nil {
+		return fmt.Errorf("clvstore: reading CLV %d: %w", idx, err)
+	}
+	for i := range clv {
+		clv[i] = f64frombits(getU64(b[i*8:]))
+	}
+	off := s.clvLen * 8
+	for i := range scale {
+		scale[i] = int32(getU32(b[off+i*4:]))
+	}
+	return nil
+}
+
+// Bytes implements Store: the peak number of simultaneously in-flight record
+// buffers times the record size (at least one — the steady-state footprint
+// of any use at all). The backing file does not count against RAM.
+func (s *FileStore) Bytes() int64 {
+	hw := s.bufHighWater.Load()
+	if hw < 1 {
+		hw = 1
+	}
+	return hw * s.recBytes
+}
+
+// RecordBytes returns the on-disk size of one encoded record.
+func (s *FileStore) RecordBytes() int64 { return s.recBytes }
+
+// Close implements Store.
+func (s *FileStore) Close() error {
+	err := s.f.Close()
+	if s.removeOnC {
+		os.Remove(s.path)
+	}
+	return err
+}
+
+// Path returns the backing file's path.
+func (s *FileStore) Path() string { return s.path }

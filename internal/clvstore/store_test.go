@@ -1,0 +1,289 @@
+package clvstore
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+const (
+	testCLVLen   = 24
+	testScaleLen = 6
+)
+
+// fillRecord generates a deterministic record for index idx, exercising
+// negative, denormal, and non-finite float64 payloads so the file codec's
+// bit-exactness is part of every roundtrip check.
+func fillRecord(idx int, clv []float64, scale []int32) {
+	for i := range clv {
+		switch (idx + i) % 5 {
+		case 0:
+			clv[i] = float64(idx*1000 + i)
+		case 1:
+			clv[i] = -1e-300 * float64(idx+1)
+		case 2:
+			clv[i] = math.Inf(1)
+		case 3:
+			clv[i] = 5e-324 // smallest denormal
+		default:
+			clv[i] = 1.0 / float64(idx+i+1)
+		}
+	}
+	for i := range scale {
+		scale[i] = int32(idx*7 - i)
+	}
+}
+
+func recordsEqual(aCLV, bCLV []float64, aScale, bScale []int32) bool {
+	for i := range aCLV {
+		if math.Float64bits(aCLV[i]) != math.Float64bits(bCLV[i]) {
+			return false
+		}
+	}
+	for i := range aScale {
+		if aScale[i] != bScale[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func stores(t *testing.T, n int) map[string]Store {
+	t.Helper()
+	fs, err := NewFileStore("", n, testCLVLen, testScaleLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fs.Close() })
+	return map[string]Store{
+		"mem":  NewMemStore(n, testCLVLen, testScaleLen),
+		"file": fs,
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	const n = 17
+	for name, s := range stores(t, n) {
+		clv := make([]float64, testCLVLen)
+		scale := make([]int32, testScaleLen)
+		for idx := 0; idx < n; idx++ {
+			fillRecord(idx, clv, scale)
+			if err := s.Write(idx, clv, scale); err != nil {
+				t.Fatalf("%s: Write(%d): %v", name, idx, err)
+			}
+		}
+		gotCLV := make([]float64, testCLVLen)
+		gotScale := make([]int32, testScaleLen)
+		for idx := n - 1; idx >= 0; idx-- {
+			fillRecord(idx, clv, scale)
+			if err := s.Read(idx, gotCLV, gotScale); err != nil {
+				t.Fatalf("%s: Read(%d): %v", name, idx, err)
+			}
+			if !recordsEqual(clv, gotCLV, scale, gotScale) {
+				t.Fatalf("%s: record %d not bit-identical after roundtrip", name, idx)
+			}
+		}
+	}
+}
+
+// TestBoundsValidation: out-of-range indices and mis-sized slices must be
+// rejected with the typed errors on every store and both directions —
+// before this existed, a bad index silently corrupted the neighboring record.
+func TestBoundsValidation(t *testing.T) {
+	const n = 4
+	okCLV := make([]float64, testCLVLen)
+	okScale := make([]int32, testScaleLen)
+	for name, s := range stores(t, n) {
+		for _, idx := range []int{-1, n, n + 100} {
+			if err := s.Write(idx, okCLV, okScale); !errors.Is(err, ErrIndexRange) {
+				t.Fatalf("%s: Write(%d) error = %v, want ErrIndexRange", name, idx, err)
+			}
+			if err := s.Read(idx, okCLV, okScale); !errors.Is(err, ErrIndexRange) {
+				t.Fatalf("%s: Read(%d) error = %v, want ErrIndexRange", name, idx, err)
+			}
+		}
+		bad := []struct {
+			label string
+			clv   []float64
+			scale []int32
+		}{
+			{"short clv", okCLV[:testCLVLen-1], okScale},
+			{"long clv", make([]float64, testCLVLen+1), okScale},
+			{"short scale", okCLV, okScale[:testScaleLen-1]},
+			{"nil clv", nil, okScale},
+		}
+		for _, b := range bad {
+			if err := s.Write(0, b.clv, b.scale); !errors.Is(err, ErrRecordSize) {
+				t.Fatalf("%s: Write with %s: error = %v, want ErrRecordSize", name, b.label, err)
+			}
+			if err := s.Read(0, b.clv, b.scale); !errors.Is(err, ErrRecordSize) {
+				t.Fatalf("%s: Read with %s: error = %v, want ErrRecordSize", name, b.label, err)
+			}
+		}
+	}
+}
+
+// TestConcurrentAccess hammers one store with parallel readers over records
+// written up front plus parallel writers on a disjoint index range. Run
+// under -race this is the regression test for the shared-buffer FileStore
+// bug: with one shared buf, concurrent Reads corrupt each other's payloads
+// (and race); with per-call buffers every reader must see bit-exact data.
+func TestConcurrentAccess(t *testing.T) {
+	const (
+		n        = 64
+		nReaders = 8
+		nWriters = 4
+		rounds   = 50
+	)
+	for name, s := range stores(t, n) {
+		clv := make([]float64, testCLVLen)
+		scale := make([]int32, testScaleLen)
+		for idx := 0; idx < n/2; idx++ {
+			fillRecord(idx, clv, scale)
+			if err := s.Write(idx, clv, scale); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var wg sync.WaitGroup
+		errc := make(chan error, nReaders+nWriters)
+		for r := 0; r < nReaders; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				want := make([]float64, testCLVLen)
+				wantScale := make([]int32, testScaleLen)
+				got := make([]float64, testCLVLen)
+				gotScale := make([]int32, testScaleLen)
+				for round := 0; round < rounds; round++ {
+					for idx := 0; idx < n/2; idx++ {
+						if err := s.Read(idx, got, gotScale); err != nil {
+							errc <- err
+							return
+						}
+						fillRecord(idx, want, wantScale)
+						if !recordsEqual(want, got, wantScale, gotScale) {
+							t.Errorf("%s: reader %d saw corrupt record %d", name, r, idx)
+							return
+						}
+					}
+				}
+			}(r)
+		}
+		// Writers churn the upper half of the index space, never touching
+		// what the readers verify.
+		for w := 0; w < nWriters; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				clv := make([]float64, testCLVLen)
+				scale := make([]int32, testScaleLen)
+				for round := 0; round < rounds; round++ {
+					for idx := n/2 + w; idx < n; idx += nWriters {
+						fillRecord(idx+round, clv, scale)
+						if err := s.Write(idx, clv, scale); err != nil {
+							errc <- err
+							return
+						}
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		close(errc)
+		for err := range errc {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestFileStoreTempCleanup(t *testing.T) {
+	s, err := NewFileStore("", 3, testCLVLen, testScaleLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := s.Path()
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("backing file missing: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("temp file not removed on Close: %v", err)
+	}
+}
+
+// TestFileStoreSizingFailureRemovesTemp forces the Truncate in NewFileStore
+// to fail (the requested size overflows int64 and goes negative) and asserts
+// the temporary file does not leak — the bug was closing the file but
+// leaving it on disk.
+func TestFileStoreSizingFailureRemovesTemp(t *testing.T) {
+	dir := t.TempDir()
+	t.Setenv("TMPDIR", dir)
+	_, err := NewFileStore("", 1<<30, 1<<30, 0)
+	if err == nil {
+		t.Fatal("overflowing store size accepted")
+	}
+	left, globErr := filepath.Glob(filepath.Join(dir, "clvstore-*"))
+	if globErr != nil {
+		t.Fatal(globErr)
+	}
+	if len(left) != 0 {
+		t.Fatalf("temp files leaked after failed construction: %v", left)
+	}
+}
+
+func TestFileStoreExplicitPath(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "clvs.bin")
+	s, err := NewFileStore(path, 2, testCLVLen, testScaleLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Path() != path {
+		t.Fatalf("Path() = %q, want %q", s.Path(), path)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("explicit-path file should survive Close: %v", err)
+	}
+}
+
+func TestBytesAccounting(t *testing.T) {
+	m := NewMemStore(3, testCLVLen, testScaleLen)
+	want := int64(3*testCLVLen)*8 + int64(3*testScaleLen)*4
+	if got := m.Bytes(); got != want {
+		t.Fatalf("MemStore.Bytes = %d, want %d", got, want)
+	}
+	f, err := NewFileStore("", 3, testCLVLen, testScaleLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rec := int64(testCLVLen)*8 + int64(testScaleLen)*4
+	if got := f.RecordBytes(); got != rec {
+		t.Fatalf("RecordBytes = %d, want %d", got, rec)
+	}
+	// Before any access the footprint is one steady-state buffer; sequential
+	// use must not inflate it.
+	if got := f.Bytes(); got != rec {
+		t.Fatalf("idle FileStore.Bytes = %d, want %d", got, rec)
+	}
+	clv := make([]float64, testCLVLen)
+	scale := make([]int32, testScaleLen)
+	for i := 0; i < 3; i++ {
+		if err := f.Write(i, clv, scale); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Read(i, clv, scale); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := f.Bytes(); got != rec {
+		t.Fatalf("sequential FileStore.Bytes = %d, want %d", got, rec)
+	}
+}

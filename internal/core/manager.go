@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
+	"phylomem/internal/clvstore"
 	"phylomem/internal/faultinject"
 	"phylomem/internal/parallel"
 	"phylomem/internal/phylo"
@@ -38,6 +40,21 @@ type Stats struct {
 	// RecomputeLeafWork accumulates the subtree leaf count of every
 	// recomputed CLV — a machine-independent proxy for recomputation cost.
 	RecomputeLeafWork uint64
+	// SpillWrites counts eviction victims serialized into the spill store;
+	// SpillReloads counts materializations satisfied by reading such a
+	// record back instead of recomputing (neither a Hit nor a Recompute);
+	// SpillErrors counts spill I/O failures the manager degraded around
+	// (write failure → plain discard, read failure → recompute). The byte
+	// totals are Writes/Reloads times the record size; ReloadLeafWorkSaved
+	// accumulates the subtree leaf count of every reloaded CLV — the
+	// recomputation work the disk tier absorbed, directly comparable to
+	// RecomputeLeafWork.
+	SpillWrites         uint64
+	SpillReloads        uint64
+	SpillErrors         uint64
+	SpillBytesWritten   uint64
+	SpillBytesReloaded  uint64
+	ReloadLeafWorkSaved uint64
 }
 
 // Manager is the Active Management of CLVs: it maps the tree's 3(n-2) global
@@ -83,6 +100,22 @@ type Manager struct {
 	// pool, when non-nil, runs the across-site parallel update kernel during
 	// recomputation (the paper's Fig. 7 experiment).
 	pool *parallel.Pool
+
+	// Spill tier (nil spillStore = disabled, the classic discard-only AMC).
+	// spilled[idx] marks CLVs with a valid, reloadable record in the store;
+	// spilledNow counts them (audited by CheckInvariants). recomputeNS and
+	// reloadNS accumulate measured wall time feeding the hybrid policy's
+	// cost model; they are only maintained while a store is attached, so
+	// spill-free runs pay no clock reads.
+	spillStore  clvstore.Store
+	spillPolicy SpillPolicy
+	spilled     []bool
+	spilledNow  int
+	recBytes    int64
+	recomputeNS int64
+	reloadNS    int64
+	spillCtx    SpillContext
+	stel        *telemetry.Spill
 }
 
 // Config parameterizes a Manager.
@@ -103,6 +136,18 @@ type Config struct {
 	// concurrent observers and the --stats-json report can read them without
 	// touching the single-threaded manager.
 	Telemetry *telemetry.AMC
+	// SpillStore, when non-nil, enables the tiered eviction path: victims
+	// the SpillPolicy approves are serialized into the store and reloaded
+	// instead of recomputed. The store must be sized for the tree's inner
+	// CLV count with the partition's record geometry. The manager only
+	// writes and reads records; it does not own or Close the store.
+	SpillStore clvstore.Store
+	// SpillPolicy chooses per-victim between discard and spill; nil with a
+	// SpillStore selects HybridSpill. Ignored without a store.
+	SpillPolicy SpillPolicy
+	// SpillTelemetry, when non-nil alongside SpillStore, mirrors the spill
+	// counters (audited by CheckTelemetry like the AMC group).
+	SpillTelemetry *telemetry.Spill
 }
 
 // NewManager creates a slot manager for the given partition and tree.
@@ -153,6 +198,16 @@ func NewManager(part *phylo.Partition, tr *tree.Tree, cfg Config) (*Manager, err
 	for i := 0; i < nclv; i++ {
 		m.cost[i] = counts[tr.DirOfCLV(i)]
 	}
+	if cfg.SpillStore != nil {
+		m.spillStore = cfg.SpillStore
+		m.spillPolicy = cfg.SpillPolicy
+		if m.spillPolicy == nil {
+			m.spillPolicy = HybridSpill{}
+		}
+		m.spilled = make([]bool, nclv)
+		m.recBytes = int64(part.CLVLen())*8 + int64(part.ScaleLen())*4
+		m.stel = cfg.SpillTelemetry
+	}
 	return m, nil
 }
 
@@ -172,10 +227,21 @@ func (m *Manager) Stats() Stats { return m.stats }
 func (m *Manager) ResetStats() {
 	m.stats = Stats{}
 	m.tel = nil
+	m.stel = nil
+	m.recomputeNS = 0
+	m.reloadNS = 0
 }
 
 // Strategy returns the replacement strategy in use.
 func (m *Manager) Strategy() Strategy { return m.strategy }
+
+// SpillPolicy returns the spill policy in use, or nil when the spill tier is
+// disabled.
+func (m *Manager) SpillPolicy() SpillPolicy { return m.spillPolicy }
+
+// SpilledEntries returns the number of CLVs currently reloadable from the
+// spill store.
+func (m *Manager) SpilledEntries() int { return m.spilledNow }
 
 // PinnedSlots returns the number of slots with a non-zero pin count. It is
 // O(1): the count is maintained on every pin transition (CheckInvariants
@@ -287,6 +353,7 @@ func (m *Manager) allocSlot(idx int32) (int32, error) {
 	if vslot == noSlot || m.pins[vslot] != 0 || m.clvOf[vslot] != int32(victim) {
 		return noSlot, fmt.Errorf("core: strategy %q returned invalid victim %d", m.strategy.Name(), victim)
 	}
+	m.maybeSpill(victim, vslot)
 	m.stats.Evictions++
 	m.tel.Evict()
 	m.slotOf[victim] = noSlot
@@ -294,6 +361,110 @@ func (m *Manager) allocSlot(idx int32) (int32, error) {
 	m.slotOf[idx] = vslot
 	m.slottedAt[idx] = m.tick
 	return vslot, nil
+}
+
+// markSpilled / dropSpilled maintain the spilled set, its count, and the
+// telemetry level together so they can never drift apart.
+func (m *Manager) markSpilled(idx int) {
+	if !m.spilled[idx] {
+		m.spilled[idx] = true
+		m.spilledNow++
+		m.stel.SetSpilled(m.spilledNow)
+	}
+}
+
+func (m *Manager) dropSpilled(idx int) {
+	if m.spilled[idx] {
+		m.spilled[idx] = false
+		m.spilledNow--
+		m.stel.SetSpilled(m.spilledNow)
+	}
+}
+
+// spillContext exposes this run's measured costs to the policy, reusing one
+// context struct so the per-eviction decision allocates nothing.
+func (m *Manager) spillContext() *SpillContext {
+	ctx := &m.spillCtx
+	ctx.Cost = m.cost
+	ctx.RecordBytes = m.recBytes
+	ctx.RecomputeNsPerLeaf = 0
+	if m.stats.RecomputeLeafWork > 0 {
+		ctx.RecomputeNsPerLeaf = float64(m.recomputeNS) / float64(m.stats.RecomputeLeafWork)
+	}
+	ctx.ReloadNsPerByte = 0
+	if m.stats.SpillBytesReloaded > 0 {
+		ctx.ReloadNsPerByte = float64(m.reloadNS) / float64(m.stats.SpillBytesReloaded)
+	}
+	return ctx
+}
+
+// maybeSpill runs the spill tier's write side on an eviction victim whose
+// slot data is still intact: if the policy approves, the record is
+// serialized before the slot is reused. A record already on disk stays valid
+// (reference CLVs never change between invalidations), so re-evicting a
+// reloaded CLV writes nothing. Write failures degrade to a plain discard —
+// spill I/O must never fail a run.
+func (m *Manager) maybeSpill(victim int, vslot int32) {
+	if m.spillStore == nil || m.spilled[victim] {
+		return
+	}
+	if !m.spillPolicy.ShouldSpill(victim, m.spillContext()) {
+		return
+	}
+	vclv, vscale := m.view(vslot)
+	start := time.Now()
+	err := faultinject.Check(faultinject.PointSpillWrite)
+	if err == nil {
+		err = m.spillStore.Write(victim, vclv, vscale)
+	}
+	if err != nil {
+		m.stats.SpillErrors++
+		m.stel.Error()
+		return
+	}
+	m.stats.SpillWrites++
+	m.stats.SpillBytesWritten += uint64(m.recBytes)
+	m.stel.Write(m.recBytes, time.Since(start))
+	m.markSpilled(victim)
+}
+
+// tryReload attempts to satisfy a miss from the spill store: it allocates a
+// slot and reads the record back, skipping the entire child-first subtree
+// traversal a recomputation would need. It reports done=true when the CLV is
+// slotted and pinned for the caller. On any failure it restores the plain
+// miss state and reports done=false so materialize falls back to
+// recomputation: an unusable record is dropped (read failure), and an
+// allocation failure defers to the normal path's unwinding.
+func (m *Manager) tryReload(idx int) (done bool, err error) {
+	slot, err := m.allocSlot(int32(idx))
+	if err != nil {
+		return false, nil
+	}
+	m.incPin(slot)
+	dst, dstScale := m.view(slot)
+	start := time.Now()
+	rerr := faultinject.Check(faultinject.PointSpillRead)
+	if rerr == nil {
+		rerr = m.spillStore.Read(idx, dst, dstScale)
+	}
+	if rerr != nil {
+		m.dropSpilled(idx)
+		m.stats.SpillErrors++
+		m.stel.Error()
+		m.decPin(slot)
+		m.slotOf[idx] = noSlot
+		m.clvOf[slot] = noCLV
+		return false, nil
+	}
+	d := time.Since(start)
+	m.reloadNS += int64(d)
+	m.stats.SpillReloads++
+	m.stats.SpillBytesReloaded += uint64(m.recBytes)
+	m.stats.ReloadLeafWorkSaved += uint64(m.cost[idx])
+	m.stel.Reload(m.recBytes, m.cost[idx], d)
+	m.tick++
+	m.lastAccess[idx] = m.tick
+	return true, nil
 }
 
 // materialize ensures d's CLV is slotted and pinned, recomputing any missing
@@ -321,6 +492,13 @@ func (m *Manager) materialize(d tree.Dir) error {
 		m.incPin(slot)
 		return nil
 	}
+	// Spill tier: a valid record on disk makes the whole child-first subtree
+	// traversal unnecessary — reload it into a fresh slot instead.
+	if m.spillStore != nil && m.spilled[idx] {
+		if done, err := m.tryReload(idx); done || err != nil {
+			return err
+		}
+	}
 	a, b := m.tr.Children(d)
 	su := m.tr.SlotRequirements()
 	if su[b] > su[a] {
@@ -343,7 +521,13 @@ func (m *Manager) materialize(d tree.Dir) error {
 	dst, dstScale := m.view(slot)
 	m.part.FillP(m.pa, m.tr.EdgeOf(a).Length)
 	m.part.FillP(m.pb, m.tr.EdgeOf(b).Length)
-	m.part.UpdateCLVPooled(dst, dstScale, m.operandOf(a), m.operandOf(b), m.pa, m.pb, m.pool, m.sc)
+	if m.spillStore != nil {
+		start := time.Now()
+		m.part.UpdateCLVPooled(dst, dstScale, m.operandOf(a), m.operandOf(b), m.pa, m.pb, m.pool, m.sc)
+		m.recomputeNS += int64(time.Since(start))
+	} else {
+		m.part.UpdateCLVPooled(dst, dstScale, m.operandOf(a), m.operandOf(b), m.pa, m.pb, m.pool, m.sc)
+	}
 	m.tick++
 	m.lastAccess[idx] = m.tick
 	m.stats.Recomputes++
@@ -405,6 +589,11 @@ func (m *Manager) InvalidateAll() error {
 			m.clvOf[s] = noCLV
 		}
 	}
+	// Spilled records summarize the same (now possibly stale) model state:
+	// they must go too, or a later reload would resurrect pre-change CLVs.
+	for i := range m.spilled {
+		m.dropSpilled(i)
+	}
 	return nil
 }
 
@@ -431,6 +620,11 @@ func (m *Manager) InvalidateEdge(e *tree.Edge) error {
 		if slot := m.slotOf[idx]; slot != noSlot {
 			m.slotOf[idx] = noSlot
 			m.clvOf[slot] = noCLV
+		}
+		// A dependent CLV's spilled record is stale even if it is not
+		// currently slotted.
+		if m.spilled != nil {
+			m.dropSpilled(idx)
 		}
 	}
 	return nil
@@ -510,6 +704,19 @@ func (m *Manager) CheckInvariants() error {
 		return fmt.Errorf("%w: pinned-slot count %d disagrees with pin array (%d slots pinned)",
 			ErrInvariant, m.pinnedNow, pinned)
 	}
+	nspilled := 0
+	for _, b := range m.spilled {
+		if b {
+			nspilled++
+		}
+	}
+	if nspilled != m.spilledNow {
+		return fmt.Errorf("%w: spilled-record count %d disagrees with spilled set (%d records marked)",
+			ErrInvariant, m.spilledNow, nspilled)
+	}
+	if m.spillStore == nil && nspilled != 0 {
+		return fmt.Errorf("%w: %d spilled records without a spill store", ErrInvariant, nspilled)
+	}
 	return nil
 }
 
@@ -520,18 +727,28 @@ func (m *Manager) CheckInvariants() error {
 // machinery. A manager without a sink passes trivially. The placement
 // engine runs this from Close alongside CheckInvariants.
 func (m *Manager) CheckTelemetry() error {
-	if m.tel == nil {
-		return nil
-	}
 	type pair struct {
 		name      string
 		got, want uint64
 	}
-	checks := []pair{
-		{"hits", m.tel.Hits.Load(), m.stats.Hits},
-		{"misses", m.tel.Misses.Load(), m.stats.Recomputes},
-		{"evictions", m.tel.Evictions.Load(), m.stats.Evictions},
-		{"recompute_leaf_work", m.tel.RecomputeLeafWork.Load(), m.stats.RecomputeLeafWork},
+	var checks []pair
+	if m.tel != nil {
+		checks = append(checks,
+			pair{"hits", m.tel.Hits.Load(), m.stats.Hits},
+			pair{"misses", m.tel.Misses.Load(), m.stats.Recomputes},
+			pair{"evictions", m.tel.Evictions.Load(), m.stats.Evictions},
+			pair{"recompute_leaf_work", m.tel.RecomputeLeafWork.Load(), m.stats.RecomputeLeafWork},
+		)
+	}
+	if m.stel != nil {
+		checks = append(checks,
+			pair{"spill writes", m.stel.Writes.Load(), m.stats.SpillWrites},
+			pair{"spill reloads", m.stel.Reloads.Load(), m.stats.SpillReloads},
+			pair{"spill errors", m.stel.Errors.Load(), m.stats.SpillErrors},
+			pair{"spill bytes_written", m.stel.BytesWritten.Load(), m.stats.SpillBytesWritten},
+			pair{"spill bytes_reloaded", m.stel.BytesReloaded.Load(), m.stats.SpillBytesReloaded},
+			pair{"spill reload_leaf_work_saved", m.stel.ReloadLeafWorkSaved.Load(), m.stats.ReloadLeafWorkSaved},
+		)
 	}
 	for _, c := range checks {
 		if c.got != c.want {
@@ -539,8 +756,16 @@ func (m *Manager) CheckTelemetry() error {
 				ErrInvariant, c.name, c.got, c.want)
 		}
 	}
-	if hw := m.tel.PinHighWater.Load(); hw > int64(m.slots) {
-		return fmt.Errorf("%w: pin high-water %d exceeds %d slots", ErrInvariant, hw, m.slots)
+	if m.tel != nil {
+		if hw := m.tel.PinHighWater.Load(); hw > int64(m.slots) {
+			return fmt.Errorf("%w: pin high-water %d exceeds %d slots", ErrInvariant, hw, m.slots)
+		}
+	}
+	if m.stel != nil {
+		if got := m.stel.SpilledEntries.Load(); got != int64(m.spilledNow) {
+			return fmt.Errorf("%w: telemetry spilled entries %d disagrees with manager count %d",
+				ErrInvariant, got, m.spilledNow)
+		}
 	}
 	return nil
 }

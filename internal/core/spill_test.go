@@ -1,0 +1,323 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"phylomem/internal/clvstore"
+	"phylomem/internal/faultinject"
+	"phylomem/internal/telemetry"
+)
+
+// spillStoreFor creates a file-backed spill store sized for the fixture's
+// tree, closed when the test ends.
+func spillStoreFor(t testing.TB, fx *fixture) *clvstore.FileStore {
+	t.Helper()
+	s, err := clvstore.NewFileStore("", fx.tr.NumInnerCLVs(), fx.part.CLVLen(), fx.part.ScaleLen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// sweep acquires every inner CLV once, in index order, releasing each.
+func sweep(t testing.TB, m *Manager, fx *fixture) {
+	t.Helper()
+	for i := 0; i < fx.tr.NumInnerCLVs(); i++ {
+		d := fx.tr.DirOfCLV(i)
+		if _, err := m.Acquire(d); err != nil {
+			t.Fatal(err)
+		}
+		m.Release(d)
+	}
+}
+
+// TestSpillMatchesFullSet is the tier's central correctness property: under
+// heavy eviction with every policy, reloaded CLVs are bit-identical to the
+// fully resident set — the disk roundtrip must be invisible in the data.
+func TestSpillMatchesFullSet(t *testing.T) {
+	fx := buildFixture(t, 41, 24, 60)
+	min := fx.tr.MinSlots()
+	for _, policy := range []SpillPolicy{DiscardOnly{}, SpillOnly{}, HybridSpill{}} {
+		store := spillStoreFor(t, fx)
+		m, err := NewManager(fx.part, fx.tr, Config{
+			Slots:       min,
+			SpillStore:  store,
+			SpillPolicy: policy,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(7))
+		for trial := 0; trial < 120; trial++ {
+			d := fx.tr.DirOfCLV(rng.Intn(fx.tr.NumInnerCLVs()))
+			op, err := m.Acquire(d)
+			if err != nil {
+				t.Fatalf("policy %s: Acquire(%d): %v", policy.Name(), d, err)
+			}
+			if !operandsEqual(fx.part, op, fx.full.Operand(d)) {
+				t.Fatalf("policy %s: CLV mismatch at dir %d", policy.Name(), d)
+			}
+			m.Release(d)
+		}
+		st := m.Stats()
+		switch policy.(type) {
+		case DiscardOnly:
+			if st.SpillWrites != 0 || st.SpillReloads != 0 {
+				t.Fatalf("discard-only did spill I/O: %+v", st)
+			}
+		case SpillOnly:
+			if st.SpillWrites == 0 || st.SpillReloads == 0 {
+				t.Fatalf("spill-only under minimum slots did no spill I/O: %+v", st)
+			}
+		}
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatalf("policy %s: %v", policy.Name(), err)
+		}
+		if got := m.PinnedSlots(); got != 0 {
+			t.Fatalf("policy %s: %d slots still pinned", policy.Name(), got)
+		}
+	}
+}
+
+// TestSpillReducesRecomputeWork: with the same access sequence at the slot
+// floor, the spill-only tier must do strictly less recomputation leaf work
+// than plain discard — reloads replace whole subtree rebuilds.
+func TestSpillReducesRecomputeWork(t *testing.T) {
+	fx := buildFixture(t, 42, 40, 60)
+	min := fx.tr.MinSlots()
+	discard, err := NewManager(fx.part, fx.tr, Config{Slots: min})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spill, err := NewManager(fx.part, fx.tr, Config{
+		Slots:       min,
+		SpillStore:  spillStoreFor(t, fx),
+		SpillPolicy: SpillOnly{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 2; s++ {
+		sweep(t, discard, fx)
+		sweep(t, spill, fx)
+	}
+	dw := discard.Stats().RecomputeLeafWork
+	sw := spill.Stats().RecomputeLeafWork
+	if sw >= dw {
+		t.Fatalf("spill-only leaf work %d not below discard-only %d", sw, dw)
+	}
+	if saved := spill.Stats().ReloadLeafWorkSaved; saved == 0 {
+		t.Fatal("no reload leaf work recorded despite reloads")
+	}
+}
+
+// TestSpillTelemetryMirror forces spill traffic and checks the telemetry
+// group is exactly the manager's own Stats, then corrupts it and expects the
+// audit to fail.
+func TestSpillTelemetryMirror(t *testing.T) {
+	fx := buildFixture(t, 43, 32, 60)
+	tel := &telemetry.AMC{}
+	stel := &telemetry.Spill{}
+	m, err := NewManager(fx.part, fx.tr, Config{
+		Slots:          fx.tr.MinSlots(),
+		Telemetry:      tel,
+		SpillStore:     spillStoreFor(t, fx),
+		SpillPolicy:    SpillOnly{},
+		SpillTelemetry: stel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 2; s++ {
+		sweep(t, m, fx)
+	}
+	st := m.Stats()
+	if st.SpillWrites == 0 || st.SpillReloads == 0 {
+		t.Fatalf("no spill traffic to audit: %+v", st)
+	}
+	if got := stel.Writes.Load(); got != st.SpillWrites {
+		t.Fatalf("telemetry writes %d != stats %d", got, st.SpillWrites)
+	}
+	if got := stel.Reloads.Load(); got != st.SpillReloads {
+		t.Fatalf("telemetry reloads %d != stats %d", got, st.SpillReloads)
+	}
+	if got := stel.SpilledEntries.Load(); got != int64(m.SpilledEntries()) {
+		t.Fatalf("telemetry spilled entries %d != manager %d", got, m.SpilledEntries())
+	}
+	if err := m.CheckTelemetry(); err != nil {
+		t.Fatalf("CheckTelemetry on a clean run: %v", err)
+	}
+	stel.Writes.Inc() // phantom event
+	if err := m.CheckTelemetry(); !errors.Is(err, ErrInvariant) {
+		t.Fatalf("desynced spill telemetry not caught: %v", err)
+	}
+}
+
+// TestSpillWriteFaultFallsBackToDiscard: an injected write failure must
+// degrade that eviction to a plain discard — counted, output still correct,
+// audits clean.
+func TestSpillWriteFaultFallsBackToDiscard(t *testing.T) {
+	defer faultinject.Reset()
+	fx := buildFixture(t, 44, 24, 60)
+	m, err := NewManager(fx.part, fx.tr, Config{
+		Slots:          fx.tr.MinSlots(),
+		SpillStore:     spillStoreFor(t, fx),
+		SpillPolicy:    SpillOnly{},
+		SpillTelemetry: &telemetry.Spill{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Arm(faultinject.PointSpillWrite, 2, errors.New("injected disk full"))
+	for s := 0; s < 2; s++ {
+		for i := 0; i < fx.tr.NumInnerCLVs(); i++ {
+			d := fx.tr.DirOfCLV(i)
+			op, err := m.Acquire(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !operandsEqual(fx.part, op, fx.full.Operand(d)) {
+				t.Fatalf("CLV mismatch at dir %d after write fault", d)
+			}
+			m.Release(d)
+		}
+	}
+	st := m.Stats()
+	if st.SpillErrors == 0 {
+		t.Fatalf("injected write fault not counted: %+v", st)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckTelemetry(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpillReadFaultFallsBackToRecompute: an injected reload failure must
+// drop the record and recompute — output still bit-exact, audits clean.
+func TestSpillReadFaultFallsBackToRecompute(t *testing.T) {
+	defer faultinject.Reset()
+	fx := buildFixture(t, 45, 24, 60)
+	m, err := NewManager(fx.part, fx.tr, Config{
+		Slots:          fx.tr.MinSlots(),
+		SpillStore:     spillStoreFor(t, fx),
+		SpillPolicy:    SpillOnly{},
+		SpillTelemetry: &telemetry.Spill{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep(t, m, fx) // populate the spill store under eviction pressure
+	before := m.SpilledEntries()
+	if before == 0 {
+		t.Fatal("first sweep spilled nothing")
+	}
+	faultinject.Arm(faultinject.PointSpillRead, 0, errors.New("injected read error"))
+	for i := 0; i < fx.tr.NumInnerCLVs(); i++ {
+		d := fx.tr.DirOfCLV(i)
+		op, err := m.Acquire(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !operandsEqual(fx.part, op, fx.full.Operand(d)) {
+			t.Fatalf("CLV mismatch at dir %d after read fault", d)
+		}
+		m.Release(d)
+	}
+	st := m.Stats()
+	if st.SpillErrors == 0 {
+		t.Fatalf("injected read fault not counted: %+v", st)
+	}
+	if st.SpillReloads == 0 {
+		t.Fatalf("no successful reloads around the fault: %+v", st)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckTelemetry(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInvalidateDropsSpilledRecords: invalidation must clear spilled records
+// (they summarize pre-change state) exactly as it clears slots.
+func TestInvalidateDropsSpilledRecords(t *testing.T) {
+	fx := buildFixture(t, 46, 24, 60)
+	stel := &telemetry.Spill{}
+	m, err := NewManager(fx.part, fx.tr, Config{
+		Slots:          fx.tr.MinSlots(),
+		SpillStore:     spillStoreFor(t, fx),
+		SpillPolicy:    SpillOnly{},
+		SpillTelemetry: stel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep(t, m, fx)
+	if m.SpilledEntries() == 0 {
+		t.Fatal("sweep spilled nothing")
+	}
+	if err := m.InvalidateAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.SpilledEntries(); got != 0 {
+		t.Fatalf("%d spilled records survived InvalidateAll", got)
+	}
+	if got := stel.SpilledEntries.Load(); got != 0 {
+		t.Fatalf("telemetry still reports %d spilled records", got)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Refill, then invalidate one edge: its dependents' records must drop,
+	// and surviving records must still reload correct data.
+	sweep(t, m, fx)
+	e := fx.tr.EdgeOf(fx.tr.DirOfCLV(0))
+	if err := m.InvalidateEdge(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	sweep(t, m, fx)
+	if err := m.CheckTelemetry(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHybridPolicyCostModel drives ShouldSpill directly across the
+// measurement space: optimistic before calibration, then obeying the
+// reload-vs-recompute comparison.
+func TestHybridPolicyCostModel(t *testing.T) {
+	h := HybridSpill{}
+	ctx := &SpillContext{Cost: []int{1, 1000}, RecordBytes: 1 << 20}
+	if !h.ShouldSpill(0, ctx) {
+		t.Fatal("uncalibrated hybrid must spill optimistically")
+	}
+	// Calibrated: reload costs 2^20 bytes × 1 ns/B ≈ 1.05 ms.
+	ctx.ReloadNsPerByte = 1
+	ctx.RecomputeNsPerLeaf = 2000 // cheap CLV: 1 leaf × 2 µs ≪ reload
+	if h.ShouldSpill(0, ctx) {
+		t.Fatal("hybrid spilled a CLV cheaper to recompute than to reload")
+	}
+	if !h.ShouldSpill(1, ctx) {
+		t.Fatal("hybrid discarded a CLV far cheaper to reload than to recompute")
+	}
+}
+
+func TestSpillPolicyByName(t *testing.T) {
+	for _, name := range []string{"discard", "spill", "hybrid"} {
+		p := SpillPolicyByName(name)
+		if p == nil || p.Name() != name {
+			t.Fatalf("SpillPolicyByName(%q) = %v", name, p)
+		}
+	}
+	if p := SpillPolicyByName("nope"); p != nil {
+		t.Fatalf("unknown policy resolved to %v", p)
+	}
+}

@@ -48,6 +48,12 @@ type Options struct {
 	// FastMath opts every experiment engine into the reordered fast-math
 	// accumulation (see placement.Config.FastMath).
 	FastMath bool
+	// SpillPolicy enables the tiered CLV eviction path in every experiment
+	// engine that runs under AMC: "discard", "spill", or "hybrid" (empty =
+	// tier off; see placement.Config.SpillPolicy). SpillPath optionally backs
+	// the store at an explicit location.
+	SpillPolicy string
+	SpillPath   string
 }
 
 // engineConfig returns the placement configuration every experiment starts
@@ -59,7 +65,17 @@ func (o Options) engineConfig() placement.Config {
 	cfg.TileQueries = o.TileQueries
 	cfg.TileBranches = o.TileBranches
 	cfg.FastMath = o.FastMath
+	if o.SpillPolicy != "" {
+		cfg.SpillPolicy = core.SpillPolicyByName(o.SpillPolicy)
+		cfg.SpillPath = o.SpillPath
+	}
 	return cfg
+}
+
+// ValidSpillPolicy reports whether name selects a known spill policy, so
+// CLIs can reject typos before synthesizing datasets.
+func ValidSpillPolicy(name string) bool {
+	return core.SpillPolicyByName(name) != nil
 }
 
 // DefaultOptions returns an Options with the paper's protocol scaled by the

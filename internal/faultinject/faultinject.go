@@ -38,6 +38,15 @@ const (
 	// accountant detecting an overcommit: the accountant records the
 	// injected error and the engines abort the run when they next check.
 	PointAcctAlloc = "memacct.alloc"
+	// PointSpillWrite fires in core.Manager's eviction path, simulating a
+	// spill-file write failure. The manager must degrade to discarding the
+	// victim (it will be recomputed on the next access) and keep running.
+	PointSpillWrite = "core.manager.spillwrite"
+	// PointSpillRead fires in core.Manager's materialize path, simulating a
+	// spill-file read failure. The manager must drop the spilled record and
+	// fall back to recomputation, never surfacing the I/O error as a wrong
+	// CLV.
+	PointSpillRead = "core.manager.spillread"
 )
 
 // armed is the number of currently armed points — the fast-path gate: when

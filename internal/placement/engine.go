@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"phylomem/internal/clvstore"
 	"phylomem/internal/core"
 	"phylomem/internal/memacct"
 	"phylomem/internal/parallel"
@@ -47,6 +48,18 @@ type Config struct {
 	// the cost/recency hybrid that avoids the descent-cascade pathology of
 	// the paper's pure cost-based default (see core.CostAge).
 	Strategy core.Strategy
+	// SpillPolicy enables the tiered RAM → disk → recompute eviction path
+	// under AMC: eviction victims the policy approves are serialized into a
+	// file-backed store and reloaded instead of recomputed
+	// (core.DiscardOnly, core.SpillOnly, core.HybridSpill). nil disables the
+	// tier. Placement output is byte-identical across policies — the file
+	// roundtrip preserves CLV bits exactly. Ignored when the budget plan
+	// keeps every CLV resident (no evictions, nothing to spill).
+	SpillPolicy core.SpillPolicy
+	// SpillPath backs the spill store at an explicit location; empty uses a
+	// temporary file removed when the engine closes. Ignored without
+	// SpillPolicy.
+	SpillPath string
 	// KeepFraction caps the fraction of branches that survive pre-placement
 	// into the thorough phase (default 0.01, minimum 2 branches).
 	KeepFraction float64
@@ -141,6 +154,13 @@ type Engine struct {
 	full *phylo.FullCLVSet
 	mgr  *core.Manager
 	src  phylo.CLVSource
+
+	// Spill tier (nil when disabled): the file-backed store behind the slot
+	// manager's tiered eviction, plus its accounted footprint — the spilled
+	// bitmap index and the in-flight record buffers.
+	spillStore      *clvstore.FileStore
+	spillIndexBytes int64
+	spillBufBytes   int64
 
 	// Pre-placement lookup table: one prescore row + scale counters per
 	// branch (nil when disabled).
@@ -360,14 +380,21 @@ func NewContext(ctx context.Context, part *phylo.Partition, tr *tree.Tree, cfg C
 	// "result-cache" is likewise seeded even though only the serving path
 	// attaches a ResultCache: the breakdown's key set must not depend on
 	// how the engine is driven.
-	for _, cat := range []string{"chunk-queries", "chunk-scores", "chunk-prefetch", resultCacheCategory} {
+	// "spill-index"/"spill-buffers" are seeded like the rest: they carry real
+	// bytes only when the spill tier is on, but the key set never varies.
+	for _, cat := range []string{"chunk-queries", "chunk-scores", "chunk-prefetch", resultCacheCategory,
+		"spill-index", "spill-buffers"} {
 		e.acct.Alloc(cat, 0)
 	}
 
-	// From here on the engine owns a live worker pool; shut it down on every
-	// construction failure so an aborted New leaks no goroutines.
+	// From here on the engine owns a live worker pool (and possibly a spill
+	// store); release both on every construction failure so an aborted New
+	// leaks no goroutines and no temp files.
 	fail := func(err error) (*Engine, error) {
 		e.pool.Close()
+		if e.spillStore != nil {
+			e.spillStore.Close()
+		}
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
@@ -379,12 +406,27 @@ func NewContext(ctx context.Context, part *phylo.Partition, tr *tree.Tree, cfg C
 		if strategy == nil {
 			strategy = core.CostAge{}
 		}
-		mgr, err := core.NewManager(part, tr, core.Config{
+		mcfg := core.Config{
 			Slots:     plan.Slots,
 			Strategy:  strategy,
 			Pool:      e.sitePool(),
 			Telemetry: e.tel.AMCGroup(),
-		})
+		}
+		if cfg.SpillPolicy != nil {
+			store, err := clvstore.NewFileStore(cfg.SpillPath, tr.NumInnerCLVs(), part.CLVLen(), part.ScaleLen())
+			if err != nil {
+				return fail(err)
+			}
+			e.spillStore = store
+			e.spillIndexBytes = int64(tr.NumInnerCLVs()) // the spilled bitmap
+			e.spillBufBytes = 2 * store.RecordBytes()    // write + read record buffers
+			e.acct.Alloc("spill-index", e.spillIndexBytes)
+			e.acct.Alloc("spill-buffers", e.spillBufBytes)
+			mcfg.SpillStore = store
+			mcfg.SpillPolicy = cfg.SpillPolicy
+			mcfg.SpillTelemetry = e.tel.SpillGroup()
+		}
+		mgr, err := core.NewManager(part, tr, mcfg)
 		if err != nil {
 			return fail(err)
 		}
@@ -477,6 +519,13 @@ func (e *Engine) Close() error {
 	e.acct.Free("branch-buffers", e.plan.BranchBufBytes)
 	if e.lookup != nil {
 		e.acct.Free("lookup-table", e.plan.LookupBytes)
+	}
+	if e.spillStore != nil {
+		e.acct.Free("spill-index", e.spillIndexBytes)
+		e.acct.Free("spill-buffers", e.spillBufBytes)
+		if err := e.spillStore.Close(); err != nil {
+			errs = append(errs, err)
+		}
 	}
 	if err := e.acct.AssertDrained(); err != nil {
 		errs = append(errs, err)

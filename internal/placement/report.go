@@ -40,6 +40,10 @@ type RunStatsReport struct {
 	CLVRecomputes     uint64  `json:"clv_recomputes"`
 	CLVEvictions      uint64  `json:"clv_evictions"`
 	RecomputeLeafWork uint64  `json:"recompute_leaf_work"`
+	SpillWrites       uint64  `json:"spill_writes"`
+	SpillReloads      uint64  `json:"spill_reloads"`
+	SpillErrors       uint64  `json:"spill_errors"`
+	SpillLeafWork     uint64  `json:"spill_reload_leaf_work_saved"`
 }
 
 // PlanReport is the memacct.Plan section of a Report.
@@ -99,6 +103,10 @@ func (e *Engine) Report() Report {
 			CLVRecomputes:     s.CLVStats.Recomputes,
 			CLVEvictions:      s.CLVStats.Evictions,
 			RecomputeLeafWork: s.CLVStats.RecomputeLeafWork,
+			SpillWrites:       s.CLVStats.SpillWrites,
+			SpillReloads:      s.CLVStats.SpillReloads,
+			SpillErrors:       s.CLVStats.SpillErrors,
+			SpillLeafWork:     s.CLVStats.ReloadLeafWorkSaved,
 		},
 		Plan: PlanReport{
 			AMC:            e.plan.AMC,

@@ -12,153 +12,31 @@
 //   - Its only memory-saving option is on/off: backing the CLV store with a
 //     file (the portable equivalent of pplacer's --mmap-file), which trades
 //     I/O latency for RAM.
+//
+// The store types themselves live in internal/clvstore, shared with the AMC
+// spill tier; the aliases below keep this package's historical API.
 package pplacer
 
-import (
-	"fmt"
-	"os"
-)
+import "phylomem/internal/clvstore"
 
 // CLVStore stores fixed-size CLV records (the float64 CLV plus its int32
 // scale counters) addressed by dense index.
-type CLVStore interface {
-	// Write stores the record at index idx.
-	Write(idx int, clv []float64, scale []int32) error
-	// Read fills clv and scale from the record at idx.
-	Read(idx int, clv []float64, scale []int32) error
-	// Bytes returns the store's main-memory footprint (a file-backed store
-	// reports only its buffers, not the file size).
-	Bytes() int64
-	// Close releases resources.
-	Close() error
-}
+type CLVStore = clvstore.Store
 
 // MemStore keeps every record in RAM — pplacer's default mode.
-type MemStore struct {
-	clvLen, scaleLen int
-	clvs             []float64
-	scales           []int32
-}
+type MemStore = clvstore.MemStore
+
+// FileStore keeps records in a file, the portable stand-in for pplacer's
+// memory-mapped allocation.
+type FileStore = clvstore.FileStore
 
 // NewMemStore allocates an in-memory store for n records.
 func NewMemStore(n, clvLen, scaleLen int) *MemStore {
-	return &MemStore{
-		clvLen:   clvLen,
-		scaleLen: scaleLen,
-		clvs:     make([]float64, n*clvLen),
-		scales:   make([]int32, n*scaleLen),
-	}
-}
-
-// Write implements CLVStore.
-func (s *MemStore) Write(idx int, clv []float64, scale []int32) error {
-	copy(s.clvs[idx*s.clvLen:(idx+1)*s.clvLen], clv)
-	copy(s.scales[idx*s.scaleLen:(idx+1)*s.scaleLen], scale)
-	return nil
-}
-
-// Read implements CLVStore.
-func (s *MemStore) Read(idx int, clv []float64, scale []int32) error {
-	copy(clv, s.clvs[idx*s.clvLen:(idx+1)*s.clvLen])
-	copy(scale, s.scales[idx*s.scaleLen:(idx+1)*s.scaleLen])
-	return nil
-}
-
-// Bytes implements CLVStore.
-func (s *MemStore) Bytes() int64 {
-	return int64(len(s.clvs))*8 + int64(len(s.scales))*4
-}
-
-// Close implements CLVStore.
-func (s *MemStore) Close() error { return nil }
-
-// FileStore keeps records in a temporary file, the portable stand-in for
-// pplacer's memory-mapped allocation: peak RAM drops to the record buffer,
-// and runtime becomes dependent on file-system latency and bandwidth.
-type FileStore struct {
-	f         *os.File
-	recBytes  int64
-	clvLen    int
-	scaleLen  int
-	buf       []byte
-	path      string
-	removeOnC bool
+	return clvstore.NewMemStore(n, clvLen, scaleLen)
 }
 
 // NewFileStore creates a file-backed store for n records at path. An empty
 // path uses a temporary file that is removed on Close.
 func NewFileStore(path string, n, clvLen, scaleLen int) (*FileStore, error) {
-	var f *os.File
-	var err error
-	remove := false
-	if path == "" {
-		f, err = os.CreateTemp("", "pplacer-clv-*.bin")
-		remove = true
-	} else {
-		f, err = os.Create(path)
-	}
-	if err != nil {
-		return nil, fmt.Errorf("pplacer: creating CLV file: %w", err)
-	}
-	rec := int64(clvLen)*8 + int64(scaleLen)*4
-	if err := f.Truncate(rec * int64(n)); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("pplacer: sizing CLV file: %w", err)
-	}
-	return &FileStore{
-		f:         f,
-		recBytes:  rec,
-		clvLen:    clvLen,
-		scaleLen:  scaleLen,
-		buf:       make([]byte, rec),
-		path:      f.Name(),
-		removeOnC: remove,
-	}, nil
+	return clvstore.NewFileStore(path, n, clvLen, scaleLen)
 }
-
-// Write implements CLVStore.
-func (s *FileStore) Write(idx int, clv []float64, scale []int32) error {
-	b := s.buf
-	for i, v := range clv {
-		putU64(b[i*8:], f64bits(v))
-	}
-	off := s.clvLen * 8
-	for i, v := range scale {
-		putU32(b[off+i*4:], uint32(v))
-	}
-	if _, err := s.f.WriteAt(b, int64(idx)*s.recBytes); err != nil {
-		return fmt.Errorf("pplacer: writing CLV %d: %w", idx, err)
-	}
-	return nil
-}
-
-// Read implements CLVStore.
-func (s *FileStore) Read(idx int, clv []float64, scale []int32) error {
-	b := s.buf
-	if _, err := s.f.ReadAt(b, int64(idx)*s.recBytes); err != nil {
-		return fmt.Errorf("pplacer: reading CLV %d: %w", idx, err)
-	}
-	for i := range clv {
-		clv[i] = f64frombits(getU64(b[i*8:]))
-	}
-	off := s.clvLen * 8
-	for i := range scale {
-		scale[i] = int32(getU32(b[off+i*4:]))
-	}
-	return nil
-}
-
-// Bytes implements CLVStore: only the single record buffer lives in RAM.
-func (s *FileStore) Bytes() int64 { return int64(len(s.buf)) }
-
-// Close implements CLVStore.
-func (s *FileStore) Close() error {
-	err := s.f.Close()
-	if s.removeOnC {
-		os.Remove(s.path)
-	}
-	return err
-}
-
-// Path returns the backing file's path.
-func (s *FileStore) Path() string { return s.path }

@@ -18,6 +18,7 @@ type Snapshot struct {
 	Server   ServerSnapshot   `json:"server"`
 	Dedup    DedupSnapshot    `json:"dedup"`
 	Kernel   KernelSnapshot   `json:"kernel"`
+	Spill    SpillSnapshot    `json:"spill"`
 }
 
 // AMCSnapshot is the slot manager section of a Snapshot.
@@ -139,6 +140,24 @@ type KernelSnapshot struct {
 	BlockResidentBytes int64  `json:"block_resident_bytes"`
 }
 
+// SpillSnapshot is the tiered CLV-eviction section of a Snapshot: records
+// spilled to the disk tier, materializations satisfied by reload instead of
+// recomputation (with the leaf work those reloads saved), degraded-around
+// I/O errors, and the measured byte/time volumes the hybrid policy's
+// bandwidth estimate is made of. All-zero when spill is disabled (the key
+// set is schema-stable regardless).
+type SpillSnapshot struct {
+	Writes              uint64 `json:"writes"`
+	Reloads             uint64 `json:"reloads"`
+	Errors              uint64 `json:"errors"`
+	BytesWritten        uint64 `json:"bytes_written"`
+	BytesReloaded       uint64 `json:"bytes_reloaded"`
+	ReloadLeafWorkSaved uint64 `json:"reload_leaf_work_saved"`
+	WriteNS             int64  `json:"write_ns"`
+	ReloadNS            int64  `json:"reload_ns"`
+	SpilledEntries      int64  `json:"spilled_entries"`
+}
+
 // Snapshot renders the sink's current counter values. Safe to call while
 // the run is still mutating the sink; the values are then advisory. A nil
 // sink yields the zero snapshot (with an empty worker list).
@@ -213,6 +232,18 @@ func (s *Sink) Snapshot() Snapshot {
 		TilesExecuted:      k.TilesExecuted.Load(),
 		BlockKernelCalls:   k.BlockKernelCalls.Load(),
 		BlockResidentBytes: k.BlockResidentBytes.Load(),
+	}
+	sp := &s.Spill
+	out.Spill = SpillSnapshot{
+		Writes:              sp.Writes.Load(),
+		Reloads:             sp.Reloads.Load(),
+		Errors:              sp.Errors.Load(),
+		BytesWritten:        sp.BytesWritten.Load(),
+		BytesReloaded:       sp.BytesReloaded.Load(),
+		ReloadLeafWorkSaved: sp.ReloadLeafWorkSaved.Load(),
+		WriteNS:             int64(sp.WriteTime.Load()),
+		ReloadNS:            int64(sp.ReloadTime.Load()),
+		SpilledEntries:      sp.SpilledEntries.Load(),
 	}
 	return out
 }

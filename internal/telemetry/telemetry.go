@@ -508,6 +508,66 @@ func (k *Kernel) TileDone(calls int, residentBytes int64) {
 	k.BlockResidentBytes.Observe(residentBytes)
 }
 
+// Spill counts the tiered CLV-eviction path's activity: instead of always
+// discarding an eviction victim, the slot manager may serialize it into a
+// file-backed store and later reload it in place of a full recomputation.
+// Writes/Reloads/Errors are events (an error is a failed spill I/O the
+// manager degraded around, never a failed run); BytesWritten/BytesReloaded
+// and the two timers feed the hybrid policy's measured reload bandwidth;
+// SpilledEntries is a level — the number of currently reloadable records;
+// ReloadLeafWorkSaved accumulates the subtree leaf count of every reloaded
+// CLV, i.e. the recomputation work the disk tier absorbed (the directly
+// comparable counterpart of the AMC group's RecomputeLeafWork).
+type Spill struct {
+	Writes              Counter
+	Reloads             Counter
+	Errors              Counter
+	BytesWritten        Counter
+	BytesReloaded       Counter
+	ReloadLeafWorkSaved Counter
+	WriteTime           Timer
+	ReloadTime          Timer
+	SpilledEntries      Gauge
+}
+
+// Write records one victim record spilled to the store.
+func (s *Spill) Write(bytes int64, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.Writes.Inc()
+	s.BytesWritten.Add(uint64(bytes))
+	s.WriteTime.Add(d)
+}
+
+// Reload records one materialization satisfied from the store instead of
+// recomputation, with the subtree leaf count the reload saved.
+func (s *Spill) Reload(bytes int64, leafWork int, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.Reloads.Inc()
+	s.BytesReloaded.Add(uint64(bytes))
+	s.ReloadLeafWorkSaved.Add(uint64(leafWork))
+	s.ReloadTime.Add(d)
+}
+
+// Error records one spill I/O failure the manager degraded around.
+func (s *Spill) Error() {
+	if s == nil {
+		return
+	}
+	s.Errors.Inc()
+}
+
+// SetSpilled records the current number of reloadable spilled records.
+func (s *Spill) SetSpilled(n int) {
+	if s == nil {
+		return
+	}
+	s.SpilledEntries.Set(int64(n))
+}
+
 // Sink aggregates one run's telemetry groups. Create one per engine; the
 // engine hands &sink.AMC to the slot manager, &sink.Pool to the worker
 // pool, and updates sink.Pipeline and sink.Dedup itself; a placement server
@@ -520,6 +580,7 @@ type Sink struct {
 	Server   Server
 	Dedup    Dedup
 	Kernel   Kernel
+	Spill    Spill
 }
 
 // NewSink returns an empty sink.
@@ -571,4 +632,12 @@ func (s *Sink) KernelGroup() *Kernel {
 		return nil
 	}
 	return &s.Kernel
+}
+
+// SpillGroup returns &s.Spill, or nil for a nil sink.
+func (s *Sink) SpillGroup() *Spill {
+	if s == nil {
+		return nil
+	}
+	return &s.Spill
 }
