@@ -1,0 +1,608 @@
+// Command identity is the CI byte-identity matrix runner. It replaces the
+// hand-copied workflow steps (one shell block per configuration family) with
+// one table: ci/identity_configs.json declares rows, this program executes
+// them against a shared dataset and a single set of freshly built binaries.
+// Adding a configuration to the sweep is a one-line table edit, not a
+// workflow change.
+//
+// Row kinds:
+//
+//	cli     run epang with the row's flags; the stripped jplace output must
+//	        be byte-identical to the row named by "against" (rows without
+//	        "against" are references others diff against)
+//	schema  run epang once per flag variant with --stats-json; every report
+//	        must have the same JSON key schema (all keys always present)
+//	gotest  run a named Go test once per GOMAXPROCS value
+//	fleet   start placed solo per tree and as a two-tree fleet; per-tenant
+//	        jplace responses must be byte-identical solo vs fleet, including
+//	        after each /admin/reclaim lever in "levers"
+//
+// Usage:
+//
+//	go run ./ci/identity --config ci/identity_configs.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+type datasetSpec struct {
+	Name  string `json:"name"`
+	Scale int    `json:"scale"`
+	Seed  int64  `json:"seed"`
+}
+
+type row struct {
+	Name    string `json:"name"`
+	Kind    string `json:"kind"`
+	Against string `json:"against"` // cli: reference row to diff with ("" = is a reference)
+	Query   string `json:"query"`   // cli: "" (base) or "dup2x"
+
+	Args     []string   `json:"args"`     // cli: epang flags
+	Variants [][]string `json:"variants"` // schema: one epang run per variant
+
+	Run        string `json:"run"`        // gotest: -run pattern
+	Pkg        string `json:"pkg"`        // gotest: package path
+	Gomaxprocs []int  `json:"gomaxprocs"` // gotest: one run per value
+
+	Levers    []string `json:"levers"`     // fleet: /admin/reclaim levels to sweep
+	FleetArgs []string `json:"fleet_args"` // fleet: extra placed flags
+}
+
+type table struct {
+	Dataset   datasetSpec `json:"dataset"`
+	ChunkSize int         `json:"chunk_size"`
+	Rows      []row       `json:"rows"`
+}
+
+// runner holds everything the rows share: built binaries, datasets, query
+// files, and the stripped reference documents.
+type runner struct {
+	tmp       string
+	epang     string
+	placed    string
+	chunkSize int
+	// dataset directories: "a" is the primary every cli row places against;
+	// "b" exists when fleet rows need a second tenant.
+	data map[string]string
+	// query file per cli query mode.
+	queries map[string]string
+
+	mu   sync.Mutex
+	docs map[string][]byte // stripped jplace per reference row
+}
+
+func main() {
+	cfgPath := flag.String("config", "ci/identity_configs.json", "row table")
+	keep := flag.Bool("keep", false, "keep the work directory")
+	jobs := flag.Int("jobs", runtime.NumCPU(), "parallel diff rows")
+	flag.Parse()
+	start := time.Now()
+	if err := run(*cfgPath, *keep, *jobs); err != nil {
+		fmt.Fprintln(os.Stderr, "identity:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("identity: all rows passed in %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+func run(cfgPath string, keep bool, jobs int) error {
+	raw, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return err
+	}
+	var tab table
+	if err := json.Unmarshal(raw, &tab); err != nil {
+		return fmt.Errorf("%s: %w", cfgPath, err)
+	}
+	if len(tab.Rows) == 0 {
+		return fmt.Errorf("%s: no rows", cfgPath)
+	}
+
+	tmp, err := os.MkdirTemp("", "identity-*")
+	if err != nil {
+		return err
+	}
+	failed := true
+	defer func() {
+		if keep || failed {
+			fmt.Fprintf(os.Stderr, "identity: work directory kept at %s\n", tmp)
+			return
+		}
+		os.RemoveAll(tmp)
+	}()
+
+	r := &runner{tmp: tmp, chunkSize: tab.ChunkSize,
+		data: map[string]string{}, queries: map[string]string{}, docs: map[string][]byte{}}
+	if r.chunkSize == 0 {
+		r.chunkSize = 200
+	}
+	if err := r.setup(tab); err != nil {
+		return err
+	}
+
+	// References first (in table order), then everything else in parallel:
+	// a diff row only reads documents the reference phase produced.
+	var refs, diffs []row
+	for _, rw := range tab.Rows {
+		if rw.Kind == "cli" && rw.Against == "" {
+			refs = append(refs, rw)
+		} else {
+			diffs = append(diffs, rw)
+		}
+	}
+	for _, rw := range refs {
+		if err := r.dispatch(rw); err != nil {
+			return err
+		}
+	}
+	sem := make(chan struct{}, max(jobs, 1))
+	errCh := make(chan error, len(diffs))
+	var wg sync.WaitGroup
+	for _, rw := range diffs {
+		wg.Add(1)
+		go func(rw row) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			errCh <- r.dispatch(rw)
+		}(rw)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			return err
+		}
+	}
+	failed = false
+	return nil
+}
+
+func (r *runner) dispatch(rw row) error {
+	t0 := time.Now()
+	var err error
+	switch rw.Kind {
+	case "cli":
+		err = r.runCLI(rw)
+	case "schema":
+		err = r.runSchema(rw)
+	case "gotest":
+		err = r.runGotest(rw)
+	case "fleet":
+		err = r.runFleet(rw)
+	default:
+		err = fmt.Errorf("unknown kind %q", rw.Kind)
+	}
+	if err != nil {
+		return fmt.Errorf("row %q: %w", rw.Name, err)
+	}
+	fmt.Printf("identity: row %-24s ok (%s)\n", rw.Name, time.Since(t0).Round(time.Millisecond))
+	return nil
+}
+
+// setup builds the binaries and generates the shared inputs.
+func (r *runner) setup(tab table) error {
+	needFleet := false
+	for _, rw := range tab.Rows {
+		if rw.Kind == "fleet" {
+			needFleet = true
+		}
+	}
+	r.epang = filepath.Join(r.tmp, "epang")
+	phylosim := filepath.Join(r.tmp, "phylosim")
+	builds := [][2]string{{r.epang, "./cmd/epang"}, {phylosim, "./cmd/phylosim"}}
+	if needFleet {
+		r.placed = filepath.Join(r.tmp, "placed")
+		builds = append(builds, [2]string{r.placed, "./cmd/placed"})
+	}
+	for _, b := range builds {
+		if out, err := exec.Command("go", "build", "-o", b[0], b[1]).CombinedOutput(); err != nil {
+			return fmt.Errorf("go build %s: %v\n%s", b[1], err, out)
+		}
+	}
+
+	gen := func(label string, seed int64) error {
+		dir := filepath.Join(r.tmp, "data-"+label)
+		cmd := exec.Command(phylosim,
+			"--dataset", tab.Dataset.Name,
+			"--scale", fmt.Sprint(tab.Dataset.Scale),
+			"--seed", fmt.Sprint(seed),
+			"--out", dir)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			return fmt.Errorf("phylosim %s: %v\n%s", label, err, out)
+		}
+		r.data[label] = dir
+		return nil
+	}
+	if err := gen("a", tab.Dataset.Seed); err != nil {
+		return err
+	}
+	if needFleet {
+		if err := gen("b", tab.Dataset.Seed+1); err != nil {
+			return err
+		}
+	}
+
+	// Query variants: the base set, and the 50%-duplicate workload (every
+	// query once under its own name, once renamed) the dedup rows use.
+	base := filepath.Join(r.data["a"], "queries.fasta")
+	r.queries[""] = base
+	qdata, err := os.ReadFile(base)
+	if err != nil {
+		return err
+	}
+	var dupLines [][]byte
+	for _, line := range bytes.Split(qdata, []byte("\n")) {
+		if bytes.HasPrefix(line, []byte(">")) {
+			line = append([]byte(">dup_"), line[1:]...)
+		}
+		dupLines = append(dupLines, line)
+	}
+	dup := bytes.Join(dupLines, []byte("\n"))
+	dup2x := filepath.Join(r.tmp, "queries2x.fasta")
+	if err := os.WriteFile(dup2x, append(append([]byte{}, qdata...), dup...), 0o644); err != nil {
+		return err
+	}
+	r.queries["dup2x"] = dup2x
+	return nil
+}
+
+// epangRun places the given query file with the row's flags and returns the
+// jplace document with the invocation line stripped (it records the argv,
+// which legitimately differs per row).
+func (r *runner) epangRun(name, queryFile string, args []string) ([]byte, error) {
+	out := filepath.Join(r.tmp, "out-"+name+".jplace")
+	argv := []string{
+		"--tree", filepath.Join(r.data["a"], "reference.nwk"),
+		"--ref-msa", filepath.Join(r.data["a"], "reference.fasta"),
+		"--query", queryFile,
+		"--out", out,
+		"--chunk-size", fmt.Sprint(r.chunkSize),
+	}
+	argv = append(argv, args...)
+	if msg, err := exec.Command(r.epang, argv...).CombinedOutput(); err != nil {
+		return nil, fmt.Errorf("epang %s: %v\n%s", strings.Join(args, " "), err, msg)
+	}
+	doc, err := os.ReadFile(out)
+	if err != nil {
+		return nil, err
+	}
+	return stripInvocation(doc), nil
+}
+
+// stripInvocation drops lines recording the argv.
+func stripInvocation(doc []byte) []byte {
+	var out [][]byte
+	for _, line := range bytes.Split(doc, []byte("\n")) {
+		if !bytes.Contains(line, []byte(`"invocation"`)) {
+			out = append(out, line)
+		}
+	}
+	return bytes.Join(out, []byte("\n"))
+}
+
+func (r *runner) runCLI(rw row) error {
+	doc, err := r.epangRun(rw.Name, r.queries[rw.Query], rw.Args)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.docs[rw.Name] = doc
+	want := r.docs[rw.Against]
+	r.mu.Unlock()
+	if rw.Against == "" {
+		return nil
+	}
+	if want == nil {
+		return fmt.Errorf("against row %q has no document (must be an earlier reference row)", rw.Against)
+	}
+	if !bytes.Equal(doc, want) {
+		return r.saveDiff(rw.Name, rw.Against, doc, want)
+	}
+	return nil
+}
+
+// saveDiff writes both documents for post-mortem and returns the mismatch.
+func (r *runner) saveDiff(name, against string, got, want []byte) error {
+	gp := filepath.Join(r.tmp, "mismatch-"+name+".jplace")
+	wp := filepath.Join(r.tmp, "mismatch-"+name+".want.jplace")
+	os.WriteFile(gp, got, 0o644)
+	os.WriteFile(wp, want, 0o644)
+	return fmt.Errorf("output differs from row %q (kept %s and %s)", against, gp, wp)
+}
+
+// runSchema checks that the --stats-json key schema is identical across the
+// row's flag variants: every key always present, no shape drift.
+func (r *runner) runSchema(rw row) error {
+	var ref string
+	for i, variant := range rw.Variants {
+		stats := filepath.Join(r.tmp, fmt.Sprintf("stats-%s-%d.json", rw.Name, i))
+		args := append([]string{"--stats-json", stats}, variant...)
+		if _, err := r.epangRun(fmt.Sprintf("%s-%d", rw.Name, i), r.queries[""], args); err != nil {
+			return err
+		}
+		raw, err := os.ReadFile(stats)
+		if err != nil {
+			return err
+		}
+		var v any
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return fmt.Errorf("variant %v: %w", variant, err)
+		}
+		s := schemaOf(v)
+		if i == 0 {
+			ref = s
+		} else if s != ref {
+			return fmt.Errorf("variant %v changes the stats-json key schema:\n%s\nvs variant %v:\n%s",
+				variant, s, rw.Variants[0], ref)
+		}
+	}
+	return nil
+}
+
+// schemaOf renders the JSON shape of v: object keys (sorted) and value
+// shapes, array element shape, scalar type names.
+func schemaOf(v any) string {
+	switch x := v.(type) {
+	case map[string]any:
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var sb strings.Builder
+		sb.WriteString("{")
+		for i, k := range keys {
+			if i > 0 {
+				sb.WriteString(",")
+			}
+			fmt.Fprintf(&sb, "%q:%s", k, schemaOf(x[k]))
+		}
+		sb.WriteString("}")
+		return sb.String()
+	case []any:
+		if len(x) == 0 {
+			return "[]"
+		}
+		return "[" + schemaOf(x[0]) + "]"
+	case string:
+		return "string"
+	case float64:
+		return "number"
+	case bool:
+		return "bool"
+	default:
+		return "null"
+	}
+}
+
+// runGotest reruns a named test once per GOMAXPROCS value.
+func (r *runner) runGotest(rw row) error {
+	for _, p := range rw.Gomaxprocs {
+		cmd := exec.Command("go", "test", "-count=1", "-run", rw.Run, rw.Pkg)
+		cmd.Env = append(os.Environ(), fmt.Sprintf("GOMAXPROCS=%d", p))
+		if out, err := cmd.CombinedOutput(); err != nil {
+			return fmt.Errorf("GOMAXPROCS=%d: %v\n%s", p, err, out)
+		}
+	}
+	return nil
+}
+
+// placedProc is one running placed server. Its combined output is collected
+// under a mutex (stdout via the reader goroutine, stderr directly).
+type placedProc struct {
+	cmd  *exec.Cmd
+	base string // http://addr
+	done chan struct{}
+
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (p *placedProc) Write(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.buf.Write(b)
+}
+
+func (p *placedProc) output() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.buf.String()
+}
+
+var servingRE = regexp.MustCompile(`serving \d+ tree\(s\) on (\S+)`)
+
+// startPlaced launches placed and waits for its serving line.
+func (r *runner) startPlaced(args ...string) (*placedProc, error) {
+	argv := append([]string{"--listen", "127.0.0.1:0"}, args...)
+	cmd := exec.Command(r.placed, argv...)
+	p := &placedProc{cmd: cmd, done: make(chan struct{})}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	cmd.Stderr = p
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	addrCh := make(chan string, 1)
+	go func() {
+		defer close(p.done)
+		data := make([]byte, 4096)
+		for {
+			n, err := stdout.Read(data)
+			p.Write(data[:n])
+			if m := servingRE.FindStringSubmatch(p.output()); m != nil {
+				select {
+				case addrCh <- m[1]:
+				default:
+				}
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		p.base = "http://" + addr
+		return p, nil
+	case <-p.done:
+		cmd.Wait()
+		return nil, fmt.Errorf("placed exited before serving:\n%s", p.output())
+	case <-time.After(2 * time.Minute):
+		cmd.Process.Kill()
+		cmd.Wait()
+		return nil, fmt.Errorf("placed did not start serving:\n%s", p.output())
+	}
+}
+
+// stop SIGTERMs the server and checks the drain contract: exit 0 and a
+// drained line.
+func (p *placedProc) stop() error {
+	p.cmd.Process.Signal(syscall.SIGTERM)
+	err := p.cmd.Wait()
+	<-p.done // the stdout reader has seen EOF; the drain summary is in buf
+	if err != nil {
+		return fmt.Errorf("placed drain exit: %v\n%s", err, p.output())
+	}
+	if !strings.Contains(p.output(), "drained") {
+		return fmt.Errorf("placed exited without draining:\n%s", p.output())
+	}
+	return nil
+}
+
+// post sends one placement request and returns the body.
+func (p *placedProc) post(path string, body []byte) (int, []byte, error) {
+	resp, err := http.Post(p.base+path, "text/plain", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, data, err
+}
+
+// firstFastaRecords returns the prefix of data holding the first n records.
+func firstFastaRecords(data []byte, n int) []byte {
+	seen, off := 0, 0
+	for off < len(data) {
+		end := bytes.IndexByte(data[off:], '\n')
+		if end < 0 {
+			end = len(data) - off
+		}
+		if off < len(data) && data[off] == '>' {
+			if seen++; seen > n {
+				return data[:off]
+			}
+		}
+		off += end + 1
+	}
+	return data
+}
+
+// runFleet is the fleet differential row: each tenant's responses must be
+// byte-identical to a solo single-tree server, cold and after every reclaim
+// lever the row sweeps.
+func (r *runner) runFleet(rw row) error {
+	common := []string{
+		"--chunk-size", fmt.Sprint(r.chunkSize),
+		"--maxmem", "2M", // per-engine ceiling: engines run AMC so the levers have slots to move
+		"--max-inflight", "16M", // the whole query set arrives as one request
+		"--result-cache", "0", // post-lever requests must reach the engine, not a cache
+		"--max-latency", "1ms",
+	}
+	common = append(common, rw.FleetArgs...)
+
+	queries := map[string][]byte{}
+	solo := map[string][]byte{}
+	for _, id := range []string{"a", "b"} {
+		q, err := os.ReadFile(filepath.Join(r.data[id], "queries.fasta"))
+		if err != nil {
+			return err
+		}
+		// A slice of the query set: identity must hold for any input, and the
+		// row places it ten times (solo + cold + once per lever, per tenant).
+		q = firstFastaRecords(q, 200)
+		queries[id] = q
+		args := append([]string{
+			"--tree", filepath.Join(r.data[id], "reference.nwk"),
+			"--ref-msa", filepath.Join(r.data[id], "reference.fasta"),
+		}, common...)
+		p, err := r.startPlaced(args...)
+		if err != nil {
+			return fmt.Errorf("solo %s: %w", id, err)
+		}
+		status, doc, err := p.post("/v1/place", q)
+		if err != nil || status != http.StatusOK {
+			p.stop()
+			return fmt.Errorf("solo %s: status %d err %v: %s", id, status, err, doc)
+		}
+		solo[id] = doc
+		if err := p.stop(); err != nil {
+			return fmt.Errorf("solo %s: %w", id, err)
+		}
+	}
+
+	catalog := filepath.Join(r.tmp, "catalog-"+rw.Name+".json")
+	cat := fmt.Sprintf(`{"trees":[
+  {"id":"a","tree":%q,"ref_msa":%q},
+  {"id":"b","tree":%q,"ref_msa":%q}]}`,
+		filepath.Join(r.data["a"], "reference.nwk"), filepath.Join(r.data["a"], "reference.fasta"),
+		filepath.Join(r.data["b"], "reference.nwk"), filepath.Join(r.data["b"], "reference.fasta"))
+	if err := os.WriteFile(catalog, []byte(cat), 0o644); err != nil {
+		return err
+	}
+	p, err := r.startPlaced(append([]string{"--catalog", catalog}, common...)...)
+	if err != nil {
+		return fmt.Errorf("fleet: %w", err)
+	}
+	defer p.cmd.Process.Kill()
+
+	check := func(stage string) error {
+		for _, id := range []string{"a", "b"} {
+			status, doc, err := p.post("/v1/place?tree="+id, queries[id])
+			if err != nil || status != http.StatusOK {
+				return fmt.Errorf("%s: tenant %s status %d err %v: %s", stage, id, status, err, doc)
+			}
+			if !bytes.Equal(doc, solo[id]) {
+				return r.saveDiff(rw.Name+"-"+stage+"-"+id, "solo-"+id, doc, solo[id])
+			}
+		}
+		return nil
+	}
+	if err := check("cold"); err != nil {
+		return err
+	}
+	for _, lever := range rw.Levers {
+		resp, err := http.Post(p.base+"/admin/reclaim?tree=a&level="+lever, "", nil)
+		if err != nil {
+			return err
+		}
+		msg, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("reclaim %s: status %d: %s", lever, resp.StatusCode, msg)
+		}
+		if err := check(lever); err != nil {
+			return err
+		}
+	}
+	return p.stop()
+}

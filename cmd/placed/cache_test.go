@@ -10,18 +10,13 @@ import (
 
 	"phylomem/internal/jplace"
 	"phylomem/internal/placement"
-	"phylomem/internal/telemetry"
 )
 
-// cacheFixture builds a served fixture with a result cache of the given
-// size attached (and any extra engine-config tweaks applied).
+// cacheFixture builds a served fixture with a per-tenant result cache of the
+// given size (and any extra engine-config tweaks applied).
 func cacheFixture(t *testing.T, cacheBytes int64, cfgEdit func(*placement.Config)) *testFixture {
 	t.Helper()
-	return newTestFixtureCfg(t, serverOptions{}, cfgEdit,
-		func(eng *placement.Engine, tel *telemetry.Sink, opts *serverOptions) {
-			opts.Cache = placement.NewResultCache(eng.Accountant(), cacheBytes,
-				placement.ReferenceKey("test-tree", "test-model"), tel.DedupGroup())
-		})
+	return newTestFixtureCfg(t, fixtureOptions{CacheBytes: cacheBytes}, cfgEdit)
 }
 
 // TestCacheWarmColdByteIdentical is the serving-path metamorphic check: the
@@ -54,7 +49,7 @@ func TestCacheWarmColdByteIdentical(t *testing.T) {
 	if snap.CachedEntries != 10 || snap.CachedBytes == 0 {
 		t.Fatalf("cache gauges = %+v", snap)
 	}
-	if snap.CachedBytes != fx.srv.cache.Bytes() {
+	if snap.CachedBytes != fx.tenant.cache.Bytes() {
 		t.Fatal("gauge and cache disagree on bytes")
 	}
 }
@@ -62,7 +57,7 @@ func TestCacheWarmColdByteIdentical(t *testing.T) {
 // TestCacheDisabledStillServes: a nil cache (size 0) serves identically,
 // with every cache counter at zero.
 func TestCacheDisabledStillServes(t *testing.T) {
-	fx := newTestFixture(t, serverOptions{})
+	fx := newTestFixture(t, fixtureOptions{})
 	body := fx.queryFasta(8, 6)
 	if resp, data := fx.post(t, body); resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, data)
@@ -123,7 +118,7 @@ func TestCacheEvictsUnderPressure(t *testing.T) {
 			t.Fatalf("seed %d: status %d: %s", seed, resp.StatusCode, data)
 		}
 	}
-	if got := fx.srv.cache.Bytes(); got > capBytes {
+	if got := fx.tenant.cache.Bytes(); got > capBytes {
 		t.Fatalf("cache bytes %d exceed cap %d", got, capBytes)
 	}
 	snap := fx.tel.Snapshot().Dedup
@@ -138,8 +133,8 @@ func TestCacheEvictsUnderPressure(t *testing.T) {
 	}
 }
 
-// TestMetricsShowsCache: /metrics exposes the dedup/cache telemetry group
-// and the result-cache accounting category.
+// TestMetricsShowsCache: /metrics exposes the tenant's dedup/cache telemetry
+// group and the result-cache accounting category in its report.
 func TestMetricsShowsCache(t *testing.T) {
 	fx := cacheFixture(t, 1<<20, nil)
 	if resp, data := fx.post(t, fx.queryFasta(30, 5)); resp.StatusCode != http.StatusOK {
@@ -150,10 +145,14 @@ func TestMetricsShowsCache(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var rep placement.Report
-	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+	var mdoc metricsDoc
+	if err := json.NewDecoder(resp.Body).Decode(&mdoc); err != nil {
 		t.Fatal(err)
 	}
+	if len(mdoc.Tenants) != 1 {
+		t.Fatalf("metrics has %d tenants, want 1", len(mdoc.Tenants))
+	}
+	rep := mdoc.Tenants[0].Report
 	if rep.Telemetry.Dedup.CacheMisses != 5 || rep.Telemetry.Dedup.CachedEntries != 5 {
 		t.Fatalf("metrics dedup = %+v", rep.Telemetry.Dedup)
 	}
@@ -161,16 +160,16 @@ func TestMetricsShowsCache(t *testing.T) {
 	if !ok {
 		t.Fatal("result-cache missing from memory breakdown")
 	}
-	if got != fx.srv.cache.Bytes() {
-		t.Fatalf("breakdown result-cache = %d, cache reports %d", got, fx.srv.cache.Bytes())
+	if got != fx.tenant.cache.Bytes() {
+		t.Fatalf("breakdown result-cache = %d, cache reports %d", got, fx.tenant.cache.Bytes())
 	}
 }
 
 // TestDedupDisabledServer: --dedup=false routes through the no-dedup engine
 // path; the response for a duplicate-heavy request is still correct.
 func TestDedupDisabledServer(t *testing.T) {
-	fx := newTestFixtureCfg(t, serverOptions{},
-		func(cfg *placement.Config) { cfg.NoDedup = true }, nil)
+	fx := newTestFixtureCfg(t, fixtureOptions{},
+		func(cfg *placement.Config) { cfg.NoDedup = true })
 	body := fx.queryFasta(31, 4)
 	// Same content under fresh names: FASTA labels must be unique.
 	dup := strings.ReplaceAll(body, ">query_31_", ">dup_31_")

@@ -16,52 +16,18 @@ import (
 
 	"phylomem/internal/jplace"
 	"phylomem/internal/model"
-	"phylomem/internal/phylo"
 	"phylomem/internal/placement"
 	"phylomem/internal/seq"
 	"phylomem/internal/telemetry"
 	"phylomem/internal/tree"
 )
 
-// newTestPartition compresses the alignment and builds a JC69+G2 partition,
-// the same lightweight model the placement tests use.
-func newTestPartition(msa *seq.MSA, tr *tree.Tree) (*phylo.Partition, error) {
-	comp, err := seq.Compress(msa)
-	if err != nil {
-		return nil, err
-	}
-	rates, err := model.GammaRates(1.0, 2)
-	if err != nil {
-		return nil, err
-	}
-	return phylo.NewPartition(model.JC69(), rates, comp, tr)
-}
-
-// testFixture is a small in-memory reference plus query material.
-type testFixture struct {
-	tr       *tree.Tree
-	eng      *placement.Engine
-	srv      *server
-	ts       *httptest.Server
-	tel      *telemetry.Sink
-	width    int
-	leafSeqs []seq.Sequence
-}
-
-// newTestFixture builds a warm engine over a random 8-leaf reference and
-// wraps it in a served placement server. Callers must call fx.close.
-func newTestFixture(t *testing.T, opts serverOptions) *testFixture {
+// testReference builds an in-memory reference over a random n-leaf tree with
+// the same lightweight JC69+G2 model the placement tests use. The returned
+// leaf sequences seed derived queries.
+func testReference(t *testing.T, seed int64, n, width int) (*reference, []seq.Sequence) {
 	t.Helper()
-	return newTestFixtureCfg(t, opts, nil, nil)
-}
-
-// newTestFixtureCfg is newTestFixture with hooks: cfgEdit mutates the engine
-// config before construction, wire sees the live engine before the server is
-// built (e.g. to attach a result cache to serverOptions).
-func newTestFixtureCfg(t *testing.T, opts serverOptions, cfgEdit func(*placement.Config), wire func(*placement.Engine, *telemetry.Sink, *serverOptions)) *testFixture {
-	t.Helper()
-	const n, width = 8, 60
-	rng := rand.New(rand.NewSource(11))
+	rng := rand.New(rand.NewSource(seed))
 	tr, err := tree.Random(n, 0.15, rng)
 	if err != nil {
 		t.Fatal(err)
@@ -78,44 +44,114 @@ func newTestFixtureCfg(t *testing.T, opts serverOptions, cfgEdit func(*placement
 	if err != nil {
 		t.Fatal(err)
 	}
-	part, err := newTestPartition(msa, tr)
+	rates, err := model.GammaRates(1.0, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
+	ref := &reference{tr: tr, msa: msa, alphabet: seq.DNA, m: model.JC69(), rates: rates, spec: "JC69+G2"}
+	return ref, seqs
+}
+
+// fixtureOptions parameterize the served test fleet.
+type fixtureOptions struct {
+	MaxBatch      int
+	MaxLatency    time.Duration
+	InflightBytes int64
+	CacheBytes    int64
+	FleetMaxMem   int64
+}
+
+// testFixture is a single-tree fleet (id "default", prewarmed) behind a
+// served placement server, plus the query material to exercise it.
+type testFixture struct {
+	t        *testing.T
+	tr       *tree.Tree
+	f        *fleet
+	srv      *server
+	ts       *httptest.Server
+	tenant   *tenant
+	eng      *placement.Engine
+	tel      *telemetry.Sink
+	width    int
+	leafSeqs []seq.Sequence
+	closed   bool
+}
+
+// newTestFixture builds a warm single-tree fleet over a random 8-leaf
+// reference and wraps it in a served placement server.
+func newTestFixture(t *testing.T, fo fixtureOptions) *testFixture {
+	t.Helper()
+	return newTestFixtureCfg(t, fo, nil)
+}
+
+// newTestFixtureCfg is newTestFixture with a hook that mutates the fleet's
+// base engine config before construction.
+func newTestFixtureCfg(t *testing.T, fo fixtureOptions, cfgEdit func(*placement.Config)) *testFixture {
+	t.Helper()
+	const n, width = 8, 60
+	ref, seqs := testReference(t, 11, n, width)
+
 	cfg := placement.DefaultConfig()
 	cfg.ChunkSize = 16
 	cfg.BlockSize = 4
-	cfg.Telemetry = telemetry.NewSink()
 	if cfgEdit != nil {
 		cfgEdit(&cfg)
 	}
-	eng, err := placement.New(part, tr, cfg)
-	if err != nil {
+	cat := &catalog{}
+	if err := cat.add(&catalogEntry{
+		id:   "default",
+		load: func() (*reference, error) { return ref, nil },
+	}); err != nil {
 		t.Fatal(err)
 	}
-	if wire != nil {
-		wire(eng, cfg.Telemetry, &opts)
-	}
-	srv := newServer(eng, seq.DNA, width, jplace.TreeString(tr), cfg.Telemetry, opts)
+	f := newFleet(cat, fleetOptions{
+		MaxMem:        fo.FleetMaxMem,
+		BaseConfig:    cfg,
+		CacheBytes:    fo.CacheBytes,
+		InflightBytes: fo.InflightBytes,
+		MaxBatch:      fo.MaxBatch,
+		MaxLatency:    fo.MaxLatency,
+	})
+	srv := newServer(f, serverOptions{})
 	ts := httptest.NewServer(srv.handler())
-	fx := &testFixture{tr: tr, eng: eng, srv: srv, ts: ts, tel: cfg.Telemetry, width: width, leafSeqs: seqs}
+
+	ten, err := f.get("default")
+	if err != nil {
+		ts.Close()
+		t.Fatalf("prewarm: %v", err)
+	}
+	f.release(ten)
+
+	fx := &testFixture{t: t, tr: ref.tr, f: f, srv: srv, ts: ts,
+		tenant: ten, eng: ten.eng, tel: ten.tel, width: width, leafSeqs: seqs}
 	t.Cleanup(fx.close)
 	return fx
 }
 
+// close tears the fixture down; the fleet close runs both accountant-level
+// drain audits, so a leak anywhere in the serving path fails the test.
 func (fx *testFixture) close() {
 	fx.ts.Close()
-	fx.srv.batcher.Close()
-	fx.srv.cache.Purge()
-	_ = fx.eng.Close()
+	if fx.closed {
+		return
+	}
+	fx.closed = true
+	if err := fx.f.close(); err != nil {
+		fx.t.Errorf("fleet close: %v", err)
+	}
 }
 
 // queryFasta renders nq derived query sequences as FASTA text.
 func (fx *testFixture) queryFasta(seed int64, nq int) string {
+	return queryFastaFrom(fx.leafSeqs, seed, nq)
+}
+
+// queryFastaFrom derives nq mutated queries from the given leaf sequences.
+func queryFastaFrom(leafSeqs []seq.Sequence, seed int64, nq int) string {
 	rng := rand.New(rand.NewSource(seed))
 	var sb strings.Builder
 	for i := 0; i < nq; i++ {
-		src := fx.leafSeqs[rng.Intn(len(fx.leafSeqs))]
+		src := leafSeqs[rng.Intn(len(leafSeqs))]
 		data := append([]byte(nil), src.Data...)
 		for m := 0; m < 4; m++ {
 			data[rng.Intn(len(data))] = "ACGT"[rng.Intn(4)]
@@ -143,7 +179,7 @@ func (fx *testFixture) post(t *testing.T, body string) (*http.Response, []byte) 
 // query answered in order, placements on real edges, and the whole exchange
 // deterministic (two identical requests yield byte-identical documents).
 func TestPlaceRoundTrip(t *testing.T) {
-	fx := newTestFixture(t, serverOptions{MaxLatency: 2 * time.Millisecond})
+	fx := newTestFixture(t, fixtureOptions{MaxLatency: 2 * time.Millisecond})
 	body := fx.queryFasta(1, 5)
 
 	resp, data := fx.post(t, body)
@@ -183,11 +219,53 @@ func TestPlaceRoundTrip(t *testing.T) {
 	}
 }
 
+// TestTreeParamRouting checks the `tree` routing contract on a single-tree
+// catalog: the explicit id and the omitted default hit the same tenant,
+// unknown ids are 404, and malformed ids are 400.
+func TestTreeParamRouting(t *testing.T) {
+	fx := newTestFixture(t, fixtureOptions{MaxLatency: 2 * time.Millisecond})
+	body := fx.queryFasta(2, 3)
+
+	_, implicit := fx.post(t, body)
+	resp, err := http.Post(fx.ts.URL+"/v1/place?tree=default", "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("?tree=default: status %d: %s", resp.StatusCode, explicit)
+	}
+	if !bytes.Equal(implicit, explicit) {
+		t.Error("explicit tree id and default produced different documents")
+	}
+
+	resp, err = http.Post(fx.ts.URL+"/v1/place?tree=no-such-tree", "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown tree: status %d, want 404", resp.StatusCode)
+	}
+
+	resp, err = http.Post(fx.ts.URL+"/v1/place?tree=..%2F..%2Fetc", "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed tree id: status %d, want 400", resp.StatusCode)
+	}
+}
+
 // TestConcurrentRequests hammers the server from interleaved goroutines and
 // checks every response individually: coalesced batching must not mix up
 // which placements belong to which request.
 func TestConcurrentRequests(t *testing.T) {
-	fx := newTestFixture(t, serverOptions{MaxBatch: 8, MaxLatency: 5 * time.Millisecond})
+	fx := newTestFixture(t, fixtureOptions{MaxBatch: 8, MaxLatency: 5 * time.Millisecond})
 	const clients = 8
 	var wg sync.WaitGroup
 	errs := make(chan error, clients)
@@ -242,7 +320,7 @@ func TestConcurrentRequests(t *testing.T) {
 // TestBadRequests checks the 400 class: malformed FASTA, duplicate labels
 // (the typed seq error), and wrong-width queries.
 func TestBadRequests(t *testing.T) {
-	fx := newTestFixture(t, serverOptions{MaxLatency: 2 * time.Millisecond})
+	fx := newTestFixture(t, fixtureOptions{MaxLatency: 2 * time.Millisecond})
 	cases := []struct {
 		name, body string
 	}{
@@ -265,13 +343,13 @@ func TestBadRequests(t *testing.T) {
 	}
 }
 
-// TestAdmissionControl runs the server with an in-flight budget of exactly
+// TestAdmissionControl runs the tenant with an in-flight budget of exactly
 // one request's query bytes: while the first request is parked in the
 // batcher, a second must get 429 + Retry-After rather than queueing more
 // memory, and once the first completes the budget frees up again.
 func TestAdmissionControl(t *testing.T) {
 	oneReq := fx429Bytes(t)
-	fx := newTestFixture(t, serverOptions{
+	fx := newTestFixture(t, fixtureOptions{
 		MaxLatency:    300 * time.Millisecond,
 		InflightBytes: oneReq,
 	})
@@ -288,9 +366,9 @@ func TestAdmissionControl(t *testing.T) {
 	// Wait until the first request holds the whole budget.
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		fx.srv.admitMu.Lock()
-		held := fx.srv.inflight
-		fx.srv.admitMu.Unlock()
+		fx.tenant.admitMu.Lock()
+		held := fx.tenant.inflight
+		fx.tenant.admitMu.Unlock()
 		if held > 0 {
 			break
 		}
@@ -313,7 +391,7 @@ func TestAdmissionControl(t *testing.T) {
 	}
 
 	// Budget released: the retry succeeds.
-	resp, data = fx429Retry(t, fx)
+	resp, data = fx.post(t, fx.queryFasta(8, 1))
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("retry after drain: status %d: %s", resp.StatusCode, data)
 	}
@@ -326,7 +404,7 @@ func TestAdmissionControl(t *testing.T) {
 // admission test can size its budget to exactly one request.
 func fx429Bytes(t *testing.T) int64 {
 	t.Helper()
-	probe := newTestFixture(t, serverOptions{MaxLatency: time.Millisecond})
+	probe := newTestFixture(t, fixtureOptions{MaxLatency: time.Millisecond})
 	seqs, err := seq.ReadFasta(strings.NewReader(probe.queryFasta(7, 1)))
 	if err != nil {
 		t.Fatal(err)
@@ -338,16 +416,11 @@ func fx429Bytes(t *testing.T) int64 {
 	return placement.QueryBytes(qs)
 }
 
-func fx429Retry(t *testing.T, fx *testFixture) (*http.Response, []byte) {
-	t.Helper()
-	return fx.post(t, fx.queryFasta(8, 1))
-}
-
 // TestHealthzAndMetrics checks the observability endpoints: healthz serves
-// lock-free counters, metrics serves the full structured report with the
-// server telemetry group populated.
+// lock-free fleet-wide counters, metrics serves the fleet document with the
+// global budget and one full per-tenant report.
 func TestHealthzAndMetrics(t *testing.T) {
-	fx := newTestFixture(t, serverOptions{MaxLatency: 2 * time.Millisecond})
+	fx := newTestFixture(t, fixtureOptions{MaxLatency: 2 * time.Millisecond})
 	if resp, data := fx.post(t, fx.queryFasta(3, 2)); resp.StatusCode != http.StatusOK {
 		t.Fatalf("place: status %d: %s", resp.StatusCode, data)
 	}
@@ -368,42 +441,67 @@ func TestHealthzAndMetrics(t *testing.T) {
 	if hb.Requests != 1 || hb.QueriesReceived != 2 {
 		t.Errorf("healthz counters: %+v", hb)
 	}
+	if hb.TenantsWarm != 1 || hb.Trees != 1 {
+		t.Errorf("healthz fleet shape: warm=%d trees=%d, want 1/1", hb.TenantsWarm, hb.Trees)
+	}
 
 	resp, err = http.Get(fx.ts.URL + "/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
-	var report map[string]json.RawMessage
-	err = json.NewDecoder(resp.Body).Decode(&report)
+	var mdoc struct {
+		SchemaVersion int                        `json:"schema_version"`
+		Fleet         map[string]json.RawMessage `json:"fleet"`
+		Budget        budgetSection              `json:"budget"`
+		Tenants       []struct {
+			ID     string                     `json:"id"`
+			Report map[string]json.RawMessage `json:"report"`
+		} `json:"tenants"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&mdoc)
 	resp.Body.Close()
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, key := range []string{"plan", "memory", "telemetry"} {
-		if _, ok := report[key]; !ok {
-			t.Errorf("metrics report missing %q section", key)
+	if mdoc.SchemaVersion != telemetry.SchemaVersion {
+		t.Errorf("schema_version = %d, want %d", mdoc.SchemaVersion, telemetry.SchemaVersion)
+	}
+	for _, key := range []string{"engines_built", "tenants_warm"} {
+		if _, ok := mdoc.Fleet[key]; !ok {
+			t.Errorf("metrics fleet section missing %q", key)
 		}
+	}
+	if len(mdoc.Tenants) != 1 || mdoc.Tenants[0].ID != "default" {
+		t.Fatalf("metrics tenants = %+v, want one entry for default", mdoc.Tenants)
+	}
+	for _, key := range []string{"plan", "memory", "telemetry"} {
+		if _, ok := mdoc.Tenants[0].Report[key]; !ok {
+			t.Errorf("tenant report missing %q section", key)
+		}
+	}
+	if got, ok := mdoc.Budget.Breakdown["tenant:default"]; !ok || got <= 0 {
+		t.Errorf("budget breakdown missing tenant:default: %+v", mdoc.Budget.Breakdown)
 	}
 	var tel struct {
 		Server struct {
 			Requests uint64 `json:"requests"`
 		} `json:"server"`
 	}
-	if err := json.Unmarshal(report["telemetry"], &tel); err != nil {
+	if err := json.Unmarshal(mdoc.Tenants[0].Report["telemetry"], &tel); err != nil {
 		t.Fatal(err)
 	}
 	if tel.Server.Requests != 1 {
-		t.Errorf("metrics server.requests = %d, want 1", tel.Server.Requests)
+		t.Errorf("tenant telemetry server.requests = %d, want 1", tel.Server.Requests)
 	}
 }
 
 // TestDrainDoesNotLoseAcceptedQueries exercises the SIGTERM path: a request
 // parked in the batcher when the drain begins must still be answered with
-// its placements, later requests must get 503, and the engine's end-of-run
-// audits must pass (no leaked admission reservations).
+// its placements, later requests must get 503, and the fleet's end-of-run
+// audits at both accountant levels must pass (no leaked reservations).
 func TestDrainDoesNotLoseAcceptedQueries(t *testing.T) {
 	// MaxLatency far beyond the test's patience: only the drain can flush.
-	fx := newTestFixture(t, serverOptions{MaxLatency: time.Hour})
+	fx := newTestFixture(t, fixtureOptions{MaxLatency: time.Hour})
 	type result struct {
 		status int
 		data   []byte
@@ -449,7 +547,9 @@ func TestDrainDoesNotLoseAcceptedQueries(t *testing.T) {
 		t.Fatalf("post-drain request: status %d, want 503", rec.Code)
 	}
 
-	if err := fx.eng.Close(); err != nil {
+	// The two-level drain: every engine audit plus the fleet accountant.
+	fx.closed = true
+	if err := fx.f.close(); err != nil {
 		t.Fatalf("post-drain audit: %v", err)
 	}
 }
@@ -467,5 +567,11 @@ func TestRunFlagValidation(t *testing.T) {
 	}
 	if err := run(ctx, []string{"--tree", "no-such-file.nwk", "--ref-msa", "no-such-file.fasta"}, &out); err == nil {
 		t.Error("missing files: want error")
+	}
+	if err := run(ctx, []string{"--catalog", "cat.json", "--tree", "x.nwk"}, &out); err == nil {
+		t.Error("--catalog with --tree: want mutual-exclusion error")
+	}
+	if err := run(ctx, []string{"--catalog", "no-such-catalog.json"}, &out); err == nil {
+		t.Error("missing catalog file: want error")
 	}
 }

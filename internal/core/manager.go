@@ -97,6 +97,11 @@ type Manager struct {
 	tel       *telemetry.AMC
 	pinnedNow int
 
+	// maxSlots is the largest pool size this manager has ever had; Resize can
+	// shrink m.slots below it, so audits of historical high-water marks (pin
+	// concurrency) compare against this, not the current pool.
+	maxSlots int
+
 	// pool, when non-nil, runs the across-site parallel update kernel during
 	// recomputation (the paper's Fig. 7 experiment).
 	pool *parallel.Pool
@@ -174,6 +179,7 @@ func NewManager(part *phylo.Partition, tr *tree.Tree, cfg Config) (*Manager, err
 		part:       part,
 		strategy:   strategy,
 		slots:      slots,
+		maxSlots:   slots,
 		clvData:    make([]float64, slots*part.CLVLen()),
 		scaleData:  make([]int32, slots*part.ScaleLen()),
 		slotOf:     make([]int32, nclv),
@@ -409,6 +415,17 @@ func (m *Manager) maybeSpill(victim int, vslot int32) {
 		return
 	}
 	if !m.spillPolicy.ShouldSpill(victim, m.spillContext()) {
+		return
+	}
+	m.spillRecord(victim, vslot)
+}
+
+// spillRecord serializes one slotted CLV into the store unconditionally (no
+// policy consultation) — the shared write side of maybeSpill's per-eviction
+// decision and DemoteAll's forced demotion. Write failures degrade to a
+// plain discard, exactly like maybeSpill.
+func (m *Manager) spillRecord(victim int, vslot int32) {
+	if m.spillStore == nil || m.spilled[victim] {
 		return
 	}
 	vclv, vscale := m.view(vslot)
@@ -757,8 +774,8 @@ func (m *Manager) CheckTelemetry() error {
 		}
 	}
 	if m.tel != nil {
-		if hw := m.tel.PinHighWater.Load(); hw > int64(m.slots) {
-			return fmt.Errorf("%w: pin high-water %d exceeds %d slots", ErrInvariant, hw, m.slots)
+		if hw := m.tel.PinHighWater.Load(); hw > int64(m.maxSlots) {
+			return fmt.Errorf("%w: pin high-water %d exceeds the lifetime maximum of %d slots", ErrInvariant, hw, m.maxSlots)
 		}
 	}
 	if m.stel != nil {
@@ -807,4 +824,152 @@ func (m *Manager) RetainExpensive(minFree int) (release func()) {
 			m.unpinDir(d)
 		}
 	}
+}
+
+// Resize changes the slot-pool size — the fleet controller's lever for
+// taking memory away from (or returning it to) a warm but cold engine
+// without tearing the engine down. Shrinking first relocates CLVs from
+// removed slots into free surviving slots, then evicts the remainder
+// (consulting the spill policy, so a disk tier keeps them reloadable);
+// growing adds free slots. The pool data is reallocated at the new size so
+// the freed bytes are actually collectable, and Bytes() reflects the new
+// size immediately. The new size is clamped to the tree's inner-CLV count
+// and must stay at or above Tree.MinSlots(); resizing with pinned slots is
+// refused (callers resize between runs, never mid-traversal). Placement
+// output is independent of the pool size, so a shrunk engine's results stay
+// byte-identical — only its recompute/reload work changes.
+func (m *Manager) Resize(slots int) error {
+	if min := m.tr.MinSlots(); slots < min {
+		return fmt.Errorf("core: resize to %d slots below the minimum %d required for this tree", slots, min)
+	}
+	if max := m.tr.NumInnerCLVs(); slots > max {
+		slots = max
+	}
+	if slots == m.slots {
+		return nil
+	}
+	if m.pinnedNow != 0 {
+		return fmt.Errorf("core: Resize with %d pinned slots", m.pinnedNow)
+	}
+	cl, sl := m.part.CLVLen(), m.part.ScaleLen()
+	if slots < m.slots {
+		// Free surviving slots become relocation targets for CLVs stranded in
+		// the removed range; everything that cannot be relocated is evicted
+		// through the normal spill-or-discard path.
+		var freeLow []int32
+		for s := int32(0); s < int32(slots); s++ {
+			if m.clvOf[s] == noCLV {
+				freeLow = append(freeLow, s)
+			}
+		}
+		for s := int32(slots); s < int32(m.slots); s++ {
+			idx := m.clvOf[s]
+			if idx == noCLV {
+				continue
+			}
+			if len(freeLow) > 0 {
+				d := freeLow[0]
+				freeLow = freeLow[1:]
+				copy(m.clvData[int(d)*cl:(int(d)+1)*cl], m.clvData[int(s)*cl:(int(s)+1)*cl])
+				copy(m.scaleData[int(d)*sl:(int(d)+1)*sl], m.scaleData[int(s)*sl:(int(s)+1)*sl])
+				m.clvOf[d] = idx
+				m.slotOf[idx] = d
+			} else {
+				m.maybeSpill(int(idx), s)
+				m.stats.Evictions++
+				m.tel.Evict()
+				m.slotOf[idx] = noSlot
+			}
+			m.clvOf[s] = noCLV
+		}
+	}
+	newCLV := make([]float64, slots*cl)
+	newScale := make([]int32, slots*sl)
+	n := m.slots
+	if slots < n {
+		n = slots
+	}
+	copy(newCLV, m.clvData[:n*cl])
+	copy(newScale, m.scaleData[:n*sl])
+	newOf := make([]int32, slots)
+	newPins := make([]int32, slots)
+	copy(newOf, m.clvOf[:n])
+	for s := n; s < slots; s++ {
+		newOf[s] = noCLV
+	}
+	m.clvData, m.scaleData, m.clvOf, m.pins = newCLV, newScale, newOf, newPins
+	m.slots = slots
+	if slots > m.maxSlots {
+		m.maxSlots = slots
+	}
+	return nil
+}
+
+// DemoteAll pushes every resident CLV out of the slot pool: with a spill
+// store attached each one is serialized (unconditionally — demotion is an
+// explicit decision, not a per-eviction policy call) so it reloads at disk
+// bandwidth instead of recomputing; without a store the CLVs are simply
+// discarded. All slots end up free; combined with Resize this shrinks a cold
+// engine to its floor while keeping its warm state one reload away. Returns
+// the number of CLVs with a valid spill record afterwards. Refused while any
+// slot is pinned.
+func (m *Manager) DemoteAll() (reloadable int, err error) {
+	if m.pinnedNow != 0 {
+		return 0, fmt.Errorf("core: DemoteAll with %d pinned slots", m.pinnedNow)
+	}
+	for s := int32(0); s < int32(m.slots); s++ {
+		idx := m.clvOf[s]
+		if idx == noCLV {
+			continue
+		}
+		m.spillRecord(int(idx), s)
+		m.stats.Evictions++
+		m.tel.Evict()
+		m.slotOf[idx] = noSlot
+		m.clvOf[s] = noCLV
+		if m.spilled != nil && m.spilled[idx] {
+			reloadable++
+		}
+	}
+	return reloadable, nil
+}
+
+// ReclaimStats summarizes, for the fleet controller's victim cost model,
+// what taking memory away from this manager would free and what getting it
+// back would cost. The rates are this run's measured values (the same ones
+// the hybrid spill policy uses): zero means not yet calibrated, which the
+// controller treats optimistically, exactly like HybridSpill does.
+type ReclaimStats struct {
+	Slots            int   // current pool size
+	MinSlots         int   // smallest size Resize accepts for this tree
+	SlotBytes        int64 // bytes one slot frees
+	ResidentCLVs     int   // currently slotted CLVs
+	ResidentLeafWork int64 // subtree leaf count summed over slotted CLVs — the recompute work a full demotion puts at risk
+
+	SpillEnabled       bool    // demoted CLVs reload from disk instead of recomputing
+	RecomputeNsPerLeaf float64 // measured recompute cost (0 before calibration)
+	ReloadNsPerByte    float64 // measured reload bandwidth (0 before calibration)
+}
+
+// ReclaimStats reports the manager's current reclaim picture.
+func (m *Manager) ReclaimStats() ReclaimStats {
+	rs := ReclaimStats{
+		Slots:        m.slots,
+		MinSlots:     m.tr.MinSlots(),
+		SlotBytes:    m.part.CLVBytes(),
+		SpillEnabled: m.spillStore != nil,
+	}
+	for s := int32(0); s < int32(m.slots); s++ {
+		if idx := m.clvOf[s]; idx != noCLV {
+			rs.ResidentCLVs++
+			rs.ResidentLeafWork += int64(m.cost[idx])
+		}
+	}
+	if m.stats.RecomputeLeafWork > 0 {
+		rs.RecomputeNsPerLeaf = float64(m.recomputeNS) / float64(m.stats.RecomputeLeafWork)
+	}
+	if m.stats.SpillBytesReloaded > 0 {
+		rs.ReloadNsPerByte = float64(m.reloadNS) / float64(m.stats.SpillBytesReloaded)
+	}
+	return rs
 }

@@ -46,6 +46,15 @@ type Accountant struct {
 	peak       int64
 	limit      int64 // 0 = unlimited
 	fail       error // sticky overcommit (real or injected)
+
+	// Hierarchy (see NewChild): every allocation recorded here is mirrored
+	// into parent under parentCat, so a fleet-level accountant sees each
+	// tenant's footprint as one category while each tenant keeps its own
+	// full breakdown. Immutable after construction; the child's lock is
+	// never held while calling into the parent, so lock ordering is always
+	// child → parent and the hierarchy cannot deadlock.
+	parent    *Accountant
+	parentCat string
 }
 
 // NewAccountant returns an empty accountant.
@@ -54,6 +63,24 @@ func NewAccountant() *Accountant {
 		categories: make(map[string]int64),
 		catPeaks:   make(map[string]int64),
 	}
+}
+
+// NewChild returns an accountant whose every allocation is mirrored into a
+// (the parent) under the given category — the hierarchy that lifts per-engine
+// budget arithmetic to fleet level. The child carries its own limit, peak,
+// and per-category breakdown exactly like a standalone accountant; the parent
+// additionally sees the child's instantaneous total as one category, so a
+// fleet-wide limit on the parent governs the sum of all children plus
+// whatever the parent allocates directly. The category is seeded with a
+// zero-byte allocation so it appears in the parent's breakdown from the
+// moment the child exists; a fully drained child leaves the category at zero,
+// which is what makes AssertDrained meaningful at both levels.
+func (a *Accountant) NewChild(category string) *Accountant {
+	a.Alloc(category, 0)
+	c := NewAccountant()
+	c.parent = a
+	c.parentCat = category
+	return c
 }
 
 // SetLimit arms hard-limit detection at the given byte ceiling (0 disables).
@@ -71,13 +98,14 @@ func (a *Accountant) Err() error {
 	return a.fail
 }
 
-// Alloc records bytes allocated under the category.
+// Alloc records bytes allocated under the category. On a child accountant
+// the bytes are additionally mirrored into the parent's category, where they
+// may arm the parent's own sticky overcommit (fleet-level detection).
 func (a *Accountant) Alloc(category string, bytes int64) {
 	if bytes < 0 {
 		panic("memacct: negative allocation")
 	}
 	a.mu.Lock()
-	defer a.mu.Unlock()
 	a.categories[category] += bytes
 	// >= so that a zero-byte Alloc still registers the category in the peak
 	// breakdown — engines pre-seed their transient categories this way to
@@ -97,6 +125,10 @@ func (a *Accountant) Alloc(category string, bytes int64) {
 			a.fail = fmt.Errorf("%w: injected at category %q: %w", ErrOvercommit, category, err)
 		}
 	}
+	a.mu.Unlock()
+	if a.parent != nil {
+		a.parent.Alloc(a.parentCat, bytes)
+	}
 }
 
 // TryAlloc records bytes under the category only if they fit: it fails —
@@ -107,16 +139,23 @@ func (a *Accountant) Alloc(category string, bytes int64) {
 // fact), TryAlloc is for work that can still be refused (backpressure
 // before the fact). A successful TryAlloc is released with Free, exactly
 // like Alloc.
+//
+// On a child accountant both levels must admit the bytes: the child's own
+// limit is checked (and the bytes recorded) first, then the parent's via its
+// own TryAlloc; a parent refusal unwinds the child record and fails. A
+// request that one tenant's budget would admit is therefore still refused
+// when the fleet as a whole has no headroom — cross-tenant backpressure.
 func (a *Accountant) TryAlloc(category string, bytes int64) bool {
 	if bytes < 0 {
 		panic("memacct: negative allocation")
 	}
 	a.mu.Lock()
-	defer a.mu.Unlock()
 	if a.fail != nil {
+		a.mu.Unlock()
 		return false
 	}
 	if a.limit > 0 && a.current+bytes > a.limit {
+		a.mu.Unlock()
 		return false
 	}
 	a.categories[category] += bytes
@@ -127,23 +166,39 @@ func (a *Accountant) TryAlloc(category string, bytes int64) bool {
 	if a.current > a.peak {
 		a.peak = a.current
 	}
+	a.mu.Unlock()
+	if a.parent != nil && !a.parent.TryAlloc(a.parentCat, bytes) {
+		a.mu.Lock()
+		a.categories[category] -= bytes
+		a.current -= bytes
+		a.mu.Unlock()
+		return false
+	}
 	return true
 }
 
 // Headroom returns the bytes still allocatable under the hard limit, or -1
-// when no limit is set. Callers use it to size Retry-After style hints; the
-// value is advisory (another goroutine may allocate in between).
+// when no limit is set. On a child accountant it is the minimum of the
+// child's own headroom and the parent's — the bytes both levels would admit.
+// Callers use it to size Retry-After style hints; the value is advisory
+// (another goroutine may allocate in between).
 func (a *Accountant) Headroom() int64 {
 	a.mu.Lock()
-	defer a.mu.Unlock()
-	if a.limit <= 0 {
-		return -1
+	var own int64 = -1
+	if a.limit > 0 {
+		own = a.limit - a.current
+		if own < 0 {
+			own = 0
+		}
 	}
-	h := a.limit - a.current
-	if h < 0 {
-		h = 0
+	parent := a.parent
+	a.mu.Unlock()
+	if parent != nil {
+		if ph := parent.Headroom(); ph >= 0 && (own < 0 || ph < own) {
+			return ph
+		}
 	}
-	return h
+	return own
 }
 
 // Free records bytes released under the category. Freeing more than was
@@ -154,12 +209,16 @@ func (a *Accountant) Free(category string, bytes int64) {
 		panic("memacct: negative free")
 	}
 	a.mu.Lock()
-	defer a.mu.Unlock()
 	if a.categories[category] < bytes {
+		a.mu.Unlock()
 		panic(fmt.Sprintf("memacct: freeing %d bytes from category %q holding %d", bytes, category, a.categories[category]))
 	}
 	a.categories[category] -= bytes
 	a.current -= bytes
+	a.mu.Unlock()
+	if a.parent != nil {
+		a.parent.Free(a.parentCat, bytes)
+	}
 }
 
 // Current returns the currently accounted bytes.

@@ -124,6 +124,17 @@ type Config struct {
 	// malformed input as a per-query event, not a run-killer; Strict
 	// restores the abort for pipelines that must not silently drop input.
 	Strict bool
+	// ParentAccountant, when non-nil, makes the engine's accountant a child
+	// of it (memacct.NewChild under ParentCategory): every engine allocation
+	// is mirrored into the parent, admission checks (TryAlloc) must pass both
+	// levels, and the engine's Close drain audit leaves the parent's category
+	// at zero. This is how a fleet of engines shares one global budget while
+	// each engine keeps its own per-category books.
+	ParentAccountant *memacct.Accountant
+	// ParentCategory is the category the engine's footprint appears under in
+	// ParentAccountant (e.g. "tenant:<id>"; default "engine"). Ignored
+	// without ParentAccountant.
+	ParentCategory string
 }
 
 // DefaultConfig returns EPA-NG-like defaults.
@@ -272,14 +283,9 @@ func New(part *phylo.Partition, tr *tree.Tree, cfg Config) (*Engine, error) {
 	return NewContext(context.Background(), part, tr, cfg)
 }
 
-// NewContext is New with cancellation: the full-CLV precompute and the
-// lookup-table build — the two potentially long phases of construction —
-// stop between parallel blocks when ctx is cancelled, the engine's pool is
-// shut down, and ctx.Err() is returned.
-func NewContext(ctx context.Context, part *phylo.Partition, tr *tree.Tree, cfg Config) (*Engine, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
+// withDefaults fills the zero-value Config fields with EPA-NG defaults,
+// exactly as engine construction would.
+func (cfg Config) withDefaults() Config {
 	if cfg.ChunkSize <= 0 {
 		cfg.ChunkSize = 5000
 	}
@@ -304,10 +310,19 @@ func NewContext(ctx context.Context, part *phylo.Partition, tr *tree.Tree, cfg C
 	if cfg.FilterMax <= 0 {
 		cfg.FilterMax = 7
 	}
-	if err := part.CheckTreeCompatible(tr); err != nil {
-		return nil, err
-	}
+	return cfg
+}
 
+// PlanFor computes the budget plan cfg would run under without building
+// anything — the fleet controller's pre-admission estimate. Plan.TotalBytes
+// is the footprint an engine built with the same config will allocate, so a
+// registry can check global headroom (and trigger reclaim) before paying for
+// construction. NewContext uses the identical computation.
+func PlanFor(part *phylo.Partition, tr *tree.Tree, cfg Config) (memacct.Plan, error) {
+	cfg = cfg.withDefaults()
+	if err := part.CheckTreeCompatible(tr); err != nil {
+		return memacct.Plan{}, err
+	}
 	plan, err := memacct.PlanBudget(memacct.PlanConfig{
 		MaxMem:    cfg.MaxMem,
 		Branches:  tr.NumBranches(),
@@ -324,7 +339,7 @@ func NewContext(ctx context.Context, part *phylo.Partition, tr *tree.Tree, cfg C
 		BlockSize: cfg.BlockSize,
 	})
 	if err != nil {
-		return nil, err
+		return memacct.Plan{}, err
 	}
 	if cfg.ForceAMC {
 		plan.AMC = true
@@ -336,13 +351,37 @@ func NewContext(ctx context.Context, part *phylo.Partition, tr *tree.Tree, cfg C
 		plan.LookupEnabled = false
 		plan.LookupBytes = 0
 	}
+	return plan, nil
+}
 
+// NewContext is New with cancellation: the full-CLV precompute and the
+// lookup-table build — the two potentially long phases of construction —
+// stop between parallel blocks when ctx is cancelled, the engine's pool is
+// shut down, and ctx.Err() is returned.
+func NewContext(ctx context.Context, part *phylo.Partition, tr *tree.Tree, cfg Config) (*Engine, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg = cfg.withDefaults()
+	plan, err := PlanFor(part, tr, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	acct := memacct.NewAccountant()
+	if cfg.ParentAccountant != nil {
+		cat := cfg.ParentCategory
+		if cat == "" {
+			cat = "engine"
+		}
+		acct = cfg.ParentAccountant.NewChild(cat)
+	}
 	e := &Engine{
 		cfg:         cfg,
 		tr:          tr,
 		part:        part,
 		plan:        plan,
-		acct:        memacct.NewAccountant(),
+		acct:        acct,
 		branchOrder: tr.BranchOrderDFS(),
 	}
 	poolWorkers := cfg.Threads
@@ -556,6 +595,89 @@ func (e *Engine) Stats() RunStats {
 	}
 	s.PeakBytes = e.acct.Peak()
 	return s
+}
+
+// minEngineSlots is the smallest slot pool the engine can run on: one slot
+// beyond the tree's single-chain minimum, because branch precomputation
+// holds one end of a branch pinned while materializing the other (the same
+// floor the budget planner uses).
+func (e *Engine) minEngineSlots() int { return e.tr.MinSlots() + 1 }
+
+// ErrFullResident marks a reclaim lever (Resize, Demote) applied to an
+// engine whose plan keeps every CLV resident — there is no slot pool to
+// shrink; the only way to take memory back from such an engine is to evict
+// it entirely.
+var ErrFullResident = errors.New("placement: engine is full-resident (no slot pool)")
+
+// Resize changes the slot-managed engine's pool size — the fleet
+// controller's lever for reclaiming memory from a warm engine without
+// tearing it down. Values below the engine's floor are clamped up to it
+// (the controller asks for "half", the engine keeps itself viable); the
+// core manager clamps the other end at the tree's inner-CLV count. The
+// "clv-slots" accounting (and, through the child accountant, the fleet
+// total) moves by exactly the pool delta. Serializes with the place paths:
+// a resize waits for an in-flight run to finish rather than racing it.
+func (e *Engine) Resize(slots int) error {
+	e.runMu.Lock()
+	defer e.runMu.Unlock()
+	return e.resizeLocked(slots)
+}
+
+func (e *Engine) resizeLocked(slots int) error {
+	if e.closed {
+		return ErrEngineClosed
+	}
+	if e.mgr == nil {
+		return ErrFullResident
+	}
+	if min := e.minEngineSlots(); slots < min {
+		slots = min
+	}
+	before := e.mgr.Bytes()
+	if err := e.mgr.Resize(slots); err != nil {
+		return err
+	}
+	after := e.mgr.Bytes()
+	if after > before {
+		e.acct.Alloc("clv-slots", after-before)
+	} else if before > after {
+		e.acct.Free("clv-slots", before-after)
+	}
+	e.stats.Slots = e.mgr.Slots()
+	return nil
+}
+
+// Demote pushes every resident CLV out of the slot pool (into the spill
+// tier when one is attached, otherwise discarding them) and shrinks the
+// pool to the engine's floor — the deepest reclaim short of eviction.
+// Returns the number of CLVs left reloadable from disk.
+func (e *Engine) Demote() (reloadable int, err error) {
+	e.runMu.Lock()
+	defer e.runMu.Unlock()
+	if e.closed {
+		return 0, ErrEngineClosed
+	}
+	if e.mgr == nil {
+		return 0, ErrFullResident
+	}
+	reloadable, err = e.mgr.DemoteAll()
+	if err != nil {
+		return 0, err
+	}
+	return reloadable, e.resizeLocked(e.minEngineSlots())
+}
+
+// Reclaim reports the slot manager's reclaim picture for the fleet
+// controller's victim cost model. ok is false for full-resident engines
+// (nothing to shrink or demote — only whole-engine eviction applies) and
+// closed engines.
+func (e *Engine) Reclaim() (rs core.ReclaimStats, ok bool) {
+	e.runMu.Lock()
+	defer e.runMu.Unlock()
+	if e.closed || e.mgr == nil {
+		return core.ReclaimStats{}, false
+	}
+	return e.mgr.ReclaimStats(), true
 }
 
 // buildLookup computes the pre-placement lookup table: one prescore row per

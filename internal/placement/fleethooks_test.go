@@ -1,0 +1,165 @@
+package placement
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"phylomem/internal/core"
+	"phylomem/internal/memacct"
+)
+
+// TestChildAccountantLifecycle: an engine built under a parent accountant
+// mirrors its whole footprint into the parent's tenant category, and its
+// Close drain leaves both levels at zero — the two-level audit the fleet
+// shutdown sequence relies on.
+func TestChildAccountantLifecycle(t *testing.T) {
+	fx := newFixture(t, 71, 16, 60, 12)
+	parent := memacct.NewAccountant()
+	cfg := DefaultConfig()
+	cfg.ParentAccountant = parent
+	cfg.ParentCategory = "tenant:a"
+	eng, err := New(fx.part, fx.tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := parent.Breakdown()["tenant:a"], eng.Accountant().Current(); got != want {
+		t.Fatalf("parent mirror %d != engine current %d", got, want)
+	}
+	if parent.Current() == 0 {
+		t.Fatal("engine footprint invisible at the fleet level")
+	}
+	if _, err := eng.Place(fx.queries); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := parent.AssertDrained(); err != nil {
+		t.Fatalf("fleet level not drained after engine Close: %v", err)
+	}
+}
+
+// TestResizeDemoteByteIdentity: the same queries must produce a
+// byte-identical jplace document from an untouched engine, a slot-shrunk
+// engine, and a fully demoted engine — the reclaim levers change recompute
+// and reload work, never results.
+func TestResizeDemoteByteIdentity(t *testing.T) {
+	fx := newFixture(t, 72, 24, 60, 20)
+	cfg := DefaultConfig()
+	cfg.ForceAMC = true
+	cfg.SpillPolicy = core.SpillOnly{}
+
+	baseline, err := New(fx.part, fx.tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer baseline.Close()
+	res, err := baseline.Place(fx.queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := jplaceBytes(t, fx, res)
+
+	eng, err := New(fx.part, fx.tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if _, err := eng.Place(fx.queries); err != nil {
+		t.Fatal(err) // warm the pool so the shrink has residents to move
+	}
+
+	if err := eng.Resize(1); err != nil { // clamps up to the engine floor
+		t.Fatal(err)
+	}
+	if got := eng.Stats().Slots; got != fx.tr.MinSlots()+1 {
+		t.Fatalf("Resize(1) left %d slots, want floor %d", got, fx.tr.MinSlots()+1)
+	}
+	res, err = eng.Place(fx.queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(jplaceBytes(t, fx, res), want) {
+		t.Fatal("jplace differs after slot shrink")
+	}
+
+	if err := eng.Resize(fx.tr.NumInnerCLVs()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Place(fx.queries); err != nil {
+		t.Fatal(err) // refill the grown pool
+	}
+	reloadable, err := eng.Demote()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reloadable == 0 {
+		t.Fatal("demotion with a spill tier left nothing reloadable")
+	}
+	if got := eng.Stats().Slots; got != fx.tr.MinSlots()+1 {
+		t.Fatalf("Demote left %d slots, want floor %d", got, fx.tr.MinSlots()+1)
+	}
+	res, err = eng.Place(fx.queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(jplaceBytes(t, fx, res), want) {
+		t.Fatal("jplace differs after demotion")
+	}
+	if eng.Stats().CLVStats.SpillReloads == 0 {
+		t.Fatal("post-demotion placement reloaded nothing from the spill tier")
+	}
+
+	if rs, ok := eng.Reclaim(); !ok || !rs.SpillEnabled || rs.Slots != fx.tr.MinSlots()+1 {
+		t.Fatalf("Reclaim after demote = %+v ok=%v", rs, ok)
+	}
+}
+
+// TestReclaimLeversFullResident: a full-resident engine has no slot pool;
+// the levers must refuse with ErrFullResident and Reclaim must report not-ok
+// so the controller falls through to whole-engine eviction.
+func TestReclaimLeversFullResident(t *testing.T) {
+	fx := newFixture(t, 73, 12, 40, 4)
+	eng, err := New(fx.part, fx.tr, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if err := eng.Resize(4); !errors.Is(err, ErrFullResident) {
+		t.Fatalf("Resize on full-resident engine: %v", err)
+	}
+	if _, err := eng.Demote(); !errors.Is(err, ErrFullResident) {
+		t.Fatalf("Demote on full-resident engine: %v", err)
+	}
+	if _, ok := eng.Reclaim(); ok {
+		t.Fatal("Reclaim ok on a full-resident engine")
+	}
+}
+
+// TestPlanForMatchesEngine: the pre-admission estimate must be exactly the
+// plan a constructed engine runs under, for both execution modes.
+func TestPlanForMatchesEngine(t *testing.T) {
+	fx := newFixture(t, 74, 16, 60, 4)
+	for _, cfg := range []Config{DefaultConfig(), func() Config {
+		c := DefaultConfig()
+		c.ForceAMC = true
+		c.DisableLookup = true
+		return c
+	}()} {
+		plan, err := PlanFor(fx.part, fx.tr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := New(fx.part, fx.tr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := eng.Plan(); got != plan {
+			t.Fatalf("PlanFor %+v != engine plan %+v", plan, got)
+		}
+		if err := eng.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

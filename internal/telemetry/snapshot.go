@@ -158,6 +158,37 @@ type SpillSnapshot struct {
 	SpilledEntries      int64  `json:"spilled_entries"`
 }
 
+// FleetSnapshot is the JSON-marshalable view of a Fleet group, the
+// registry-level section of the placed /metrics document. Like Snapshot,
+// every key is always present so the CI schema diff holds across fleet
+// configurations.
+type FleetSnapshot struct {
+	EnginesBuilt   uint64 `json:"engines_built"`
+	EnginesShrunk  uint64 `json:"engines_shrunk"`
+	EnginesDemoted uint64 `json:"engines_demoted"`
+	EnginesEvicted uint64 `json:"engines_evicted"`
+	BuildRejected  uint64 `json:"build_rejected"`
+	BytesReclaimed uint64 `json:"bytes_reclaimed"`
+	TenantsWarm    int64  `json:"tenants_warm"`
+}
+
+// Snapshot renders the fleet group's current values. A nil group yields the
+// zero snapshot.
+func (f *Fleet) Snapshot() FleetSnapshot {
+	if f == nil {
+		return FleetSnapshot{}
+	}
+	return FleetSnapshot{
+		EnginesBuilt:   f.EnginesBuilt.Load(),
+		EnginesShrunk:  f.EnginesShrunk.Load(),
+		EnginesDemoted: f.EnginesDemoted.Load(),
+		EnginesEvicted: f.EnginesEvicted.Load(),
+		BuildRejected:  f.BuildRejected.Load(),
+		BytesReclaimed: f.BytesReclaimed.Load(),
+		TenantsWarm:    f.TenantsWarm.Load(),
+	}
+}
+
 // Snapshot renders the sink's current counter values. Safe to call while
 // the run is still mutating the sink; the values are then advisory. A nil
 // sink yields the zero snapshot (with an empty worker list).

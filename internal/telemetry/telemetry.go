@@ -568,6 +568,81 @@ func (s *Spill) SetSpilled(n int) {
 	s.SpilledEntries.Set(int64(n))
 }
 
+// Fleet counts an engine registry's lifecycle activity: lazy construction,
+// the controller's three reclaim levers in escalation order (slot-pool
+// shrink, CLV demotion to the spill tier, whole-engine eviction), and the
+// bytes those levers handed back to the global budget. TenantsWarm is a
+// level — the number of currently constructed engines. Unlike the Sink
+// groups (one per engine), one Fleet group serves the whole registry; it is
+// updated under the registry's own locks but stays atomic so /metrics can
+// read it without them.
+type Fleet struct {
+	EnginesBuilt   Counter
+	EnginesShrunk  Counter // slot-pool shrink operations applied
+	EnginesDemoted Counter // full CLV demotions applied
+	EnginesEvicted Counter // whole engines torn down for memory
+	BuildRejected  Counter // constructions refused for lack of global headroom
+	BytesReclaimed Counter // bytes returned to the global budget by all levers
+	TenantsWarm    Gauge
+}
+
+// Build records one engine construction.
+func (f *Fleet) Build() {
+	if f == nil {
+		return
+	}
+	f.EnginesBuilt.Inc()
+}
+
+// Shrink records one slot-pool shrink that freed n bytes.
+func (f *Fleet) Shrink(n int64) {
+	if f == nil {
+		return
+	}
+	f.EnginesShrunk.Inc()
+	if n > 0 {
+		f.BytesReclaimed.Add(uint64(n))
+	}
+}
+
+// Demote records one full CLV demotion that freed n bytes.
+func (f *Fleet) Demote(n int64) {
+	if f == nil {
+		return
+	}
+	f.EnginesDemoted.Inc()
+	if n > 0 {
+		f.BytesReclaimed.Add(uint64(n))
+	}
+}
+
+// Evict records one whole-engine eviction that freed n bytes.
+func (f *Fleet) Evict(n int64) {
+	if f == nil {
+		return
+	}
+	f.EnginesEvicted.Inc()
+	if n > 0 {
+		f.BytesReclaimed.Add(uint64(n))
+	}
+}
+
+// RejectBuild records one construction refused for lack of global headroom.
+func (f *Fleet) RejectBuild() {
+	if f == nil {
+		return
+	}
+	f.BuildRejected.Inc()
+}
+
+// SetWarm records the current number of constructed engines.
+func (f *Fleet) SetWarm(n int) {
+	if f == nil {
+		return
+	}
+	f.TenantsWarm.Set(int64(n))
+}
+
 // Sink aggregates one run's telemetry groups. Create one per engine; the
 // engine hands &sink.AMC to the slot manager, &sink.Pool to the worker
 // pool, and updates sink.Pipeline and sink.Dedup itself; a placement server
