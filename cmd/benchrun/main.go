@@ -82,6 +82,10 @@ type ConfigResult struct {
 	SpillErrors        uint64 `json:"spill_errors"`
 	SpillLeafWorkSaved uint64 `json:"spill_reload_leaf_work_saved"`
 
+	// Posterior-scoring metrics (bayes configs; "ml"/zero elsewhere).
+	Scoring              string `json:"scoring"`
+	CandidatesIntegrated int    `json:"candidates_integrated"`
+
 	// Redundancy-elimination metrics (dup50 configs; zero elsewhere).
 	Dedup            bool   `json:"dedup"`
 	DistinctQueries  int    `json:"distinct_queries"`
@@ -235,6 +239,11 @@ type benchConfig struct {
 	// same slot-floor budget as amc-nolookup: discard is the control that
 	// carries the store but never uses it, hybrid is the measured tier.
 	spillPolicy string
+
+	// scoring selects the phase-2 scoring mode ("" = ml). The bayes configs
+	// measure the posterior-integration path (with EDPL) so its cost stays a
+	// pinned, regression-gated quantity like every other subsystem's.
+	scoring string
 }
 
 // matrix is the pinned configuration set. The two reference configs measure
@@ -296,6 +305,18 @@ func matrix() []benchConfig {
 				return memacct.MinFeasibleBytes(pc) + 2*clvBytes
 			},
 			wantAMC: true, wantLookup: false,
+		},
+		{
+			name: "bayes-reference", threads: 4, pipelined: true, scoring: "bayes",
+			maxMem:  func(memacct.PlanConfig, int64) int64 { return 0 },
+			wantAMC: false, wantLookup: true,
+		},
+		{
+			name: "bayes-amc-lookup", threads: 1, scoring: "bayes",
+			maxMem: func(pc memacct.PlanConfig, clvBytes int64) int64 {
+				return memacct.LookupFloorBytes(pc) + 8*clvBytes
+			},
+			wantAMC: true, wantLookup: true,
 		},
 		{
 			name: "dup50-nodedup", threads: 4, dup: true, noDedup: true,
@@ -380,6 +401,14 @@ func runMatrix(scale int, seed int64, reps int, only string) (*Doc, error) {
 				return nil, fmt.Errorf("%s: unknown spill policy %q", bc.name, bc.spillPolicy)
 			}
 		}
+		if bc.scoring != "" {
+			mode, err := placement.ParseScoringMode(bc.scoring)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", bc.name, err)
+			}
+			cfg.Scoring = mode
+			cfg.EDPL = mode == placement.ScoringBayes
+		}
 		cfg.MaxMem = bc.maxMem(prep.PlanConfigFor(cfg), prep.Part.CLVBytes())
 
 		queries := prep.Queries
@@ -398,6 +427,10 @@ func runMatrix(scale int, seed int64, reps int, only string) (*Doc, error) {
 			Dedup:       !bc.noDedup,
 			TileQueries: bc.tileQ, TileBranches: bc.tileB,
 			SpillPolicy: bc.spillPolicy,
+			Scoring:     string(cfg.Scoring),
+		}
+		if res.Scoring == "" {
+			res.Scoring = string(placement.ScoringML)
 		}
 		for r := 0; r < reps; r++ {
 			var sink *telemetry.Sink
@@ -466,6 +499,7 @@ func runMatrix(scale int, seed int64, reps int, only string) (*Doc, error) {
 			res.SpillReloads = st.CLVStats.SpillReloads
 			res.SpillErrors = st.CLVStats.SpillErrors
 			res.SpillLeafWorkSaved = st.CLVStats.ReloadLeafWorkSaved
+			res.CandidatesIntegrated = st.CandidatesIntegrated
 			res.DistinctQueries = st.QueriesDistinct
 			res.DuplicatesFolded = st.QueriesDeduped
 			res.CacheHits = cacheSnap.CacheHits

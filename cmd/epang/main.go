@@ -11,6 +11,7 @@
 //	epang ... --fit                    # ML-fit branch lengths & model first
 //	epang ... --no-heur                # disable the pre-placement lookup table
 //	epang ... --memsave-strategy lru   # CLV replacement strategy
+//	epang ... --scoring bayes --edpl   # posterior probabilities + placement uncertainty
 //	epang ... --strict                 # abort on malformed queries instead of skipping
 //
 // Exit codes: 0 success, 1 input or usage error, 2 internal invariant
@@ -92,6 +93,10 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		dedup     = fs.Bool("dedup", true, "place one representative per distinct query sequence and fan the result out to duplicates (output is identical either way)")
 		nmOut     = fs.Bool("nm", false, "write jplace nm multiplicity entries: queries sharing identical placements collapse into one record carrying every name with its multiplicity")
 		strict    = fs.Bool("strict", false, "abort on malformed query sequences instead of skipping them")
+		scoring   = fs.String("scoring", "ml", "scoring mode: ml (optimized likelihoods) or bayes (posterior probabilities via branch-length integration)")
+		edpl      = fs.Bool("edpl", false, "compute each query's expected distance between placement locations and write it to the jplace output")
+		bayesPN   = fs.Int("bayes-pendant-nodes", 0, "pendant-length quadrature order for --scoring=bayes (0 = default 8)")
+		bayesXN   = fs.Int("bayes-proximal-nodes", 0, "proximal-position quadrature order for --scoring=bayes (0 = default 4)")
 		strategy  = fs.String("memsave-strategy", "costage", "CLV replacement strategy: cost, costage, lru, fifo, random")
 		clvSpill  = fs.Bool("clv-spill", false, "spill evicted CLVs to a disk tier and reload them instead of recomputing (AMC only; output is byte-identical)")
 		spillPath = fs.String("clv-spill-path", "", "spill store file (empty = temporary file, removed on exit)")
@@ -278,6 +283,14 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	cfg.SyncPrecompute = *syncPre
 	cfg.NoPipeline = *noPipe
 	cfg.Strict = *strict
+	mode, err := placement.ParseScoringMode(*scoring)
+	if err != nil {
+		return err
+	}
+	cfg.Scoring = mode
+	cfg.EDPL = *edpl
+	cfg.BayesPendantNodes = *bayesPN
+	cfg.BayesProximalNodes = *bayesXN
 	if *syncPre {
 		cfg.SiteWorkers = *threads
 	}
@@ -378,6 +391,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 			Tree:       jplace.TreeString(tr),
 			Queries:    outQueries,
 			Invocation: "epang " + strings.Join(args, " "),
+		}
+		if mode == placement.ScoringBayes {
+			doc.Fields = jplace.FieldsBayes
 		}
 		if err := jplace.Write(out, doc); err != nil {
 			out.Close()

@@ -43,6 +43,8 @@ func run(args []string) error {
 		tileQ     = fs.Int("tile-queries", 0, "phase-1 query-tile size in the measured engines (0 = automatic)")
 		tileB     = fs.Int("tile-branches", 0, "phase-1 branch-tile size in the measured engines (0 = automatic)")
 		fastMath  = fs.Bool("fast-math", false, "reordered fast-math accumulation in the measured engines")
+		scoring   = fs.String("scoring", "", "scoring mode in the measured engines: ml or bayes (default ml)")
+		edpl      = fs.Bool("edpl", false, "compute per-query EDPL in the measured engines")
 		clvSpill  = fs.Bool("clv-spill", false, "spill evicted CLVs to a disk tier in the measured AMC engines")
 		spillPath = fs.String("clv-spill-path", "", "spill store file for the measured engines (empty = temporary)")
 		spillPol  = fs.String("clv-spill-policy", "", "spill policy: discard, spill, or hybrid (implies --clv-spill; default hybrid)")
@@ -84,6 +86,13 @@ func run(args []string) error {
 	o.TileQueries = *tileQ
 	o.TileBranches = *tileB
 	o.FastMath = *fastMath
+	if *scoring != "" {
+		if !experiments.ValidScoring(*scoring) {
+			return fmt.Errorf("unknown scoring mode %q (want ml or bayes)", *scoring)
+		}
+		o.Scoring = *scoring
+	}
+	o.EDPL = *edpl
 	if *clvSpill || *spillPol != "" {
 		name := *spillPol
 		if name == "" {

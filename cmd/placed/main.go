@@ -181,6 +181,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		spillPath   = fs.String("clv-spill-path", "", "spill store file (empty = temporary file, removed on shutdown; multi-tree catalogs append the tree id)")
 		spillPol    = fs.String("clv-spill-policy", "", "per-victim spill decision: discard, spill, or hybrid (implies --clv-spill; default hybrid)")
 		dedup       = fs.Bool("dedup", true, "group each batch's queries by sequence content and place one representative per distinct sequence")
+		scoring     = fs.String("scoring", "ml", "scoring mode for every engine: ml (optimized likelihoods) or bayes (posterior probabilities + per-query edpl)")
 		cacheSize   = fs.String("result-cache", "64M", "per-tenant cross-request result cache size, e.g. 64M (0 disables); cache bytes count against the budgets and are evicted first under pressure")
 		maxInflight = fs.String("max-inflight", "", "per-tenant admission cap on in-flight query bytes, e.g. 64K (empty = derive from the tenant's --maxmem plan)")
 		maxBatch    = fs.Int("max-batch", 256, "flush a micro-batch once this many queries are pending")
@@ -202,6 +203,14 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	cfg.TileBranches = *tileB
 	cfg.FastMath = *fastMath
 	cfg.NoDedup = !*dedup
+	mode, err := placement.ParseScoringMode(*scoring)
+	if err != nil {
+		return err
+	}
+	cfg.Scoring = mode
+	// The server has no per-request field selection, so posterior mode
+	// always serves the full uncertainty picture: edpl rides along.
+	cfg.EDPL = mode == placement.ScoringBayes
 	if s := core.StrategyByName(*strategy); s != nil {
 		cfg.Strategy = s
 	} else {

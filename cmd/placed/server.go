@@ -183,6 +183,9 @@ func (s *server) handlePlace(w http.ResponseWriter, r *http.Request) {
 		Queries:    results,
 		Invocation: "placed /v1/place",
 	}
+	if s.fleet.opts.BaseConfig.Scoring == placement.ScoringBayes {
+		doc.Fields = jplace.FieldsBayes
+	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := jplace.Write(w, doc); err != nil {
 		// Headers are gone; all we can do is abort the connection.

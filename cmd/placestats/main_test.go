@@ -54,6 +54,101 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
+// writeDoc writes a jplace document into dir and returns its path.
+func writeDoc(t *testing.T, dir, name string, doc *jplace.Document) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jplace.Write(f, doc); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunMismatchedTree is the regression test for the panic on jplace files
+// whose edge numbers do not index the supplied tree: every analysis path
+// must fail with a clean, descriptive error instead.
+func TestRunMismatchedTree(t *testing.T) {
+	dir := t.TempDir()
+	// A 3-leaf tree has 3 edges; the document places on edge 7.
+	tr, err := tree.ParseNewick("(A:1,B:1,C:1);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	treeFile := filepath.Join(dir, "small.nwk")
+	if err := os.WriteFile(treeFile, []byte(tr.WriteNewick()+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jp := writeDoc(t, dir, "big.jplace", &jplace.Document{
+		Tree: "(A:1{0},B:1{1},C:1{2});",
+		Queries: []jplace.Placements{
+			{Name: "stray", Placements: []jplace.Placement{
+				{EdgeNum: 7, LogLikelihood: -10, LikeWeightRatio: 1},
+			}},
+		},
+	})
+	for _, args := range [][]string{
+		{"--jplace", jp, "--tree", treeFile},
+		{"--jplace", jp, "--tree", treeFile, "--per-query"},
+	} {
+		err := run(args)
+		if err == nil {
+			t.Fatalf("mismatched tree accepted for %v", args)
+		}
+		if !strings.Contains(err.Error(), "wrong tree") {
+			t.Fatalf("error does not explain the mismatch: %v", err)
+		}
+	}
+}
+
+// TestRunPostProbModes: --post-prob must work on a bayes document and fail
+// cleanly — naming the missing column — on an ML document.
+func TestRunPostProbModes(t *testing.T) {
+	dir := t.TempDir()
+	tr, err := tree.ParseNewick("(A:1,B:1,C:1);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	treeFile := filepath.Join(dir, "t.nwk")
+	if err := os.WriteFile(treeFile, []byte(tr.WriteNewick()+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	edpl := 0.02
+	queries := []jplace.Placements{
+		{Name: "q1", EDPL: &edpl, Placements: []jplace.Placement{
+			{EdgeNum: 0, LogLikelihood: -10, LikeWeightRatio: 0.7, PostProb: 0.9, DistalLength: 0.1, PendantLength: 0.1},
+			{EdgeNum: 1, LogLikelihood: -11, LikeWeightRatio: 0.3, PostProb: 0.1, DistalLength: 0.2, PendantLength: 0.2},
+		}},
+	}
+	bayes := writeDoc(t, dir, "b.jplace", &jplace.Document{
+		Tree: jplace.TreeString(tr), Fields: jplace.FieldsBayes, Queries: queries,
+	})
+	if err := run([]string{"--jplace", bayes, "--tree", treeFile, "--post-prob", "--per-query"}); err != nil {
+		t.Fatalf("bayes document rejected: %v", err)
+	}
+	ml := writeDoc(t, dir, "m.jplace", &jplace.Document{
+		Tree: jplace.TreeString(tr),
+		Queries: []jplace.Placements{
+			{Name: "q1", Placements: []jplace.Placement{
+				{EdgeNum: 0, LogLikelihood: -10, LikeWeightRatio: 1},
+			}},
+		},
+	})
+	err = run([]string{"--jplace", ml, "--tree", treeFile, "--post-prob"})
+	if err == nil {
+		t.Fatal("--post-prob accepted an ML document")
+	}
+	if !strings.Contains(err.Error(), "post_prob") {
+		t.Fatalf("error does not name the missing column: %v", err)
+	}
+}
+
 // TestSummarizeTrace feeds a synthetic trace through the --trace summarizer
 // and checks the per-event aggregation and pipeline overlap line.
 func TestSummarizeTrace(t *testing.T) {

@@ -104,6 +104,23 @@ func pointDistance(tr *tree.Tree, ea int, xa float64, eb int, xb float64, nodeDi
 	return best
 }
 
+// ValidateEdges checks that every placement's edge number indexes a branch
+// of tr, so the distance-based analyses (EDPL, accuracy) can index
+// tr.Edges without panicking on a jplace file written against a different
+// tree. Returns a descriptive error naming the first offending query.
+func ValidateEdges(tr *tree.Tree, queries []jplace.Placements) error {
+	nb := tr.NumBranches()
+	for _, q := range queries {
+		for _, p := range q.Placements {
+			if p.EdgeNum < 0 || p.EdgeNum >= nb {
+				return fmt.Errorf("analyze: query %q places on edge %d, tree has %d branches (wrong tree for this jplace file?)",
+					q.Name, p.EdgeNum, nb)
+			}
+		}
+	}
+	return nil
+}
+
 // EDPL computes the expected distance between placement locations of one
 // query: Σ_i Σ_j lwr_i · lwr_j · dist(p_i, p_j), normalized by the total
 // reported likelihood weight. Zero means the placement mass is concentrated
@@ -223,6 +240,9 @@ func Accuracy(tr *tree.Tree, queries []jplace.Placements, origins []*tree.Node) 
 	var rep AccuracyReport
 	if len(queries) != len(origins) {
 		return rep, fmt.Errorf("analyze: %d results for %d origins", len(queries), len(origins))
+	}
+	if err := ValidateEdges(tr, queries); err != nil {
+		return rep, err
 	}
 	distCache := make(map[int][]int)
 	for i, q := range queries {

@@ -7,6 +7,7 @@ import (
 
 	"phylomem/internal/analyze"
 	"phylomem/internal/core"
+	"phylomem/internal/jplace"
 	"phylomem/internal/memacct"
 	"phylomem/internal/placement"
 	"phylomem/internal/pplacer"
@@ -54,6 +55,11 @@ type Options struct {
 	// the store at an explicit location.
 	SpillPolicy string
 	SpillPath   string
+	// Scoring selects the phase-2 scoring mode in every experiment engine:
+	// "ml" or "bayes" (empty = ml; see placement.Config.Scoring). EDPL adds
+	// per-query expected-distance-between-placement-locations computation.
+	Scoring string
+	EDPL    bool
 }
 
 // engineConfig returns the placement configuration every experiment starts
@@ -69,7 +75,18 @@ func (o Options) engineConfig() placement.Config {
 		cfg.SpillPolicy = core.SpillPolicyByName(o.SpillPolicy)
 		cfg.SpillPath = o.SpillPath
 	}
+	if o.Scoring != "" {
+		cfg.Scoring = placement.ScoringMode(o.Scoring)
+	}
+	cfg.EDPL = o.EDPL
 	return cfg
+}
+
+// ValidScoring reports whether name selects a known scoring mode, so CLIs
+// can reject typos before synthesizing datasets.
+func ValidScoring(name string) bool {
+	_, err := placement.ParseScoringMode(name)
+	return err == nil
 }
 
 // ValidSpillPolicy reports whether name selects a known spill policy, so
@@ -594,6 +611,113 @@ func AccuracyTable(o Options) (*Table, error) {
 	return t, nil
 }
 
+// BayesAgreement is the differential experiment behind the Bayes scoring
+// mode: every dataset's queries are placed under both scoring modes, and the
+// table reports how often the two modes agree on the best edge, how similar
+// their candidate rankings are (Spearman rank correlation over the shared
+// candidate edges), and how decisive or uncertain the posterior mode is
+// (mean best post_prob, mean EDPL).
+func BayesAgreement(o Options) (*Table, error) {
+	t := &Table{
+		Title: fmt.Sprintf("Differential — ML vs Bayes scoring agreement (scale 1/%d)", o.Scale),
+		Columns: []string{"dataset", "queries", "top1_agree", "rank_corr",
+			"mean_best_pp", "mean_edpl"},
+	}
+	for _, name := range o.datasets() {
+		p, err := o.prepare(name)
+		if err != nil {
+			return nil, err
+		}
+		mlCfg := o.engineConfig()
+		mlCfg.Scoring = placement.ScoringML
+		mlCfg.EDPL = false
+		mlM, err := RunEPA(p, mlCfg, "diff-ml", 1)
+		if err != nil {
+			return nil, err
+		}
+		bCfg := o.engineConfig()
+		bCfg.Scoring = placement.ScoringBayes
+		bCfg.EDPL = true
+		bM, err := RunEPA(p, bCfg, "diff-bayes", 1)
+		if err != nil {
+			return nil, err
+		}
+		ml, bayes := mlM.Result.Queries, bM.Result.Queries
+		if len(ml) != len(bayes) {
+			return nil, fmt.Errorf("experiments: %s: ml placed %d queries, bayes placed %d", name, len(ml), len(bayes))
+		}
+		var n, agree, corrN int
+		var corrSum, ppSum, edplSum float64
+		for i := range ml {
+			if len(ml[i].Placements) == 0 || len(bayes[i].Placements) == 0 {
+				continue
+			}
+			n++
+			if ml[i].Placements[0].EdgeNum == bayes[i].Placements[0].EdgeNum {
+				agree++
+			}
+			ppSum += bayes[i].Placements[0].PostProb
+			if bayes[i].EDPL != nil {
+				edplSum += *bayes[i].EDPL
+			}
+			if rho, ok := rankCorrelation(ml[i].Placements, bayes[i].Placements); ok {
+				corrSum += rho
+				corrN++
+			}
+		}
+		row := []string{name, fmt.Sprintf("%d", n), "n/a", "n/a", "n/a", "n/a"}
+		if n > 0 {
+			row[2] = fmt.Sprintf("%.3f", float64(agree)/float64(n))
+			row[4] = fmt.Sprintf("%.4f", ppSum/float64(n))
+			row[5] = fmt.Sprintf("%.5f", edplSum/float64(n))
+		}
+		if corrN > 0 {
+			row[3] = fmt.Sprintf("%.3f", corrSum/float64(corrN))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// rankCorrelation computes the Spearman rank correlation between two
+// candidate orderings over their shared edges, each edge keeping its rank in
+// its own full list (ok=false when fewer than two edges are shared or either
+// induced ranking is constant). Iteration follows a's order, so the result
+// is deterministic.
+func rankCorrelation(a, b []jplace.Placement) (float64, bool) {
+	rb := make(map[int]int, len(b))
+	for j, p := range b {
+		rb[p.EdgeNum] = j
+	}
+	var xs, ys []float64
+	for i, p := range a {
+		if j, ok := rb[p.EdgeNum]; ok {
+			xs = append(xs, float64(i))
+			ys = append(ys, float64(j))
+		}
+	}
+	if len(xs) < 2 {
+		return 0, false
+	}
+	var sx, sy float64
+	for k := range xs {
+		sx += xs[k]
+		sy += ys[k]
+	}
+	mx, my := sx/float64(len(xs)), sy/float64(len(ys))
+	var cov, vx, vy float64
+	for k := range xs {
+		dx, dy := xs[k]-mx, ys[k]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0, false
+	}
+	return cov / math.Sqrt(vx*vy), true
+}
+
 func within1(rep analyze.AccuracyReport) float64 {
 	if rep.Queries == 0 {
 		return 0
@@ -626,6 +750,8 @@ func ByName(name string, o Options) (*Table, error) {
 		return AblationBlockSize(o)
 	case "accuracy":
 		return AccuracyTable(o)
+	case "bayes":
+		return BayesAgreement(o)
 	}
 	return nil, fmt.Errorf("experiments: unknown experiment %q", name)
 }
@@ -633,7 +759,7 @@ func ByName(name string, o Options) (*Table, error) {
 // ExperimentNames lists all experiment identifiers in DESIGN.md order.
 func ExperimentNames() []string {
 	names := []string{"table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7",
-		"lookup", "ablation-strategies", "ablation-blocks", "accuracy"}
+		"lookup", "ablation-strategies", "ablation-blocks", "accuracy", "bayes"}
 	sort.Strings(names)
 	return names
 }

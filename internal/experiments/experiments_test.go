@@ -264,8 +264,32 @@ func TestByNameDispatch(t *testing.T) {
 	if _, err := ByName("nope", o); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
-	if len(ExperimentNames()) != 11 {
+	if len(ExperimentNames()) != 12 {
 		t.Fatalf("experiment names: %v", ExperimentNames())
+	}
+}
+
+// TestBayesAgreementQuick runs the ML-vs-Bayes differential experiment on one
+// small dataset and checks the agreement columns are populated and sane.
+func TestBayesAgreementQuick(t *testing.T) {
+	o := quickOptions()
+	o.Datasets = []string{"neotrop"}
+	o.MaxQueries = 20
+	tab, err := BayesAgreement(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 {
+		t.Fatalf("rows = %d:\n%s", len(tab.Rows), tab)
+	}
+	if v := cellFloat(t, tab, 0, "top1_agree"); v < 0.5 || v > 1 {
+		t.Fatalf("top1_agree %.3f out of range:\n%s", v, tab)
+	}
+	if v := cellFloat(t, tab, 0, "mean_best_pp"); v <= 0 || v > 1 {
+		t.Fatalf("mean_best_pp %.4f out of range:\n%s", v, tab)
+	}
+	if v := cellFloat(t, tab, 0, "mean_edpl"); v < 0 {
+		t.Fatalf("mean_edpl %.5f negative:\n%s", v, tab)
 	}
 }
 

@@ -13,6 +13,9 @@ import (
 func FuzzJplaceRead(f *testing.F) {
 	f.Add([]byte(`{"tree":"(a:1{0},b:2{1},c:3{2});","placements":[{"p":[[0,-12.5,0.9,0.01,0.02]],"n":["q1"]}],"fields":["edge_num","likelihood","like_weight_ratio","distal_length","pendant_length"],"version":3,"metadata":{"invocation":"test"}}`))
 	f.Add([]byte(`{"version":3,"fields":["edge_num","likelihood","like_weight_ratio","distal_length","pendant_length"],"placements":[],"tree":";"}`))
+	f.Add([]byte(`{"tree":"(a:1{0},b:2{1},c:3{2});","placements":[{"p":[[0,-12.5,0.9,0.8,0.01,0.02],[1,-13.5,0.1,0.2,0.03,0.04]],"n":["q1"],"edpl":0.015}],"fields":["edge_num","likelihood","like_weight_ratio","post_prob","distal_length","pendant_length"],"version":3,"metadata":{"invocation":"test --scoring bayes"}}`))
+	f.Add([]byte(`{"version":3,"fields":["edge_num","likelihood","like_weight_ratio","post_prob","distal_length","pendant_length"],"placements":[{"p":[[0,-1,1,1,0,0]],"nm":[["q",2]],"edpl":0}],"tree":";"}`))
+	f.Add([]byte(`{"version":3,"fields":["edge_num","likelihood","post_prob","like_weight_ratio","distal_length","pendant_length"],"placements":[],"tree":";"}`))
 	f.Add([]byte(`{"version":2}`))
 	f.Add([]byte(`{"placements":[{"p":[[0]],"n":["q"]}]}`))
 	f.Add([]byte(`not json`))

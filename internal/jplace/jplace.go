@@ -12,14 +12,21 @@ import (
 	"phylomem/internal/tree"
 )
 
-// Fields is the canonical column order for placement records.
+// Fields is the canonical column order for ML placement records.
 var Fields = []string{"edge_num", "likelihood", "like_weight_ratio", "distal_length", "pendant_length"}
 
-// Placement is one candidate location of one query.
+// FieldsBayes is the column order for Bayesian posterior placements: the ML
+// columns plus post_prob (pplacer's posterior probability column) directly
+// after like_weight_ratio.
+var FieldsBayes = []string{"edge_num", "likelihood", "like_weight_ratio", "post_prob", "distal_length", "pendant_length"}
+
+// Placement is one candidate location of one query. PostProb is only
+// meaningful in documents using FieldsBayes; it is zero otherwise.
 type Placement struct {
 	EdgeNum         int
 	LogLikelihood   float64
 	LikeWeightRatio float64
+	PostProb        float64
 	DistalLength    float64
 	PendantLength   float64
 }
@@ -37,17 +44,24 @@ type NameMult struct {
 // written with the jplace "nm" field (multiple reads sharing one placement,
 // each with a multiplicity) instead of "n"; Name is then a convenience
 // mirror of the first NM entry.
+// EDPL, when non-nil, is the query's expected distance between placement
+// locations — the per-query uncertainty statistic — carried as a
+// per-placement-entry "edpl" extension key.
 type Placements struct {
 	Name       string
 	NM         []NameMult
 	Placements []Placement
+	EDPL       *float64
 }
 
-// Document is a complete jplace file.
+// Document is a complete jplace file. Fields selects the placement-record
+// column set: nil means the canonical ML Fields; FieldsBayes adds the
+// post_prob column.
 type Document struct {
 	Tree       string
 	Queries    []Placements
 	Invocation string
+	Fields     []string
 }
 
 type jsonDoc struct {
@@ -63,9 +77,34 @@ type jsonDoc struct {
 // always length 1 when used) and an nm-style entry never emits a spurious
 // null n.
 type jsonPlacement struct {
-	P  [][]float64 `json:"p"`
-	N  []string    `json:"n,omitempty"`
-	NM [][]any     `json:"nm,omitempty"`
+	P    [][]float64 `json:"p"`
+	N    []string    `json:"n,omitempty"`
+	NM   [][]any     `json:"nm,omitempty"`
+	EDPL *float64    `json:"edpl,omitempty"`
+}
+
+// fieldSetOf matches a fields array against the two supported column sets.
+// Returns hasPost=true for FieldsBayes, false for Fields, error otherwise.
+func fieldSetOf(fields []string) (hasPost bool, err error) {
+	match := func(want []string) bool {
+		if len(fields) != len(want) {
+			return false
+		}
+		for i, f := range fields {
+			if f != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	switch {
+	case match(Fields):
+		return false, nil
+	case match(FieldsBayes):
+		return true, nil
+	default:
+		return false, fmt.Errorf("jplace: unexpected fields %v", fields)
+	}
 }
 
 // TreeString renders the tree in jplace newick form, with {edge_num} tags
@@ -116,11 +155,20 @@ func writeSubtree(sb *strings.Builder, n *tree.Node, parent *tree.Edge) {
 	fmt.Fprintf(sb, ":%g{%d}", parent.Length, parent.ID)
 }
 
-// Write serializes the document as jplace v3 JSON.
+// Write serializes the document as jplace v3 JSON. A nil doc.Fields means
+// the canonical ML Fields, keeping pre-existing ML output bytes unchanged.
 func Write(w io.Writer, doc *Document) error {
+	fields := doc.Fields
+	if fields == nil {
+		fields = Fields
+	}
+	hasPost, err := fieldSetOf(fields)
+	if err != nil {
+		return err
+	}
 	jd := jsonDoc{
 		Tree:    doc.Tree,
-		Fields:  Fields,
+		Fields:  fields,
 		Version: 3,
 		Metadata: map[string]any{
 			"invocation": doc.Invocation,
@@ -136,10 +184,14 @@ func Write(w io.Writer, doc *Document) error {
 		} else {
 			jp.N = []string{q.Name}
 		}
+		jp.EDPL = q.EDPL
 		for _, p := range q.Placements {
-			jp.P = append(jp.P, []float64{
-				float64(p.EdgeNum), p.LogLikelihood, p.LikeWeightRatio, p.DistalLength, p.PendantLength,
-			})
+			row := []float64{float64(p.EdgeNum), p.LogLikelihood, p.LikeWeightRatio}
+			if hasPost {
+				row = append(row, p.PostProb)
+			}
+			row = append(row, p.DistalLength, p.PendantLength)
+			jp.P = append(jp.P, row)
 		}
 		jd.Placements = append(jd.Placements, jp)
 	}
@@ -157,15 +209,14 @@ func Read(r io.Reader) (*Document, error) {
 	if jd.Version != 3 {
 		return nil, fmt.Errorf("jplace: unsupported version %d", jd.Version)
 	}
-	if len(jd.Fields) != len(Fields) {
-		return nil, fmt.Errorf("jplace: unexpected fields %v", jd.Fields)
-	}
-	for i, f := range jd.Fields {
-		if f != Fields[i] {
-			return nil, fmt.Errorf("jplace: unexpected field order %v", jd.Fields)
-		}
+	hasPost, err := fieldSetOf(jd.Fields)
+	if err != nil {
+		return nil, err
 	}
 	doc := &Document{Tree: jd.Tree}
+	if hasPost {
+		doc.Fields = FieldsBayes
+	}
 	if inv, ok := jd.Metadata["invocation"].(string); ok {
 		doc.Invocation = inv
 	}
@@ -190,17 +241,24 @@ func Read(r io.Reader) (*Document, error) {
 		default:
 			return nil, fmt.Errorf("jplace: placement with %d names and %d nm entries", len(jp.N), len(jp.NM))
 		}
+		q.EDPL = jp.EDPL
 		for _, row := range jp.P {
-			if len(row) != len(Fields) {
+			if len(row) != len(jd.Fields) {
 				return nil, fmt.Errorf("jplace: placement row with %d values", len(row))
 			}
-			q.Placements = append(q.Placements, Placement{
+			p := Placement{
 				EdgeNum:         int(row[0]),
 				LogLikelihood:   row[1],
 				LikeWeightRatio: row[2],
-				DistalLength:    row[3],
-				PendantLength:   row[4],
-			})
+			}
+			rest := row[3:]
+			if hasPost {
+				p.PostProb = rest[0]
+				rest = rest[1:]
+			}
+			p.DistalLength = rest[0]
+			p.PendantLength = rest[1]
+			q.Placements = append(q.Placements, p)
 		}
 		doc.Queries = append(doc.Queries, q)
 	}

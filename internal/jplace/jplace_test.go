@@ -71,6 +71,113 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	}
 }
 
+func TestBayesWriteReadRoundTrip(t *testing.T) {
+	edpl := 0.0125
+	doc := &Document{
+		Tree:       "(A:1{0},B:1{1},C:1{2});",
+		Invocation: "epang --scoring bayes --edpl",
+		Fields:     FieldsBayes,
+		Queries: []Placements{
+			{
+				Name: "query1",
+				EDPL: &edpl,
+				Placements: []Placement{
+					{EdgeNum: 2, LogLikelihood: -1234.5, LikeWeightRatio: 0.9, PostProb: 0.85, DistalLength: 0.05, PendantLength: 0.1},
+					{EdgeNum: 0, LogLikelihood: -1240.1, LikeWeightRatio: 0.1, PostProb: 0.15, DistalLength: 0.01, PendantLength: 0.2},
+				},
+			},
+			{
+				Name:       "query2",
+				Placements: []Placement{{EdgeNum: 1, LogLikelihood: -99.5, LikeWeightRatio: 1.0, PostProb: 1.0}},
+			},
+		},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, doc); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.String()
+	if !strings.Contains(raw, `"post_prob"`) {
+		t.Fatalf("bayes document missing post_prob column:\n%s", raw)
+	}
+	if !strings.Contains(raw, `"edpl"`) {
+		t.Fatalf("bayes document missing edpl key:\n%s", raw)
+	}
+	got, err := Read(strings.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Fields) != len(FieldsBayes) {
+		t.Fatalf("Fields = %v, want FieldsBayes", got.Fields)
+	}
+	q := got.Queries[0]
+	if q.EDPL == nil || *q.EDPL != edpl {
+		t.Fatalf("EDPL = %v, want %v", q.EDPL, edpl)
+	}
+	p := q.Placements[0]
+	if p.PostProb != 0.85 || p.DistalLength != 0.05 || p.PendantLength != 0.1 {
+		t.Fatalf("placement = %+v", p)
+	}
+	if q2 := got.Queries[1]; q2.EDPL != nil {
+		t.Fatalf("query2 EDPL = %v, want nil", *q2.EDPL)
+	}
+	// Write(Read(x)) must be byte-stable so identity checks can diff files.
+	var buf2 bytes.Buffer
+	if err := Write(&buf2, got); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != raw {
+		t.Fatalf("bayes document not byte-stable across a round trip:\nfirst:\n%s\nsecond:\n%s", raw, buf2.String())
+	}
+}
+
+func TestMLWriteOmitsBayesKeys(t *testing.T) {
+	// An ML document's bytes must be unchanged by the bayes feature: no
+	// post_prob column, no edpl key, five-value placement rows.
+	doc := &Document{
+		Tree: "(A:1{0},B:1{1},C:1{2});",
+		Queries: []Placements{{
+			Name: "q",
+			Placements: []Placement{
+				{EdgeNum: 1, LogLikelihood: -10, LikeWeightRatio: 1, PostProb: 0.5, DistalLength: 0.1, PendantLength: 0.2},
+			},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, doc); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.String()
+	for _, key := range []string{"post_prob", "edpl"} {
+		if strings.Contains(raw, key) {
+			t.Fatalf("ML document contains %q:\n%s", key, raw)
+		}
+	}
+	got, err := Read(strings.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fields != nil {
+		t.Fatalf("ML document read back Fields = %v, want nil", got.Fields)
+	}
+	if pp := got.Queries[0].Placements[0].PostProb; pp != 0 {
+		t.Fatalf("PostProb survived an ML round trip: %v", pp)
+	}
+}
+
+func TestReadRejectsBayesFieldErrors(t *testing.T) {
+	// post_prob in the wrong position is not a supported field set.
+	bad := `{"version":3,"tree":";","placements":[],"fields":["edge_num","likelihood","post_prob","like_weight_ratio","distal_length","pendant_length"]}`
+	if _, err := Read(strings.NewReader(bad)); err == nil {
+		t.Error("misordered post_prob fields accepted")
+	}
+	// A bayes fields array with a five-value row is a length mismatch.
+	short := `{"version":3,"tree":";","placements":[{"p":[[0,-1,1,0.1,0.2]],"n":["q"]}],"fields":["edge_num","likelihood","like_weight_ratio","post_prob","distal_length","pendant_length"]}`
+	if _, err := Read(strings.NewReader(short)); err == nil {
+		t.Error("five-value row accepted under bayes fields")
+	}
+}
+
 func TestReadRejectsBadInput(t *testing.T) {
 	if _, err := Read(strings.NewReader("not json")); err == nil {
 		t.Error("non-JSON accepted")

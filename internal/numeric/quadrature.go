@@ -1,0 +1,89 @@
+package numeric
+
+import "math"
+
+// This file provides the Gauss-Legendre quadrature rules behind the Bayesian
+// posterior scoring mode: the placement engine integrates the query
+// likelihood over pendant × proximal branch-length grids, and the node/weight
+// tables computed here define those grids. Rules are computed once per
+// engine (or table lookup for the small orders the engine uses) and mapped
+// onto per-branch intervals with MapInterval.
+
+// GaussLegendre returns the n nodes and weights of the Gauss-Legendre
+// quadrature rule on [-1, 1]: ∫ f ≈ Σ w_i f(x_i), exact for polynomials of
+// degree ≤ 2n−1. Nodes are ascending; weights are positive and sum to 2.
+// Nodes are the roots of the Legendre polynomial P_n, found by Newton
+// iteration from the Chebyshev initial guess — the classic Golub-Welsch-free
+// construction, fully deterministic for a given n.
+func GaussLegendre(n int) (nodes, weights []float64) {
+	if n < 1 {
+		panic("numeric: GaussLegendre needs n >= 1")
+	}
+	nodes = make([]float64, n)
+	weights = make([]float64, n)
+	m := (n + 1) / 2
+	for i := 0; i < m; i++ {
+		// Chebyshev estimate of the i'th root (descending), then Newton.
+		x := math.Cos(math.Pi * (float64(i) + 0.75) / (float64(n) + 0.5))
+		var dp float64
+		for iter := 0; iter < 100; iter++ {
+			p0, p1 := 1.0, x
+			if n == 1 {
+				p1 = x
+			}
+			// Recurrence (k+1)P_{k+1} = (2k+1)xP_k − kP_{k−1}.
+			for k := 1; k < n; k++ {
+				p0, p1 = p1, ((2*float64(k)+1)*x*p1-float64(k)*p0)/(float64(k)+1)
+			}
+			// P'_n(x) = n(xP_n − P_{n−1}) / (x² − 1).
+			dp = float64(n) * (x*p1 - p0) / (x*x - 1)
+			dx := p1 / dp
+			x -= dx
+			if math.Abs(dx) < 1e-15 {
+				break
+			}
+		}
+		nodes[i] = -x
+		nodes[n-1-i] = x
+		w := 2 / ((1 - x*x) * dp * dp)
+		weights[i] = w
+		weights[n-1-i] = w
+	}
+	if n%2 == 1 {
+		// The middle node of an odd rule is exactly zero; the Newton loop
+		// leaves it at rounding distance, so pin it.
+		nodes[n/2] = 0
+	}
+	return nodes, weights
+}
+
+// MapInterval writes into xs/ws the rule (nodes, weights) on [-1, 1] mapped
+// onto [a, b]: x ↦ (a+b)/2 + (b−a)/2·x, w ↦ (b−a)/2·w. The mapped weights
+// sum to b−a, so Σ ws_i f(xs_i) approximates ∫_a^b f. xs and ws must have
+// len(nodes) entries; the function allocates nothing.
+func MapInterval(nodes, weights []float64, a, b float64, xs, ws []float64) {
+	mid, half := 0.5*(a+b), 0.5*(b-a)
+	for i, x := range nodes {
+		xs[i] = mid + half*x
+		ws[i] = half * weights[i]
+	}
+}
+
+// Trapezoid returns the n ≥ 2 nodes and weights of the composite trapezoid
+// rule on [-1, 1] — the simpler alternative quadrature the posterior mode's
+// convergence tests compare against. Weights sum to 2.
+func Trapezoid(n int) (nodes, weights []float64) {
+	if n < 2 {
+		panic("numeric: Trapezoid needs n >= 2")
+	}
+	nodes = make([]float64, n)
+	weights = make([]float64, n)
+	h := 2 / float64(n-1)
+	for i := range nodes {
+		nodes[i] = -1 + h*float64(i)
+		weights[i] = h
+	}
+	weights[0] = h / 2
+	weights[n-1] = h / 2
+	return nodes, weights
+}

@@ -1,0 +1,130 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+)
+
+// integrate applies a rule mapped onto [a,b] to f.
+func integrate(nodes, weights []float64, a, b float64, f func(float64) float64) float64 {
+	xs := make([]float64, len(nodes))
+	ws := make([]float64, len(nodes))
+	MapInterval(nodes, weights, a, b, xs, ws)
+	s := 0.0
+	for i, x := range xs {
+		s += ws[i] * f(x)
+	}
+	return s
+}
+
+// TestGaussLegendreExactness: an n-point rule must integrate every monomial
+// x^k with k ≤ 2n−1 exactly on [-1,1] (up to rounding).
+func TestGaussLegendreExactness(t *testing.T) {
+	for n := 1; n <= 12; n++ {
+		nodes, weights := GaussLegendre(n)
+		for k := 0; k <= 2*n-1; k++ {
+			got := 0.0
+			for i, x := range nodes {
+				got += weights[i] * math.Pow(x, float64(k))
+			}
+			want := 0.0
+			if k%2 == 0 {
+				want = 2 / float64(k+1)
+			}
+			if math.Abs(got-want) > 1e-12 {
+				t.Errorf("n=%d k=%d: got %.17g want %.17g", n, k, got, want)
+			}
+		}
+	}
+}
+
+// TestGaussLegendreStructure: nodes ascending and symmetric about zero,
+// weights positive and summing to 2.
+func TestGaussLegendreStructure(t *testing.T) {
+	for n := 1; n <= 32; n++ {
+		nodes, weights := GaussLegendre(n)
+		sum := 0.0
+		for i, w := range weights {
+			if w <= 0 {
+				t.Fatalf("n=%d: weight[%d]=%g not positive", n, i, w)
+			}
+			sum += w
+			if i > 0 && nodes[i] <= nodes[i-1] {
+				t.Fatalf("n=%d: nodes not ascending at %d: %g <= %g", n, i, nodes[i], nodes[i-1])
+			}
+			if math.Abs(nodes[i]+nodes[n-1-i]) > 1e-14 {
+				t.Fatalf("n=%d: nodes not symmetric: %g vs %g", n, nodes[i], nodes[n-1-i])
+			}
+			if math.Abs(weights[i]-weights[n-1-i]) > 1e-14 {
+				t.Fatalf("n=%d: weights not symmetric", n)
+			}
+		}
+		if math.Abs(sum-2) > 1e-13 {
+			t.Fatalf("n=%d: weights sum to %.17g, want 2", n, sum)
+		}
+	}
+}
+
+// TestGaussLegendreConvergence: on a smooth non-polynomial integrand the
+// error must shrink monotonically (within a tiny tolerance for rounding) as
+// the rule is refined, and vanish rapidly.
+func TestGaussLegendreConvergence(t *testing.T) {
+	f := func(x float64) float64 { return math.Exp(-x) }
+	a, b := 0.1, 2.3
+	want := math.Exp(-a) - math.Exp(-b)
+	prev := math.Inf(1)
+	for n := 2; n <= 10; n++ {
+		nodes, weights := GaussLegendre(n)
+		err := math.Abs(integrate(nodes, weights, a, b, f) - want)
+		if err > prev*1.001+1e-14 {
+			t.Fatalf("n=%d: error %g did not decrease from %g", n, err, prev)
+		}
+		prev = err
+	}
+	if prev > 1e-12 {
+		t.Fatalf("10-point rule error %g too large", prev)
+	}
+}
+
+// TestMapIntervalWeightSum: mapped weights must sum to the interval length.
+func TestMapIntervalWeightSum(t *testing.T) {
+	nodes, weights := GaussLegendre(7)
+	xs := make([]float64, 7)
+	ws := make([]float64, 7)
+	a, b := 1e-8, 0.37
+	MapInterval(nodes, weights, a, b, xs, ws)
+	sum := 0.0
+	for i, w := range ws {
+		sum += w
+		if xs[i] < a || xs[i] > b {
+			t.Fatalf("mapped node %g outside [%g,%g]", xs[i], a, b)
+		}
+	}
+	if math.Abs(sum-(b-a)) > 1e-15 {
+		t.Fatalf("mapped weights sum to %g, want %g", sum, b-a)
+	}
+}
+
+// TestTrapezoidConvergence: trapezoid converges to the same integral, more
+// slowly than Gauss-Legendre at equal node count.
+func TestTrapezoidConvergence(t *testing.T) {
+	f := func(x float64) float64 { return math.Exp(-x) }
+	a, b := 0.1, 2.3
+	want := math.Exp(-a) - math.Exp(-b)
+	prev := math.Inf(1)
+	for _, n := range []int{4, 8, 16, 32, 64} {
+		nodes, weights := Trapezoid(n)
+		err := math.Abs(integrate(nodes, weights, a, b, f) - want)
+		if err >= prev {
+			t.Fatalf("n=%d: trapezoid error %g did not decrease from %g", n, err, prev)
+		}
+		prev = err
+	}
+	gn, gw := GaussLegendre(8)
+	tn, tw := Trapezoid(8)
+	gerr := math.Abs(integrate(gn, gw, a, b, f) - want)
+	terr := math.Abs(integrate(tn, tw, a, b, f) - want)
+	if gerr >= terr {
+		t.Fatalf("Gauss-Legendre (err %g) should beat trapezoid (err %g) at n=8", gerr, terr)
+	}
+}

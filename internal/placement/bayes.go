@@ -1,0 +1,195 @@
+package placement
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"phylomem/internal/analyze"
+	"phylomem/internal/jplace"
+	"phylomem/internal/numeric"
+	"phylomem/internal/phylo"
+)
+
+// This file is the Bayesian posterior scoring path (pplacer's posterior
+// probability mode, arXiv 1003.5943): instead of reporting only the
+// branch-length-optimized likelihood, phase 2 additionally integrates the
+// query likelihood over a pendant × proximal branch-length grid under a
+// uniform prior and normalizes the per-branch marginals into posterior
+// probabilities. The integration reuses the exact same per-branch inputs as
+// the ML path — the block's midpoint CLV and directional operand snapshots,
+// the worker's Scratch buffers — so every memory lever (AMC, spill, dedup,
+// tiling) serves it unchanged, and phase 1 is untouched entirely. Each
+// candidate is integrated by exactly one worker with a fixed grid and a
+// fixed fold order, so the output is byte-identical across thread counts,
+// tile sizes, and memory modes, like the ML path.
+
+// ScoringMode selects how phase 2 turns candidate branches into reported
+// placements.
+type ScoringMode string
+
+const (
+	// ScoringML reports branch-length-optimized log-likelihoods and
+	// likelihood weight ratios (EPA-NG's behavior; the default).
+	ScoringML ScoringMode = "ml"
+	// ScoringBayes additionally integrates the likelihood over branch
+	// lengths and reports posterior probabilities (pplacer's behavior).
+	ScoringBayes ScoringMode = "bayes"
+)
+
+// ParseScoringMode validates a --scoring flag value ("" means ML).
+func ParseScoringMode(s string) (ScoringMode, error) {
+	switch ScoringMode(s) {
+	case "", ScoringML:
+		return ScoringML, nil
+	case ScoringBayes:
+		return ScoringBayes, nil
+	}
+	return "", fmt.Errorf("placement: unknown scoring mode %q (want ml or bayes)", s)
+}
+
+// bayes reports whether the posterior path is active.
+func (c Config) bayes() bool { return c.Scoring == ScoringBayes }
+
+// initBayesGrids precomputes the fixed quadrature grids the posterior path
+// integrates over: the pendant-length Gauss-Legendre rule on [pendLo,
+// maxPend] with log-weights that already include the uniform prior's
+// −log(range), and the unit proximal rule on [-1, 1] that integrateCandidate
+// maps onto each branch's [0, length]. Precomputing once per engine makes
+// the grid — and therefore the output bytes — a pure function of the config.
+func (e *Engine) initBayesGrids() {
+	maxPend := 4 * e.avgBranch
+	if maxPend < 1e-4 {
+		maxPend = 1e-4
+	}
+	const pendLo = 1e-8
+	n := e.cfg.BayesPendantNodes
+	nodes, weights := numeric.GaussLegendre(n)
+	e.bayesPend = make([]float64, n)
+	ws := make([]float64, n)
+	numeric.MapInterval(nodes, weights, pendLo, maxPend, e.bayesPend, ws)
+	logRange := math.Log(maxPend - pendLo)
+	e.bayesLogW = make([]float64, n)
+	for i, w := range ws {
+		e.bayesLogW[i] = math.Log(w) - logRange
+	}
+	e.glX, e.glW = numeric.GaussLegendre(e.cfg.BayesProximalNodes)
+}
+
+// integrateCandidate computes one candidate's posterior marginal: the query
+// log-likelihood integrated over the pendant grid and, for branches of
+// non-degenerate length, over the proximal insertion position under a
+// uniform prior on [0, branch length]. Zero-length branches (and a proximal
+// order of 1) collapse to the pendant-only marginal at the precomputed
+// midpoint CLV — the integrand is position-independent there.
+//
+// Buffer discipline matches scoreCandidate, which runs immediately before on
+// the same worker: P(0) is the pendant matrix (inside the grid kernel),
+// P(1)/P(2) the proximal pair, CLV(0) the insertion CLV. The outer proximal
+// fold is the same streaming log-sum-exp as the pendant kernel's, in grid
+// order, so the result is bit-reproducible.
+func (e *Engine) integrateCandidate(ent *branchEntry, codes []uint32, c *candidate, sc *phylo.Scratch) {
+	start := time.Now()
+	part := e.part
+	blen := ent.edge.Length
+	evals := len(e.bayesPend)
+	if blen <= 1e-9 || len(e.glX) <= 1 {
+		c.postLL = part.QueryLogLikPendantGrid(ent.m, ent.ms, codes, e.bayesPend, e.bayesLogW, e.cfg.SkipGaps, sc)
+	} else {
+		scratch, scratchScale := sc.CLV(0)
+		pu, pv := sc.P(1), sc.P(2)
+		uop := operandOf(ent.u)
+		vop := operandOf(ent.v)
+		logBlen := math.Log(blen)
+		m := math.Inf(-1)
+		s := 0.0
+		for j := range e.glX {
+			x := 0.5 * blen * (e.glX[j] + 1)
+			w := 0.5 * blen * e.glW[j]
+			part.FillP(pu, x)
+			part.FillP(pv, blen-x)
+			part.UpdateCLVScratch(scratch, scratchScale, uop, vop, pu, pv, sc)
+			term := math.Log(w) - logBlen +
+				part.QueryLogLikPendantGrid(scratch, scratchScale, codes, e.bayesPend, e.bayesLogW, e.cfg.SkipGaps, sc)
+			if term <= m {
+				s += math.Exp(term - m)
+			} else {
+				s = s*math.Exp(m-term) + 1
+				m = term
+			}
+		}
+		c.postLL = m + math.Log(s)
+		evals *= len(e.glX)
+	}
+	e.scor.CandidateIntegrated(evals, time.Since(start))
+}
+
+// filterPlacementsBayes is filterPlacements for the posterior mode: the
+// stripe is ranked by posterior marginal, post_prob is the normalized
+// posterior mass, and the LWR column is still the ML likelihood-weight ratio
+// over the same stripe (both scores are reported, as in pplacer's jplace
+// output). The cutoff accumulates posterior mass — the quantity this mode
+// ranks by.
+func (e *Engine) filterPlacementsBayes(name string, cands []candidate) jplace.Placements {
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].postLL != cands[b].postLL {
+			return cands[a].postLL > cands[b].postLL
+		}
+		if cands[a].loglik != cands[b].loglik {
+			return cands[a].loglik > cands[b].loglik
+		}
+		return cands[a].edgeID < cands[b].edgeID
+	})
+	bestP := cands[0].postLL
+	bestL := math.Inf(-1)
+	for _, c := range cands {
+		if c.loglik > bestL {
+			bestL = c.loglik
+		}
+	}
+	totalP, totalL := 0.0, 0.0
+	for _, c := range cands {
+		totalP += math.Exp(c.postLL - bestP)
+		totalL += math.Exp(c.loglik - bestL)
+	}
+	out := jplace.Placements{Name: name}
+	acc := 0.0
+	for _, c := range cands {
+		pp := math.Exp(c.postLL-bestP) / totalP
+		out.Placements = append(out.Placements, jplace.Placement{
+			EdgeNum:         c.edgeID,
+			LogLikelihood:   c.loglik,
+			LikeWeightRatio: math.Exp(c.loglik-bestL) / totalL,
+			PostProb:        pp,
+			DistalLength:    c.distal,
+			PendantLength:   c.pend,
+		})
+		acc += pp
+		if acc >= e.cfg.FilterAccThreshold || len(out.Placements) >= e.cfg.FilterMax {
+			break
+		}
+	}
+	return out
+}
+
+// computeEDPL annotates every query in out with its expected distance
+// between placement locations and folds the values into the run statistics.
+// The per-query computations fan out over the pool (each holds its own path
+// cache); the aggregation is serial so the stats are deterministic.
+func (e *Engine) computeEDPL(out []jplace.Placements) {
+	start := time.Now()
+	vals := make([]float64, len(out))
+	e.pool.ForEach(len(out), func(qi, _ int) {
+		vals[qi] = analyze.EDPL(e.tr, out[qi])
+	})
+	for qi := range out {
+		out[qi].EDPL = &vals[qi]
+		e.stats.EDPLCount++
+		e.stats.EDPLSum += vals[qi]
+		if vals[qi] > e.stats.EDPLMax {
+			e.stats.EDPLMax = vals[qi]
+		}
+	}
+	e.scor.EDPLDone(len(out), time.Since(start))
+}

@@ -80,6 +80,23 @@ type Config struct {
 	// FilterMax bounds the number of placements reported per query
 	// (default 7, EPA-NG's --filter-max).
 	FilterMax int
+	// Scoring selects the phase-2 scoring mode: ScoringML (the default)
+	// reports branch-length-optimized likelihoods; ScoringBayes additionally
+	// integrates the likelihood over a pendant × proximal branch-length grid
+	// and reports posterior probabilities (see bayes.go).
+	Scoring ScoringMode
+	// EDPL computes each query's expected distance between placement
+	// locations and attaches it to the emitted placements (and RunStats).
+	// Works under either scoring mode.
+	EDPL bool
+	// BayesPendantNodes is the Gauss-Legendre order of the pendant-length
+	// integration grid (default 8). Ignored unless Scoring is bayes.
+	BayesPendantNodes int
+	// BayesProximalNodes is the Gauss-Legendre order of the proximal
+	// (insertion-position) integration grid (default 4; 1 integrates the
+	// pendant length only, at the branch midpoint). Ignored unless Scoring
+	// is bayes.
+	BayesProximalNodes int
 	// TileQueries overrides the phase-1 query-tile size (0 = auto: sized so a
 	// tile's site-major code block and accumulators fit the per-core cache
 	// estimate alongside one streaming prescore row or branch CLV).
@@ -182,6 +199,13 @@ type Engine struct {
 	pendant0    float64 // default pendant length for prescoring
 	avgBranch   float64
 
+	// Posterior-integration grids (nil unless Config.Scoring is bayes):
+	// the pendant-length grid with prior-normalized log-weights, and the
+	// unit proximal Gauss-Legendre rule mapped per branch (see bayes.go).
+	bayesPend []float64
+	bayesLogW []float64
+	glX, glW  []float64
+
 	// pool is the engine-lifetime worker pool every parallel loop runs on,
 	// sized max(Threads, SiteWorkers). Workers are identified by dense ids,
 	// which index the per-worker state below (scratch affinity): each worker
@@ -227,6 +251,7 @@ type Engine struct {
 	pipe  *telemetry.Pipeline
 	dedup *telemetry.Dedup
 	ktel  *telemetry.Kernel
+	scor  *telemetry.Scoring
 	trace *telemetry.Trace
 
 	// runMu serializes the place paths (PlaceStream, PlaceBatch) and Close:
@@ -260,12 +285,26 @@ type RunStats struct {
 	Slots           int
 	ChunksProcessed int
 
+	// Uncertainty-aware scoring statistics (see bayes.go).
+	CandidatesIntegrated int     // phase-2 candidates scored by the posterior path
+	EDPLCount            int     // queries with a computed EDPL
+	EDPLSum              float64 // accumulated EDPL over those queries
+	EDPLMax              float64 // largest per-query EDPL observed
+
 	// Pipeline statistics (see PlaceStream).
 	Pipelined bool          // chunk pipelining was active
 	ChunkRead time.Duration // time spent decoding/validating query chunks
 	ChunkWait time.Duration // placer idle time waiting for the next chunk
 	PlaceWall time.Duration // wall time spent inside Place/PlaceStream
 	PoolBusy  time.Duration // cumulative worker busy time during placement
+}
+
+// EDPLMean returns the average per-query EDPL, or 0 when none was computed.
+func (s RunStats) EDPLMean() float64 {
+	if s.EDPLCount == 0 {
+		return 0
+	}
+	return s.EDPLSum / float64(s.EDPLCount)
 }
 
 // PoolUtilization estimates how busy the placement workers were during
@@ -310,6 +349,15 @@ func (cfg Config) withDefaults() Config {
 	if cfg.FilterMax <= 0 {
 		cfg.FilterMax = 7
 	}
+	if cfg.Scoring == "" {
+		cfg.Scoring = ScoringML
+	}
+	if cfg.BayesPendantNodes <= 0 {
+		cfg.BayesPendantNodes = 8
+	}
+	if cfg.BayesProximalNodes <= 0 {
+		cfg.BayesProximalNodes = 4
+	}
 	return cfg
 }
 
@@ -320,6 +368,9 @@ func (cfg Config) withDefaults() Config {
 // construction. NewContext uses the identical computation.
 func PlanFor(part *phylo.Partition, tr *tree.Tree, cfg Config) (memacct.Plan, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Scoring != ScoringML && cfg.Scoring != ScoringBayes {
+		return memacct.Plan{}, fmt.Errorf("placement: unknown scoring mode %q (want ml or bayes)", cfg.Scoring)
+	}
 	if err := part.CheckTreeCompatible(tr); err != nil {
 		return memacct.Plan{}, err
 	}
@@ -393,6 +444,7 @@ func NewContext(ctx context.Context, part *phylo.Partition, tr *tree.Tree, cfg C
 	e.pipe = e.tel.PipelineGroup()
 	e.dedup = e.tel.DedupGroup()
 	e.ktel = e.tel.KernelGroup()
+	e.scor = e.tel.ScoringGroup()
 	e.trace = cfg.Trace
 	e.tileQ, e.tileB = chooseTiles(cfg, part, plan)
 	e.ktel.Configure(e.tileQ, e.tileB, cfg.FastMath)
@@ -411,6 +463,10 @@ func NewContext(ctx context.Context, part *phylo.Partition, tr *tree.Tree, cfg C
 	if e.pendant0 <= 0 {
 		e.pendant0 = 0.01
 	}
+	if cfg.bayes() {
+		e.initBayesGrids()
+	}
+	e.scor.Configure(cfg.bayes(), cfg.BayesPendantNodes, cfg.BayesProximalNodes, cfg.EDPL)
 	e.acct.Alloc("fixed", plan.FixedBytes)
 	// Seed the transient categories with zero-byte entries so the report's
 	// breakdown maps carry the same key set regardless of whether the

@@ -35,13 +35,15 @@ func (e *Engine) Place(queries []Query) (*Result, error) {
 	return res, nil
 }
 
-// candidate is one (query, branch) pair surviving pre-placement.
+// candidate is one (query, branch) pair surviving pre-placement. postLL is
+// the posterior marginal from the integration path; it stays -Inf in ML mode.
 type candidate struct {
 	query  int // index within chunk
 	edgeID int
 	loglik float64
 	distal float64
 	pend   float64
+	postLL float64
 }
 
 // placeChunk is the single choke point of every placement path (PlaceStream
@@ -89,9 +91,10 @@ func (e *Engine) placeChunk(ctx context.Context, chunk []Query) ([]jplace.Placem
 	}
 	out := make([]jplace.Placements, len(chunk))
 	for qi := range chunk {
-		// Duplicates share the representative's placement slice: it is
-		// read-only from here on (serialization, nm grouping).
-		out[qi] = jplace.Placements{Name: chunk[qi].Name, Placements: res[owner[qi]].Placements}
+		// Duplicates share the representative's placement slice (and EDPL
+		// value): both are read-only from here on (serialization, nm
+		// grouping), and EDPL is a pure function of the shared placements.
+		out[qi] = jplace.Placements{Name: chunk[qi].Name, Placements: res[owner[qi]].Placements, EDPL: res[owner[qi]].EDPL}
 	}
 	return out, nil
 }
@@ -245,7 +248,7 @@ func (e *Engine) placeDistinct(ctx context.Context, chunk []Query) ([]jplace.Pla
 		ncand := 0
 		acc := 0.0
 		for _, b := range sel {
-			stripe[ncand] = candidate{query: qi, edgeID: b, loglik: math.Inf(-1)}
+			stripe[ncand] = candidate{query: qi, edgeID: b, loglik: math.Inf(-1), postLL: math.Inf(-1)}
 			ncand++
 			acc += math.Exp(row[b]-best) / total
 			if ncand >= 2 && acc >= e.cfg.PrescoreThreshold {
@@ -316,11 +319,25 @@ func (e *Engine) placeDistinct(ctx context.Context, chunk []Query) ([]jplace.Pla
 	}
 	e.stats.Phase2 += time.Since(start)
 
-	// Likelihood weight ratios and output filtering per query.
+	if e.cfg.bayes() {
+		e.stats.CandidatesIntegrated += int(branchStart[nb])
+	}
+
+	// Likelihood weight ratios (or posterior probabilities) and output
+	// filtering per query.
 	out := make([]jplace.Placements, nq)
-	e.pool.ForEach(nq, func(qi, _ int) {
-		out[qi] = e.filterPlacements(chunk[qi].Name, arena[qi*keepMax:qi*keepMax+int(counts[qi])])
-	})
+	if e.cfg.bayes() {
+		e.pool.ForEach(nq, func(qi, _ int) {
+			out[qi] = e.filterPlacementsBayes(chunk[qi].Name, arena[qi*keepMax:qi*keepMax+int(counts[qi])])
+		})
+	} else {
+		e.pool.ForEach(nq, func(qi, _ int) {
+			out[qi] = e.filterPlacements(chunk[qi].Name, arena[qi*keepMax:qi*keepMax+int(counts[qi])])
+		})
+	}
+	if e.cfg.EDPL {
+		e.computeEDPL(out)
+	}
 	return out, nil
 }
 
@@ -383,6 +400,14 @@ func (e *Engine) scoreCandidate(ent *branchEntry, codes []uint32, c *candidate, 
 	c.loglik = ll
 	c.distal = distal
 	c.pend = pend
+
+	if e.cfg.bayes() {
+		// The posterior marginal shares this worker's scratch and the block's
+		// operand snapshots; it runs after the ML optimization so both scores
+		// are reported (pplacer keeps the ML branch lengths alongside
+		// post_prob).
+		e.integrateCandidate(ent, codes, c, sc)
+	}
 }
 
 func operandOf(oc operandCopy) phylo.Operand {

@@ -44,6 +44,14 @@ type RunStatsReport struct {
 	SpillReloads      uint64  `json:"spill_reloads"`
 	SpillErrors       uint64  `json:"spill_errors"`
 	SpillLeafWork     uint64  `json:"spill_reload_leaf_work_saved"`
+
+	// Uncertainty-aware scoring (see bayes.go). ScoringMode is "ml" or
+	// "bayes"; the EDPL aggregates are zero when Config.EDPL is off.
+	ScoringMode          string  `json:"scoring_mode"`
+	CandidatesIntegrated int     `json:"candidates_integrated"`
+	EDPLCount            int     `json:"edpl_count"`
+	EDPLMean             float64 `json:"edpl_mean"`
+	EDPLMax              float64 `json:"edpl_max"`
 }
 
 // PlanReport is the memacct.Plan section of a Report.
@@ -107,6 +115,12 @@ func (e *Engine) Report() Report {
 			SpillReloads:      s.CLVStats.SpillReloads,
 			SpillErrors:       s.CLVStats.SpillErrors,
 			SpillLeafWork:     s.CLVStats.ReloadLeafWorkSaved,
+
+			ScoringMode:          string(e.cfg.Scoring),
+			CandidatesIntegrated: s.CandidatesIntegrated,
+			EDPLMean:             s.EDPLMean(),
+			EDPLCount:            s.EDPLCount,
+			EDPLMax:              s.EDPLMax,
 		},
 		Plan: PlanReport{
 			AMC:            e.plan.AMC,

@@ -48,13 +48,13 @@ type resultKey struct {
 // resultCacheCategory is the accountant category cache bytes live under.
 const resultCacheCategory = "result-cache"
 
-// perPlacementCost is the accounted size of one jplace.Placement (five
-// 8-byte fields), and entryOverheadCost covers the key, the list element,
-// and map bookkeeping per entry. The estimates are deliberately on the
-// logical side, like every other accountant category: the budget governs
-// intent, Go's allocator governs truth.
+// perPlacementCost is the accounted size of one jplace.Placement (six
+// 8-byte fields, post_prob included), and entryOverheadCost covers the key,
+// the list element, and map bookkeeping per entry. The estimates are
+// deliberately on the logical side, like every other accountant category:
+// the budget governs intent, Go's allocator governs truth.
 const (
-	perPlacementCost  = 40
+	perPlacementCost  = 48
 	entryOverheadCost = 160
 )
 

@@ -19,6 +19,7 @@ type Snapshot struct {
 	Dedup    DedupSnapshot    `json:"dedup"`
 	Kernel   KernelSnapshot   `json:"kernel"`
 	Spill    SpillSnapshot    `json:"spill"`
+	Scoring  ScoringSnapshot  `json:"scoring"`
 }
 
 // AMCSnapshot is the slot manager section of a Snapshot.
@@ -158,6 +159,22 @@ type SpillSnapshot struct {
 	SpilledEntries      int64  `json:"spilled_entries"`
 }
 
+// ScoringSnapshot is the uncertainty-aware scoring section of a Snapshot:
+// the configured mode and quadrature orders, the posterior integration
+// path's activity, and the per-query EDPL computations. All-zero for plain
+// ML runs without EDPL (the key set is schema-stable regardless).
+type ScoringSnapshot struct {
+	BayesMode            int64  `json:"bayes_mode"`
+	PendantNodes         int64  `json:"pendant_nodes"`
+	ProximalNodes        int64  `json:"proximal_nodes"`
+	EDPLEnabled          int64  `json:"edpl_enabled"`
+	CandidatesIntegrated uint64 `json:"candidates_integrated"`
+	QuadEvals            uint64 `json:"quad_evals"`
+	IntegrateNS          int64  `json:"integrate_ns"`
+	EDPLQueries          uint64 `json:"edpl_queries"`
+	EDPLNS               int64  `json:"edpl_ns"`
+}
+
 // FleetSnapshot is the JSON-marshalable view of a Fleet group, the
 // registry-level section of the placed /metrics document. Like Snapshot,
 // every key is always present so the CI schema diff holds across fleet
@@ -275,6 +292,18 @@ func (s *Sink) Snapshot() Snapshot {
 		WriteNS:             int64(sp.WriteTime.Load()),
 		ReloadNS:            int64(sp.ReloadTime.Load()),
 		SpilledEntries:      sp.SpilledEntries.Load(),
+	}
+	sc := &s.Scoring
+	out.Scoring = ScoringSnapshot{
+		BayesMode:            sc.BayesMode.Load(),
+		PendantNodes:         sc.PendantNodes.Load(),
+		ProximalNodes:        sc.ProximalNodes.Load(),
+		EDPLEnabled:          sc.EDPLEnabled.Load(),
+		CandidatesIntegrated: sc.CandidatesIntegrated.Load(),
+		QuadEvals:            sc.QuadEvals.Load(),
+		IntegrateNS:          int64(sc.IntegrateTime.Load()),
+		EDPLQueries:          sc.EDPLQueries.Load(),
+		EDPLNS:               int64(sc.EDPLTime.Load()),
 	}
 	return out
 }

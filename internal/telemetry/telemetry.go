@@ -568,6 +568,66 @@ func (s *Spill) SetSpilled(n int) {
 	s.SpilledEntries.Set(int64(n))
 }
 
+// Scoring counts the uncertainty-aware scoring layer's activity: the
+// configured mode and quadrature orders (levels, set once at engine
+// construction), the number of phase-2 candidates scored by the posterior
+// integration path with their quadrature-node likelihood evaluations and
+// wall time, and the per-query EDPL computations. The integration counters
+// are updated concurrently from phase-2 workers; EDPL is recorded once per
+// chunk by the placer.
+type Scoring struct {
+	BayesMode     Gauge // 0 = ml, 1 = bayes
+	PendantNodes  Gauge // pendant-grid quadrature order
+	ProximalNodes Gauge // proximal-grid quadrature order
+	EDPLEnabled   Gauge // 0 = off, 1 = per-query EDPL computed
+
+	CandidatesIntegrated Counter // candidates scored by the posterior path
+	QuadEvals            Counter // grid-node likelihood evaluations
+	IntegrateTime        Timer   // wall time inside the integration path
+
+	EDPLQueries Counter // queries with a computed EDPL
+	EDPLTime    Timer   // wall time computing EDPL
+}
+
+// Configure records the engine's resolved scoring mode and grid orders.
+func (s *Scoring) Configure(bayes bool, pendNodes, proxNodes int, edpl bool) {
+	if s == nil {
+		return
+	}
+	if bayes {
+		s.BayesMode.Set(1)
+	} else {
+		s.BayesMode.Set(0)
+	}
+	s.PendantNodes.Set(int64(pendNodes))
+	s.ProximalNodes.Set(int64(proxNodes))
+	if edpl {
+		s.EDPLEnabled.Set(1)
+	} else {
+		s.EDPLEnabled.Set(0)
+	}
+}
+
+// CandidateIntegrated records one candidate's posterior integration: its
+// grid-node likelihood evaluations and wall time.
+func (s *Scoring) CandidateIntegrated(evals int, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.CandidatesIntegrated.Inc()
+	s.QuadEvals.Add(uint64(evals))
+	s.IntegrateTime.Add(d)
+}
+
+// EDPLDone records one chunk's EDPL pass over n queries.
+func (s *Scoring) EDPLDone(n int, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.EDPLQueries.Add(uint64(n))
+	s.EDPLTime.Add(d)
+}
+
 // Fleet counts an engine registry's lifecycle activity: lazy construction,
 // the controller's three reclaim levers in escalation order (slot-pool
 // shrink, CLV demotion to the spill tier, whole-engine eviction), and the
@@ -656,6 +716,7 @@ type Sink struct {
 	Dedup    Dedup
 	Kernel   Kernel
 	Spill    Spill
+	Scoring  Scoring
 }
 
 // NewSink returns an empty sink.
@@ -715,4 +776,12 @@ func (s *Sink) SpillGroup() *Spill {
 		return nil
 	}
 	return &s.Spill
+}
+
+// ScoringGroup returns &s.Scoring, or nil for a nil sink.
+func (s *Sink) ScoringGroup() *Scoring {
+	if s == nil {
+		return nil
+	}
+	return &s.Scoring
 }
